@@ -1,0 +1,42 @@
+"""Shared sweep parameters for the benchmark harness.
+
+Benchmarks run the same experiment code as ``python -m repro.experiments``
+but at a scale that finishes on a laptop; pass ``--sizes 8,16,...,256`` to
+the CLI for paper-scale sweeps.  Each ``bench_figN`` file regenerates the
+corresponding figure (printing the table) and asserts the *shape* claims
+the report makes about it — who wins, what grows, what shrinks.
+"""
+
+from repro.experiments.common import SweepParams
+
+#: Laptop-scale sweep used by every figure benchmark.
+BENCH_PARAMS = SweepParams(
+    sizes=(4, 8),
+    duration=40.0,
+    loads=(0.25, 0.50, 0.75, 1.00),
+    pe_counts=(1, 2, 4),
+    kp_counts=(4, 8, 16),
+    window=2.0,
+)
+
+#: Slightly larger sweep for benches whose claims need a size trend.
+TREND_PARAMS = SweepParams(
+    sizes=(4, 8, 12),
+    duration=40.0,
+    loads=(0.25, 1.00),
+    pe_counts=(1, 2, 4),
+    kp_counts=(4, 16),
+    window=2.0,
+)
+
+
+def regenerate(benchmark, exp_id, params=BENCH_PARAMS):
+    """Run one experiment exactly once under the benchmark timer."""
+    from repro.experiments.figures import run_experiment
+
+    table = benchmark.pedantic(
+        run_experiment, args=(exp_id, params), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text())
+    return table

@@ -1,0 +1,24 @@
+"""ABL-ADAPT — fixed vs adaptive optimism on a locality-hostile mapping.
+
+Claims checked: the throttle engages (factor < 1), commits identical work,
+and substantially reduces rolled-back events versus the fixed budget.
+"""
+
+from benchmarks._params import BENCH_PARAMS, regenerate
+
+
+def test_ablation_adaptive(benchmark):
+    table = regenerate(benchmark, "abl-adapt", BENCH_PARAMS)
+    cols = list(table.columns)
+    idx_mode = cols.index("optimism")
+    idx_committed = cols.index("committed")
+    idx_rolled = cols.index("rolled back")
+    idx_factor = cols.index("final factor")
+    by_key = {(r[0], r[idx_mode]): r for r in table.rows}
+    for n in BENCH_PARAMS.sizes:
+        fixed = by_key[(n, "fixed")]
+        adaptive = by_key[(n, "adaptive")]
+        assert fixed[idx_committed] == adaptive[idx_committed]
+        if fixed[idx_rolled] > 1000:  # throttle has something to regulate
+            assert adaptive[idx_rolled] < fixed[idx_rolled]
+            assert adaptive[idx_factor] < 1.0

@@ -1,0 +1,25 @@
+"""ABL-LAZY — aggressive vs lazy cancellation on identical workloads.
+
+Claims checked: lazy cancellation reuses a meaningful number of messages,
+commits identical work, and does not make rollback volume worse.
+"""
+
+from benchmarks._params import BENCH_PARAMS, regenerate
+
+
+def test_ablation_lazy_cancellation(benchmark):
+    table = regenerate(benchmark, "abl-lazy", BENCH_PARAMS)
+    cols = list(table.columns)
+    idx_mode = cols.index("cancellation")
+    idx_committed = cols.index("committed")
+    idx_rolled = cols.index("rolled back")
+    idx_reused = cols.index("messages reused")
+    by_key = {(row[0], row[idx_mode]): row for row in table.rows}
+    for n in BENCH_PARAMS.sizes:
+        agg = by_key[(n, "aggressive")]
+        lazy = by_key[(n, "lazy")]
+        assert agg[idx_committed] == lazy[idx_committed]
+        assert agg[idx_reused] == 0
+        assert lazy[idx_reused] > 0
+        # Lazy must not blow up the rollback volume (usually it shrinks it).
+        assert lazy[idx_rolled] <= agg[idx_rolled] * 1.5

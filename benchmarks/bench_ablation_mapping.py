@@ -1,0 +1,20 @@
+"""ABL-MAP — LP/KP/PE mapping locality ablation.
+
+Report claim (§3.2.3): the block mapping minimises inter-PE communication;
+a random mapping makes almost every hop cross a PE boundary.
+"""
+
+from benchmarks._params import BENCH_PARAMS, regenerate
+
+
+def test_ablation_mapping(benchmark):
+    table = regenerate(benchmark, "abl-map", BENCH_PARAMS)
+    idx_map = list(table.columns).index("mapping")
+    idx_remote = list(table.columns).index("remote sends")
+    by_key = {(row[0], row[idx_map]): row for row in table.rows}
+    for n in BENCH_PARAMS.sizes:
+        block = by_key[(n, "block")][idx_remote]
+        rand = by_key[(n, "random")][idx_remote]
+        assert rand > 1.5 * block, (
+            f"N={n}: random mapping should send far more cross-PE messages"
+        )

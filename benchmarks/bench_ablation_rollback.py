@@ -1,0 +1,22 @@
+"""ABL-RC — reverse computation vs state saving on identical workloads.
+
+ROSS's design claim: reverse computation beats checkpointing because the
+forward path stores (almost) nothing.  Expect a higher event rate for the
+'reverse' strategy at equal rollback counts.
+"""
+
+from benchmarks._params import BENCH_PARAMS, regenerate
+
+
+def test_ablation_rollback_strategy(benchmark):
+    table = regenerate(benchmark, "abl-rc", BENCH_PARAMS)
+    by_key = {(row[0], row[1]): row for row in table.rows}
+    for n in BENCH_PARAMS.sizes:
+        reverse = by_key[(n, "reverse")]
+        copy = by_key[(n, "copy")]
+        idx_rate = list(table.columns).index("event rate")
+        idx_committed = list(table.columns).index("committed")
+        # Identical committed work...
+        assert reverse[idx_committed] == copy[idx_committed]
+        # ...but reverse computation is faster.
+        assert reverse[idx_rate] > copy[idx_rate]

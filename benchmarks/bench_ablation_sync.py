@@ -1,0 +1,29 @@
+"""ABL-SYNC — Time Warp vs conservative synchronization on the same model.
+
+Claims checked: all protocols commit identical work; with the hot-potato
+model's small lookahead (0.1 steps), Time Warp out-runs both conservative
+flavours; the null-message flavour pays its overhead in null messages.
+"""
+
+from benchmarks._params import BENCH_PARAMS, regenerate
+
+
+def test_ablation_sync(benchmark):
+    table = regenerate(benchmark, "abl-sync", BENCH_PARAMS)
+    cols = list(table.columns)
+    idx_proto = cols.index("protocol")
+    idx_committed = cols.index("committed")
+    idx_nulls = cols.index("null msgs")
+    idx_rate = cols.index("event rate")
+    for n in BENCH_PARAMS.sizes:
+        rows = {r[idx_proto]: r for r in table.rows if r[0] == n}
+        assert set(rows) == {"time-warp", "conservative/yawns", "conservative/null"}
+        committed = {r[idx_committed] for r in rows.values()}
+        assert len(committed) == 1, "protocols disagreed on committed work"
+        assert rows["conservative/null"][idx_nulls] > 0
+        assert rows["conservative/yawns"][idx_nulls] == 0
+    # Where event density per lookahead window is lowest (the smallest N),
+    # conservative windows starve and Time Warp's speculation wins.
+    n0 = BENCH_PARAMS.sizes[0]
+    rows0 = {r[idx_proto]: r for r in table.rows if r[0] == n0}
+    assert rows0["time-warp"][idx_rate] > rows0["conservative/yawns"][idx_rate]

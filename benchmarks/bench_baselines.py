@@ -1,0 +1,30 @@
+"""ABL-BASE — routing algorithms compared, including the flow-controlled
+
+store-and-forward network.  Headline claim (§1.2.3): hot-potato routing
+achieves much higher link utilisation than flow-controlled routing.
+"""
+
+from benchmarks._params import BENCH_PARAMS, regenerate
+
+
+def test_baselines(benchmark):
+    table = regenerate(benchmark, "abl-base", BENCH_PARAMS)
+    idx_algo = list(table.columns).index("algorithm")
+    idx_util = list(table.columns).index("link util")
+    idx_delivered = list(table.columns).index("delivered")
+    for n in BENCH_PARAMS.sizes:
+        rows = {r[idx_algo]: r for r in table.rows if r[0] == n}
+        assert set(rows) == {
+            "busch",
+            "greedy",
+            "dimension-order",
+            "random-deflection",
+            "buffered-flow-control",
+        }
+        # Every algorithm actually delivers traffic.
+        for r in rows.values():
+            assert r[idx_delivered] > 0
+        # The paper's utilisation contrast.
+        assert (
+            rows["busch"][idx_util] > 1.5 * rows["buffered-flow-control"][idx_util]
+        )

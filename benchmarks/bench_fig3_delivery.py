@@ -1,0 +1,24 @@
+"""FIG3 — regenerate Figure 3 (avg delivery time vs N) and check its shape.
+
+Paper claims: delivery time grows approximately linearly with N; the
+injection load has only a limited effect on it (§4.1).
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+from repro.analysis.linfit import fit_linear
+
+
+def test_fig3_delivery(benchmark):
+    table = regenerate(benchmark, "fig3", TREND_PARAMS)
+    sizes = table.column("N")
+    for load in TREND_PARAMS.loads:
+        series = table.column(f"{int(load*100)}% injectors")
+        # Monotone growth with N ...
+        assert series == sorted(series)
+        # ... and linear, not quadratic: a straight line explains it.
+        fit = fit_linear(sizes, series)
+        assert fit.r_squared > 0.95, f"delivery vs N not linear at load {load}"
+    # Limited load effect: full load costs < 2.5x the half-load time.
+    lo = table.column(f"{int(TREND_PARAMS.loads[0]*100)}% injectors")
+    hi = table.column(f"{int(TREND_PARAMS.loads[-1]*100)}% injectors")
+    assert hi[-1] < 2.5 * lo[-1]

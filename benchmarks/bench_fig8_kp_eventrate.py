@@ -1,0 +1,21 @@
+"""FIG8 — regenerate Figure 8 (event rate vs #KPs).
+
+Paper claims: more KPs improve the event rate of small networks (their
+rollback containment outweighs the KP management overhead) (§4.2.3).
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+
+
+def test_fig8_kp_eventrate(benchmark):
+    table = regenerate(benchmark, "fig8", TREND_PARAMS)
+    kp_cols = [c for c in table.columns if c.endswith("KPs")]
+    few, many = kp_cols[0], kp_cols[-1]
+    improved = 0
+    for row_few, row_many in zip(table.column(few), table.column(many)):
+        if row_few == "-" or row_many == "-":
+            continue
+        if row_many >= row_few * 0.98:
+            improved += 1
+    # More KPs help (or at worst are neutral) on these laptop-scale nets.
+    assert improved >= 1

@@ -1,0 +1,52 @@
+"""Real wall-clock microbenchmarks of the Python kernel itself.
+
+Unlike the figure benches (whose event rates come from the calibrated cost
+model), these measure how fast *this* implementation executes: sequential
+event throughput, Time Warp overhead, and rollback-path cost.  Useful for
+tracking performance regressions in the kernel.
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+from repro.models.phold import PholdConfig, PholdModel
+
+PHOLD = PholdConfig(n_lps=64, jobs_per_lp=4, remote_fraction=0.7)
+END = 30.0
+
+
+def test_sequential_phold_throughput(benchmark):
+    result = benchmark(lambda: run_sequential(PholdModel(PHOLD), END))
+    assert result.run.committed > 0
+
+
+def test_optimistic_phold_no_conflicts(benchmark):
+    # 1 PE: pure Time Warp bookkeeping overhead, zero rollbacks.
+    cfg = EngineConfig(end_time=END, n_pes=1, n_kps=1, batch_size=64)
+    result = benchmark(lambda: run_optimistic(PholdModel(PHOLD), cfg))
+    assert result.run.events_rolled_back == 0
+
+
+def test_optimistic_phold_with_rollbacks(benchmark):
+    cfg = EngineConfig(
+        end_time=END, n_pes=4, n_kps=8, batch_size=64, mapping="striped"
+    )
+    result = benchmark(lambda: run_optimistic(PholdModel(PHOLD), cfg))
+    assert result.run.events_rolled_back > 0
+
+
+def test_sequential_hotpotato_throughput(benchmark):
+    cfg = HotPotatoConfig(n=8, duration=20.0, injector_fraction=1.0)
+    result = benchmark(lambda: run_sequential(HotPotatoModel(cfg), cfg.duration))
+    assert result.model_stats["delivered"] > 0
+
+
+def test_state_saving_overhead(benchmark):
+    cfg = EngineConfig(
+        end_time=END, n_pes=2, n_kps=4, batch_size=32, mapping="striped",
+        rollback="copy",
+    )
+    result = benchmark(lambda: run_optimistic(PholdModel(PHOLD), cfg))
+    assert result.run.committed > 0

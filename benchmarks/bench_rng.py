@@ -1,0 +1,37 @@
+"""Microbenchmarks for the reversible RNG (the hottest kernel primitive)."""
+
+from repro.rng.streams import ReversibleStream
+
+
+def test_unif_throughput(benchmark):
+    s = ReversibleStream(1)
+
+    def draw_1000():
+        for _ in range(1000):
+            s.unif()
+
+    benchmark(draw_1000)
+    assert s.count > 0
+
+
+def test_reverse_throughput(benchmark):
+    s = ReversibleStream(1)
+
+    def draw_and_reverse_500():
+        for _ in range(500):
+            s.unif()
+        s.reverse(500)
+
+    benchmark(draw_and_reverse_500)
+    assert s.count == 0
+
+
+def test_seek_is_logarithmic(benchmark):
+    s = ReversibleStream(1)
+
+    def far_jumps():
+        s.seek(10_000_000)
+        s.seek(0)
+
+    benchmark(far_jumps)
+    assert s.count == 0

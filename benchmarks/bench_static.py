@@ -1,0 +1,21 @@
+"""STATIC — the one-shot workload (Das et al. [2] configuration).
+
+Claims checked: a full network with no further injection drains completely,
+and the drain's average delivery time grows with N (static O(N) behaviour).
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+
+
+def test_static_drain(benchmark):
+    table = regenerate(benchmark, "static", TREND_PARAMS)
+    idx_algo = list(table.columns).index("algorithm")
+    idx_drained = list(table.columns).index("drained")
+    idx_seeded = list(table.columns).index("seeded")
+    idx_delivered = list(table.columns).index("delivered")
+    idx_avg = list(table.columns).index("avg delivery")
+    for row in table.rows:
+        assert row[idx_drained] is True
+        assert row[idx_delivered] == row[idx_seeded]
+    busch_avgs = [r[idx_avg] for r in table.rows if r[idx_algo] == "busch"]
+    assert busch_avgs == sorted(busch_avgs)  # grows with N

@@ -1,0 +1,21 @@
+"""TOPO — torus vs mesh comparison (§1.1's practicality argument).
+
+Claim checked: on the same workload, the mesh's doubled diameter costs
+measurably longer average delivery than the torus at every size.
+"""
+
+from benchmarks._params import TREND_PARAMS, regenerate
+
+
+def test_topology_contrast(benchmark):
+    table = regenerate(benchmark, "topo", TREND_PARAMS)
+    cols = list(table.columns)
+    idx_topo = cols.index("topology")
+    idx_avg = cols.index("avg delivery")
+    idx_diam = cols.index("diameter")
+    by_key = {(r[0], r[idx_topo]): r for r in table.rows}
+    for n in TREND_PARAMS.sizes:
+        torus = by_key[(n, "torus")]
+        mesh = by_key[(n, "mesh")]
+        assert mesh[idx_diam] > torus[idx_diam]
+        assert mesh[idx_avg] > torus[idx_avg]

@@ -1,0 +1,57 @@
+"""Profile the kernel hot path (not a benchmark — run directly).
+
+Per the optimisation workflow (measure before optimising), this script
+profiles a representative optimistic hot-potato run and prints the top
+functions by cumulative time::
+
+    python benchmarks/profile_kernel.py [--sort tottime] [--lines 25]
+
+Historical findings captured as comments where they drove code decisions:
+
+* event execution dominates (as it should — the kernel adds ~2-3 Python
+  function calls per event on top of the model handler);
+* `heapq` beats the pure-Python splay tree on CPython by constant factor
+  (the splay tree exists for fidelity and for PyPy-style runtimes);
+* `dict` payloads beat dataclass payloads for the ROUTE/ARRIVE hop loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+from repro.core.config import EngineConfig
+from repro.core.optimistic import run_optimistic
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sort", default="cumulative", help="pstats sort key")
+    parser.add_argument("--lines", type=int, default=25, help="rows to print")
+    parser.add_argument("--n", type=int, default=8, help="network dimension")
+    parser.add_argument("--duration", type=float, default=60.0)
+    args = parser.parse_args()
+
+    cfg = HotPotatoConfig(n=args.n, duration=args.duration, injector_fraction=1.0)
+    ecfg = EngineConfig(
+        end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64
+    )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_optimistic(HotPotatoModel(cfg), ecfg)
+    profiler.disable()
+
+    print(
+        f"{result.run.processed:,} events processed "
+        f"({result.run.events_rolled_back:,} rolled back)\n"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.lines)
+
+
+if __name__ == "__main__":
+    main()

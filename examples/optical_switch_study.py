@@ -1,0 +1,93 @@
+"""Capacity study for a bufferless optical switching fabric.
+
+Hot-potato routing targets optical networks where packets cannot be
+buffered without leaving the optical domain (§1.1.1).  This study answers
+the questions a fabric designer would ask:
+
+1. How does delivery latency scale with the fabric size and offered load?
+2. How long do sources wait to inject when the fabric is saturated?
+3. How much raw link capacity does deflection routing actually use,
+   compared with a conventional buffered fabric throttled by flow control?
+
+Run with::
+
+    python examples/optical_switch_study.py
+"""
+
+from repro.baselines import BufferedConfig, BufferedModel
+from repro.core.engine import run_sequential
+from repro.experiments.report import Table
+from repro.hotpotato import HotPotatoConfig, HotPotatoModel
+
+SIZES = (4, 8, 12)
+LOADS = (0.25, 0.5, 1.0)
+DURATION = 120.0
+
+
+def latency_and_wait() -> None:
+    table = Table(
+        title="Hot-potato fabric: latency and injection wait",
+        columns=["N", "load", "delivered", "avg latency", "avg wait", "deflect %"],
+    )
+    for n in SIZES:
+        for load in LOADS:
+            cfg = HotPotatoConfig(n=n, duration=DURATION, injector_fraction=load)
+            ms = run_sequential(HotPotatoModel(cfg), DURATION, seed=7).model_stats
+            table.add_row(
+                n,
+                f"{int(load * 100)}%",
+                ms["delivered"],
+                ms["avg_delivery_time"],
+                ms["avg_inject_wait"],
+                100 * ms["deflection_rate"],
+            )
+    print(table.to_text())
+    print()
+
+
+def utilization_contrast() -> None:
+    table = Table(
+        title="Link utilisation: deflection vs flow control (N=8, full load)",
+        columns=["fabric", "delivered", "avg latency", "link util %"],
+    )
+    hp_cfg = HotPotatoConfig(n=8, duration=DURATION, injector_fraction=1.0, heartbeat=True)
+    hp = run_sequential(HotPotatoModel(hp_cfg), DURATION, seed=7).model_stats
+    table.add_row(
+        "hot-potato (bufferless)",
+        hp["delivered"],
+        hp["avg_delivery_time"],
+        100 * hp["link_utilization"],
+    )
+    for window in (2, 4, 8):
+        b_cfg = BufferedConfig(n=8, duration=DURATION, window=window)
+        bm = run_sequential(BufferedModel(b_cfg), DURATION, seed=7).model_stats
+        table.add_row(
+            f"buffered, window={window}",
+            bm["delivered"],
+            bm["avg_delivery_time"],
+            100 * bm["link_utilization"],
+        )
+    print(table.to_text())
+    print()
+    print(
+        "The bufferless fabric keeps nearly every link busy every step;\n"
+        "the flow-controlled fabric idles links to protect its buffers —\n"
+        "the under-utilisation the paper's title alludes to (§1.2.3)."
+    )
+
+
+def static_drain() -> None:
+    # The static (one-shot) analysis: fill the network, stop injecting,
+    # and watch it drain — the configuration of Das et al. [2].
+    cfg = HotPotatoConfig(n=8, duration=400.0, injector_fraction=0.0)
+    ms = run_sequential(HotPotatoModel(cfg), cfg.duration, seed=7).model_stats
+    print("Static mode: full fabric, no injection")
+    print(f"  seeded packets : {ms['initial_packets']}")
+    print(f"  delivered      : {ms['delivered']} (drained: {ms['delivered'] == ms['initial_packets']})")
+    print(f"  worst delivery : {ms['max_delivery_time']} steps")
+
+
+if __name__ == "__main__":
+    latency_and_wait()
+    utilization_contrast()
+    static_drain()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so editable installs
+work on offline machines whose setuptools lacks the ``wheel`` package
+(``pip install -e . --no-build-isolation --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,98 @@
+"""repro — Routing without Flow Control, reproduced.
+
+A from-scratch Python implementation of the system analysed in
+"Routing without Flow Control: Hot-Potato Routing Simulation Analysis"
+(Bush, RPI), the simulation study of Busch, Herlihy & Wattenhofer's SPAA
+2001 hot-potato routing algorithm:
+
+* :mod:`repro.core` — a ROSS-style optimistic parallel discrete-event
+  kernel (Time Warp, reverse computation, GVT, kernel processes) plus a
+  sequential oracle engine;
+* :mod:`repro.net` — torus/mesh network geometry;
+* :mod:`repro.hotpotato` — the hot-potato routing algorithm itself;
+* :mod:`repro.baselines` — comparison routing algorithms;
+* :mod:`repro.experiments` — runners regenerating every figure in the
+  report's evaluation.
+
+Quickstart::
+
+    from repro import HotPotatoConfig, HotPotatoModel, run_sequential
+
+    cfg = HotPotatoConfig(n=8, duration=100.0, injector_fraction=0.5)
+    result = run_sequential(HotPotatoModel(cfg), cfg.duration)
+    print(result.model_stats["avg_delivery_time"])
+"""
+
+from repro.core import (
+    ConservativeConfig,
+    ConservativeKernel,
+    CostModel,
+    EngineConfig,
+    Event,
+    LogicalProcess,
+    Model,
+    RunResult,
+    RunStats,
+    SequentialEngine,
+    TimeWarpKernel,
+    Tracer,
+    run_conservative,
+    run_optimistic,
+    run_sequential,
+)
+from repro.errors import (
+    ConfigurationError,
+    ModelError,
+    ReproError,
+    RollbackError,
+    SchedulingError,
+    TopologyError,
+)
+from repro.net import Direction, MeshTopology, TorusTopology
+from repro.rng import ReversibleStream, derive_seed
+from repro.version import __version__
+from repro.vt import EventKey
+
+__all__ = [
+    "ConfigurationError",
+    "ConservativeConfig",
+    "ConservativeKernel",
+    "CostModel",
+    "Direction",
+    "EngineConfig",
+    "Event",
+    "EventKey",
+    "HotPotatoConfig",
+    "HotPotatoModel",
+    "LogicalProcess",
+    "MeshTopology",
+    "Model",
+    "ModelError",
+    "ReproError",
+    "ReversibleStream",
+    "RollbackError",
+    "RunResult",
+    "RunStats",
+    "SchedulingError",
+    "SequentialEngine",
+    "TimeWarpKernel",
+    "TopologyError",
+    "TorusTopology",
+    "Tracer",
+    "__version__",
+    "derive_seed",
+    "run_conservative",
+    "run_optimistic",
+    "run_sequential",
+]
+
+
+def __getattr__(name: str):
+    # Lazy: the hot-potato model pulls in the whole model stack; keep
+    # `import repro` light for kernel-only users while still exposing the
+    # headline classes at top level.
+    if name in ("HotPotatoConfig", "HotPotatoModel", "HotPotatoSimulation"):
+        import repro.hotpotato as _hp
+
+        return getattr(_hp, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

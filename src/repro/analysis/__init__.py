@@ -1,0 +1,25 @@
+"""Post-run analysis helpers: linear fits, speed-up arithmetic, and
+
+delivery time-series (warm-up detection, per-step throughput).
+"""
+
+from repro.analysis.asciichart import plot
+from repro.analysis.linfit import LinearFit, fit_linear
+from repro.analysis.replication import Estimate, replicate, summarize
+from repro.analysis.speedup import SpeedupPoint, efficiency, speedup
+from repro.analysis.timeseries import DeliverySeries, build_series, warmup_end
+
+__all__ = [
+    "DeliverySeries",
+    "Estimate",
+    "LinearFit",
+    "SpeedupPoint",
+    "build_series",
+    "efficiency",
+    "fit_linear",
+    "plot",
+    "replicate",
+    "speedup",
+    "summarize",
+    "warmup_end",
+]

@@ -1,0 +1,77 @@
+"""ASCII line charts — regenerate the *figures*, not just their tables.
+
+The report's evaluation is a set of line charts; on a terminal-only
+machine the closest honest artifact is an ASCII rendering.  Minimal
+feature set: multiple named series over a shared numeric x-axis, linear
+y-scaling, per-series glyphs, a legend, and y-axis labels.
+
+>>> print(plot({"a": [(1, 1.0), (2, 4.0), (3, 9.0)]}, height=5))
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["plot"]
+
+#: Per-series glyphs, assigned in insertion order.
+GLYPHS = "*o+x#@%&"
+
+
+def plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render named ``[(x, y), ...]`` series as an ASCII chart.
+
+    Points are mapped onto a ``width`` × ``height`` grid with linear
+    scaling on both axes; later series overwrite earlier ones where they
+    collide.  Returns the chart as a multi-line string.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if height < 2 or width < 8:
+        raise ValueError("chart too small to be readable")
+    points = [(x, y) for pts in series.values() for (x, y) in pts]
+    if not points:
+        raise ValueError("all series are empty")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, pts) in zip(GLYPHS, series.items()):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((y - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    label_hi = f"{y_hi:g}"
+    label_lo = f"{y_lo:g}"
+    pad = max(len(label_hi), len(label_lo))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            label = label_hi.rjust(pad)
+        elif i == height - 1:
+            label = label_lo.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row_cells)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo:g}" + f"{x_hi:g}".rjust(width - len(f"{x_lo:g}"))
+    )
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(GLYPHS, series.keys())
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Linear-fit checks for the O(N) delivery/injection claims.
+
+The algorithm "guarantees an expected O(n) delivery and injection time"
+(§4.1); the report eyeballs linearity from its graphs.  We quantify it:
+least-squares fit plus R², so the test suite can assert that delivery time
+grows linearly (high R² for the linear model) rather than, say,
+quadratically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "fit_linear"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of a least-squares straight-line fit ``y ≈ slope*x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.slope * x + self.intercept
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares fit of a line through ``(xs, ys)``.
+
+    Raises ``ValueError`` for fewer than two points or constant ``xs``.
+    R² is 1.0 for a perfect fit; for constant ``ys`` the fit is exact and
+    R² is defined as 1.0.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} xs vs {y.size} ys")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    if np.ptp(x) == 0.0:
+        raise ValueError("xs are constant; slope undefined")
+    slope, intercept = np.polyfit(x, y, 1)
+    residuals = y - (slope * x + intercept)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(float(slope), float(intercept), r2)

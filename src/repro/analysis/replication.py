@@ -1,0 +1,73 @@
+"""Replication statistics: multi-seed runs with confidence intervals.
+
+The report's figures are single-seed point estimates.  Because every
+engine here is deterministic *given* a seed, proper replication is cheap:
+run R independent seeds and summarise with a Student-t confidence
+interval.  The experiment runners accept ``--replications`` and attach the
+half-width to each cell so a reader can tell signal from seed noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["Estimate", "summarize", "replicate"]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A replicated measurement: mean ± half-width at the given confidence."""
+
+    mean: float
+    half_width: float
+    n: int
+    confidence: float
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def overlaps(self, other: "Estimate") -> bool:
+        """True when the intervals intersect (difference not resolved)."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+def summarize(samples: Sequence[float], confidence: float = 0.95) -> Estimate:
+    """Student-t confidence interval over independent replications.
+
+    With a single sample the half-width is 0 by convention (a point
+    estimate), matching the report's methodology.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    xs = np.asarray(list(samples), dtype=float)
+    if xs.size == 0:
+        raise ValueError("no samples")
+    mean = float(xs.mean())
+    if xs.size == 1:
+        return Estimate(mean, 0.0, 1, confidence)
+    sem = float(xs.std(ddof=1) / np.sqrt(xs.size))
+    t = float(sps.t.ppf(0.5 + confidence / 2.0, df=xs.size - 1))
+    return Estimate(mean, t * sem, int(xs.size), confidence)
+
+
+def replicate(
+    run: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Estimate:
+    """Run ``run(seed)`` for every seed and summarise the results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return summarize([run(seed) for seed in seeds], confidence)

@@ -1,0 +1,45 @@
+"""Speed-up and efficiency arithmetic for Figs 5 and 6.
+
+"Linear speed-up means that a simulator running with four processors is
+four times as fast as a simulator running with one processor ... The
+speed-up of a parallel simulation in relationship to linear speed-up is the
+simulation's efficiency." (§4.2.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedupPoint", "speedup", "efficiency"]
+
+
+def speedup(sequential_rate: float, parallel_rate: float) -> float:
+    """Event-rate ratio parallel/sequential (both in events/second)."""
+    if sequential_rate <= 0:
+        raise ValueError(f"sequential rate must be positive, got {sequential_rate}")
+    return parallel_rate / sequential_rate
+
+
+def efficiency(sequential_rate: float, parallel_rate: float, n_pes: int) -> float:
+    """Speed-up per processor: 1.0 is linear speed-up."""
+    if n_pes < 1:
+        raise ValueError(f"n_pes must be >= 1, got {n_pes}")
+    return speedup(sequential_rate, parallel_rate) / n_pes
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One (network size, PE count) measurement for Figs 5/6."""
+
+    n: int
+    n_pes: int
+    event_rate: float
+    sequential_rate: float
+
+    @property
+    def speedup(self) -> float:
+        return speedup(self.sequential_rate, self.event_rate)
+
+    @property
+    def efficiency(self) -> float:
+        return efficiency(self.sequential_rate, self.event_rate, self.n_pes)

@@ -1,0 +1,85 @@
+"""Time-series helpers for per-step delivery logs.
+
+The report's statistics are whole-run averages, which mix the warm-up
+transient (the initial network fill draining) with steady state.  These
+helpers quantify that: bucket a delivery log by time step, smooth it, and
+estimate where the warm-up ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeliverySeries", "build_series", "warmup_end"]
+
+
+@dataclass(frozen=True)
+class DeliverySeries:
+    """Per-step aggregates of a delivery log."""
+
+    #: Step numbers (dense range, zero-filled where nothing arrived).
+    steps: tuple[int, ...]
+    #: Packets delivered in each step.
+    counts: tuple[int, ...]
+    #: Mean delivery latency of the packets delivered in each step
+    #: (0.0 for empty steps).
+    mean_latency: tuple[float, ...]
+
+    @property
+    def total(self) -> int:
+        return int(sum(self.counts))
+
+    def throughput(self) -> float:
+        """Average packets delivered per step over the whole series."""
+        return self.total / len(self.steps) if self.steps else 0.0
+
+
+def build_series(log: list[tuple[int, int]]) -> DeliverySeries:
+    """Bucket a ``[(delivery_step, latency), ...]`` log by step.
+
+    The log need not be sorted (optimistic runs commit out of step order
+    across KPs).
+    """
+    if not log:
+        return DeliverySeries((), (), ())
+    arr = np.asarray(log, dtype=float)
+    steps = arr[:, 0].astype(int)
+    latencies = arr[:, 1]
+    lo, hi = int(steps.min()), int(steps.max())
+    size = hi - lo + 1
+    counts = np.zeros(size, dtype=int)
+    sums = np.zeros(size, dtype=float)
+    np.add.at(counts, steps - lo, 1)
+    np.add.at(sums, steps - lo, latencies)
+    means = np.divide(sums, counts, out=np.zeros(size), where=counts > 0)
+    return DeliverySeries(
+        steps=tuple(range(lo, hi + 1)),
+        counts=tuple(int(c) for c in counts),
+        mean_latency=tuple(float(m) for m in means),
+    )
+
+
+def warmup_end(
+    series: DeliverySeries, window: int = 5, tolerance: float = 0.25
+) -> int | None:
+    """First step whose ``window``-step rolling throughput is within
+
+    ``tolerance`` (relative) of the steady-state throughput, estimated
+    from the second half of the series.  Returns ``None`` when the series
+    is too short or never settles.
+    """
+    counts = np.asarray(series.counts, dtype=float)
+    if counts.size < 2 * window:
+        return None
+    steady = counts[counts.size // 2 :].mean()
+    if steady <= 0:
+        return None
+    kernel = np.ones(window) / window
+    rolling = np.convolve(counts, kernel, mode="valid")
+    within = np.abs(rolling - steady) <= tolerance * steady
+    idx = np.argmax(within)
+    if not within[idx]:
+        return None
+    return series.steps[idx]

@@ -1,0 +1,120 @@
+"""Baseline deflection-routing policies.
+
+The related-work comparison the report cites (Bartzis et al. [5]) evaluates
+several hot-potato variants on 2-D tori.  These plug-compatible policies
+run on the same :class:`~repro.hotpotato.router.RouterLP`:
+
+* :class:`GreedyPolicy` — the memoryless greedy deflection router: take any
+  free good link, else deflect.  No priorities, no state machine.  This is
+  the natural strawman the four-state algorithm improves on (its worst-case
+  delivery time is unbounded under adversarial contention).
+* :class:`DimensionOrderPolicy` — every packet always follows its one-bend
+  row-first path (the home-run path, but without the priority escort that
+  protects it), deflecting when blocked.
+* :class:`RandomDeflectionPolicy` — uniformly random choice among free good
+  links, uniformly random deflection otherwise; randomisation breaks the
+  livelock patterns deterministic tie-breaking can sustain.
+
+All of them keep packets in the ``ACTIVE`` state so the router's
+priority-staggered ROUTE scheduling degenerates to a single class, as in
+a plain hot-potato network.
+"""
+
+from __future__ import annotations
+
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.packet import Priority
+from repro.hotpotato.policy import (
+    RouteOutcome,
+    RoutingPolicy,
+    first_free,
+    first_free_good,
+)
+from repro.net import DIRECTIONS, Direction, GridTopology
+from repro.rng.streams import ReversibleStream
+
+__all__ = ["GreedyPolicy", "DimensionOrderPolicy", "RandomDeflectionPolicy"]
+
+
+class GreedyPolicy(RoutingPolicy):
+    """Memoryless greedy deflection: good link if free, else any link."""
+
+    name = "greedy"
+
+    def route(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        rng: ReversibleStream,
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        d = first_free_good(topo, node, dest, free)
+        if d is not None:
+            return RouteOutcome(d, Priority.ACTIVE, False)
+        d = first_free(free)
+        assert d is not None, "bufferless invariant violated"
+        return RouteOutcome(d, Priority.ACTIVE, True)
+
+
+class DimensionOrderPolicy(RoutingPolicy):
+    """Always request the one-bend row-first hop; deflect when blocked."""
+
+    name = "dimension-order"
+
+    def route(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        rng: ReversibleStream,
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        want = topo.homerun_dir(node, dest)
+        assert want is not None, "packet routed at its own destination"
+        if free[want]:
+            return RouteOutcome(want, Priority.ACTIVE, False)
+        # Blocked off the preferred hop: any other good link still counts
+        # as progress; otherwise deflect.
+        d = first_free_good(topo, node, dest, free)
+        if d is not None:
+            return RouteOutcome(d, Priority.ACTIVE, False)
+        d = first_free(free)
+        assert d is not None, "bufferless invariant violated"
+        return RouteOutcome(d, Priority.ACTIVE, True)
+
+
+class RandomDeflectionPolicy(RoutingPolicy):
+    """Uniformly random choice among candidates (good first, then any)."""
+
+    name = "random-deflection"
+
+    @staticmethod
+    def _pick(
+        candidates: tuple[Direction, ...], rng: ReversibleStream
+    ) -> Direction:
+        if len(candidates) == 1:
+            # No draw for a forced choice keeps the RNG stream lean.
+            return candidates[0]
+        return candidates[rng.integer(0, len(candidates) - 1)]
+
+    def route(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        rng: ReversibleStream,
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        good = tuple(d for d in topo.good_dirs(node, dest) if free[d])
+        if good:
+            return RouteOutcome(self._pick(good, rng), Priority.ACTIVE, False)
+        anyfree = tuple(d for d in DIRECTIONS if free[d])
+        assert anyfree, "bufferless invariant violated"
+        return RouteOutcome(self._pick(anyfree, rng), Priority.ACTIVE, True)

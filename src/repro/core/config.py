@@ -1,0 +1,113 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.costmodel import CostModel
+from repro.errors import ConfigurationError
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration for an optimistic (Time Warp) run.
+
+    Parameters mirror the knobs the report varies: number of PEs (Figs 5/6),
+    number of KPs (Figs 7/8), mapping strategy (§3.2.3) and the rollback
+    strategy (ROSS's reverse computation vs GTW-style state saving).
+
+    Attributes
+    ----------
+    end_time:
+        Virtual-time barrier; only events strictly below it execute (the
+        report's ``SIMULATION_DURATION``).
+    n_pes, n_kps:
+        Processing elements and kernel processes.  ``n_kps`` must be a
+        multiple of ``n_pes``; the report uses 64 KPs by default.
+    batch_size:
+        Events a PE executes per scheduling round before yielding — the
+        optimism budget.  Larger batches mean PEs run further ahead of each
+        other, producing more stragglers and rollbacks.
+    window:
+        Optional *virtual-time* optimism window: when set, each PE also
+        stops its round at ``GVT + window``, so per-round optimism scales
+        with the model's event density instead of being a fixed event
+        count.  This matches ROSS's behaviour, where each PE drains what
+        it has between GVT epochs; use it (with a generous batch_size cap)
+        for the speed-up and KP experiments.
+    gvt_interval:
+        Scheduling rounds between GVT computations / fossil collections.
+    mapping:
+        ``"block"``, ``"striped"`` or ``"random"`` (see
+        :mod:`repro.core.mapping`).
+    rollback:
+        ``"reverse"`` (reverse computation) or ``"copy"`` (state saving).
+    transport:
+        ``"immediate"`` (shared-memory pointer handoff, the ROSS model) or
+        ``"mailbox"`` (cross-PE delivery deferred to round boundaries).
+    gvt:
+        ``"synchronous"`` (Fujimoto-style barrier reduction) or
+        ``"mattern"`` (token-ring algorithm over the mailbox transport).
+    cancellation:
+        ``"aggressive"`` — a rollback immediately cancels every message the
+        undone events sent (classic Time Warp).  ``"lazy"`` — undone events
+        keep their messages; when the event re-executes, regenerated
+        messages identical to the originals are *reused* in place, sparing
+        the receivers any cancellation or secondary rollback.  Results are
+        identical either way (reuse only happens on exact matches); lazy
+        wins when rollbacks rarely change what events send.
+    adaptive:
+        Enable the optimism throttle (:mod:`repro.core.throttle`):
+        ``batch_size``/``window`` become ceilings that the executive scales
+        down when the measured rollback fraction spikes and restores when
+        it subsides.  Deterministic, like everything else.
+    queue:
+        Pending-event structure per PE: ``"heap"`` (binary heap) or
+        ``"splay"`` (ROSS's splay tree).  Identical ordering and results;
+        a pure performance choice.
+    seed:
+        Global seed from which every LP RNG stream is derived.
+    cost:
+        The virtual wall-clock :class:`~repro.core.costmodel.CostModel`.
+    """
+
+    end_time: float
+    n_pes: int = 1
+    n_kps: int = 1
+    batch_size: int = 16
+    window: float | None = None
+    gvt_interval: int = 1
+    mapping: str = "block"
+    rollback: str = "reverse"
+    transport: str = "immediate"
+    gvt: str = "synchronous"
+    cancellation: str = "aggressive"
+    adaptive: bool = False
+    queue: str = "heap"
+    seed: int = 0x5EED
+    cost: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.end_time <= 0:
+            raise ConfigurationError(f"end_time must be positive, got {self.end_time}")
+        if self.n_pes < 1:
+            raise ConfigurationError(f"n_pes must be >= 1, got {self.n_pes}")
+        if self.n_kps < self.n_pes:
+            raise ConfigurationError(
+                f"need at least one KP per PE (n_kps={self.n_kps}, n_pes={self.n_pes})"
+            )
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.window is not None and self.window <= 0:
+            raise ConfigurationError(f"window must be positive, got {self.window}")
+        if self.cancellation not in ("aggressive", "lazy"):
+            raise ConfigurationError(
+                f"cancellation must be 'aggressive' or 'lazy', "
+                f"got {self.cancellation!r}"
+            )
+        if self.gvt_interval < 1:
+            raise ConfigurationError(
+                f"gvt_interval must be >= 1, got {self.gvt_interval}"
+            )

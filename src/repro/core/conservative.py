@@ -1,0 +1,361 @@
+"""Conservative parallel simulation — the other half of PDES.
+
+Time Warp lets PEs race ahead and repairs mistakes; *conservative*
+synchronization never makes them: a PE only executes an event once no
+earlier message can possibly arrive.  The price is **lookahead** — a model
+guarantee that an event at time ``t`` never schedules anything before
+``t + L`` — and synchronization traffic.  Both classic flavours are
+implemented, sharing the same model API as the other engines:
+
+* **YAWNS** (``sync="yawns"``): barrier rounds.  All PEs agree on the
+  lower bound on time stamp LBTS = min(next unprocessed event) + L and
+  execute everything below it.  This is what ROSS's conservative mode
+  does.
+* **Null messages** (``sync="null"``, Chandy–Misra–Bryant): no global
+  barrier.  Every directed PE pair is a FIFO channel carrying a clock
+  guarantee; a blocked PE unblocks its peers by sending *null messages*
+  promising "nothing from me before ``t``".  The famous overhead — null
+  message count and ratio — is measured and reported.
+
+Because execution is conservative, nothing ever rolls back, so the model's
+``reverse`` handlers are never called (models without reverse handlers can
+run conservatively).  Committed results are — of course — identical to the
+sequential oracle's; the test suite checks that against both flavours.
+
+Lookahead is declared by the model (``Model.lookahead``) or passed
+explicitly, and *enforced*: a send that violates it raises
+:class:`~repro.errors.SchedulingError`, because a lookahead lie silently
+corrupts a conservative simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.costmodel import CostModel
+from repro.core.lp import LogicalProcess, Model
+from repro.core.mapping import build_mapping
+from repro.core.queue import make_pending_queue
+from repro.core.result import RunResult
+from repro.core.stats import RunStats
+from repro.errors import ConfigurationError, SchedulingError
+from repro.rng.streams import ReversibleStream, derive_seed
+from repro.vt.time import TIME_HORIZON
+
+__all__ = ["ConservativeConfig", "ConservativeKernel", "run_conservative"]
+
+
+@dataclass(frozen=True)
+class ConservativeConfig:
+    """Configuration for a conservative run.
+
+    Attributes
+    ----------
+    end_time:
+        Virtual-time barrier (exclusive), as in the other engines.
+    n_pes:
+        Simulated processors.
+    lookahead:
+        Minimum send offset the model guarantees; ``None`` reads
+        ``model.lookahead``.
+    sync:
+        ``"yawns"`` (barrier LBTS windows) or ``"null"`` (CMB null
+        messages).
+    mapping:
+        LP→PE mapping strategy (``"block"``/``"striped"``/``"random"``).
+    null_ratio_limit:
+        Safety valve for the null-message flavour: abort if null messages
+        exceed this multiple of real events (a symptom of vanishing
+        lookahead).
+    """
+
+    end_time: float
+    n_pes: int = 4
+    lookahead: float | None = None
+    sync: str = "yawns"
+    mapping: str = "block"
+    queue: str = "heap"
+    seed: int = 0x5EED
+    null_ratio_limit: float = 100.0
+    cost: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.end_time <= 0:
+            raise ConfigurationError(f"end_time must be positive, got {self.end_time}")
+        if self.n_pes < 1:
+            raise ConfigurationError(f"n_pes must be >= 1, got {self.n_pes}")
+        if self.lookahead is not None and self.lookahead <= 0:
+            raise ConfigurationError(
+                f"lookahead must be positive, got {self.lookahead}"
+            )
+        if self.sync not in ("yawns", "null"):
+            raise ConfigurationError(
+                f"sync must be 'yawns' or 'null', got {self.sync!r}"
+            )
+
+
+class _ConsPE:
+    """Conservative processing element: a pending queue plus channel clocks."""
+
+    __slots__ = ("id", "pending", "in_clock", "out_clock", "processed", "lp_count", "busy")
+
+    def __init__(self, pe_id: int, n_pes: int, queue: str) -> None:
+        self.id = pe_id
+        self.pending = make_pending_queue(queue)
+        #: Guarantee received from each peer: no message below this ts.
+        self.in_clock = [0.0] * n_pes
+        #: Guarantee last sent to each peer (to avoid redundant nulls).
+        self.out_clock = [0.0] * n_pes
+        self.processed = 0
+        self.lp_count = 0
+        self.busy = 0.0
+
+    def next_ts(self) -> float:
+        key = self.pending.peek_key()
+        return key.ts if key is not None else TIME_HORIZON
+
+    def safe_horizon(self, n_pes: int) -> float:
+        """Earliest time an unseen message could still arrive (CMB)."""
+        if n_pes == 1:
+            return TIME_HORIZON
+        return min(
+            clock for pe, clock in enumerate(self.in_clock) if pe != self.id
+        )
+
+
+class ConservativeKernel:
+    """Conservative engine over the shared model API."""
+
+    def __init__(self, model: Model, config: ConservativeConfig) -> None:
+        self.model = model
+        self.cfg = config
+        self.cost = config.cost
+        lookahead = (
+            config.lookahead
+            if config.lookahead is not None
+            else getattr(model, "lookahead", None)
+        )
+        if lookahead is None or lookahead <= 0:
+            raise ConfigurationError(
+                "conservative execution needs positive lookahead: pass "
+                "ConservativeConfig(lookahead=...) or define model.lookahead"
+            )
+        self.lookahead = float(lookahead)
+
+        self.lps: list[LogicalProcess] = model.build()
+        if not self.lps:
+            raise ConfigurationError("model.build() returned no LPs")
+        for i, lp in enumerate(self.lps):
+            if lp.id != i:
+                raise ConfigurationError(
+                    f"LP ids must be dense 0..n-1; position {i} has id {lp.id}"
+                )
+        n_lps = len(self.lps)
+        mapping = build_mapping(
+            n_lps,
+            config.n_pes,
+            config.n_pes,
+            config.mapping,
+            grid=getattr(model, "grid", None),
+            seed=config.seed,
+        )
+        self.pes = [
+            _ConsPE(p, config.n_pes, config.queue) for p in range(config.n_pes)
+        ]
+        self.pe_of_lp = [mapping.lp_to_pe(lp.id) for lp in self.lps]
+        for lp in self.lps:
+            self.pes[self.pe_of_lp[lp.id]].lp_count += 1
+            lp.bind(
+                ReversibleStream(derive_seed(config.seed, lp.id), lp.id),
+                self._emit,
+            )
+        # Counters.
+        self.null_messages = 0
+        self.real_messages = 0
+        self.local_sends = 0
+        self.rounds = 0
+        self.makespan_units = 0.0
+        self._bootstrapping = True
+        # Hard cap on scheduler rounds: clock creep advances at least one
+        # lookahead per full round, so this bound is generous.
+        self._round_cap = int(config.end_time / self.lookahead) * 4 + 1000
+        self._event_costs = [
+            self.cost.event_cost(n_lps)
+            * self.cost.bus_factor(config.n_pes, n_lps)
+            for _ in self.pes
+        ]
+
+    # ------------------------------------------------------------------
+    def _emit(self, src_lp: LogicalProcess, ev) -> None:
+        src_pe = self.pe_of_lp[src_lp.id]
+        dst_pe = self.pe_of_lp[ev.dst]
+        if not self._bootstrapping and src_pe != dst_pe:
+            # Lookahead applies to the messages channels carry — cross-PE
+            # sends.  Local work (e.g. a server's own completion events)
+            # may be arbitrarily close in time; the PE's own queue orders
+            # it.  Small epsilon for float noise.
+            if ev.key.ts < src_lp._now + self.lookahead - 1e-12:
+                raise SchedulingError(
+                    f"LP {src_lp.id} violated its lookahead: sent ts="
+                    f"{ev.key.ts} to another PE from now={src_lp._now} "
+                    f"with lookahead {self.lookahead}"
+                )
+        pe = self.pes[src_pe]
+        if src_pe == dst_pe:
+            self.local_sends += 1
+            pe.busy += self.cost.local_send
+        else:
+            self.real_messages += 1
+            pe.busy += self.cost.remote_send
+            # Note: unlike textbook CMB (whose per-link channels carry
+            # monotone timestamps), a general model's successive sends on a
+            # PE-pair channel are NOT nondecreasing — an event at t1 may
+            # send t1+5 and a later event at t2>t1 may send t2+L < t1+5.
+            # So a real message's timestamp is *not* a guarantee and must
+            # not advance the receiver's channel clock; only explicit
+            # clock+lookahead guarantees (null messages) may.
+        self.pes[dst_pe].pending.push(ev)
+
+    # ------------------------------------------------------------------
+    def _bootstrap(self) -> None:
+        for lp in self.lps:
+            lp._now = -1.0
+            lp.on_init()
+        self._bootstrapping = False
+
+    def _execute_below(self, pe: _ConsPE, horizon: float) -> int:
+        """Run every pending event strictly below ``horizon``."""
+        done = 0
+        cost = self._event_costs[pe.id]
+        pending = pe.pending
+        lps = self.lps
+        while True:
+            ev = pending.peek()
+            if ev is None or ev.key.ts >= horizon:
+                break
+            pending.pop()
+            lp = lps[ev.dst]
+            lp._now = ev.key.ts
+            lp.forward(ev)
+            lp.commit(ev)
+            done += 1
+            pe.busy += cost
+        pe.processed += done
+        return done
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the model to the end barrier and collect statistics."""
+        self._bootstrap()
+        if self.cfg.sync == "yawns":
+            self._run_yawns()
+        else:
+            self._run_null_messages()
+        return self._build_result()
+
+    def _run_yawns(self) -> None:
+        end = self.cfg.end_time
+        pes = self.pes
+        overhead = self.cost.gvt_per_pe  # one barrier reduction per round
+        while True:
+            lbts = min(pe.next_ts() for pe in pes) + self.lookahead
+            horizon = min(lbts, end)
+            if min(pe.next_ts() for pe in pes) >= end:
+                break
+            round_busy = 0.0
+            for pe in pes:
+                pe.busy, before = 0.0, pe.busy
+                self._execute_below(pe, horizon)
+                round_cost = pe.busy
+                pe.busy += before
+                round_busy = max(round_busy, round_cost)
+            self.rounds += 1
+            self.makespan_units += round_busy + overhead
+
+    def _run_null_messages(self) -> None:
+        end = self.cfg.end_time
+        pes = self.pes
+        n_pes = self.cfg.n_pes
+        limit = self.cfg.null_ratio_limit
+        while True:
+            progressed = False
+            round_busy = 0.0
+            for pe in pes:
+                pe.busy, before = 0.0, pe.busy
+                horizon = min(pe.safe_horizon(n_pes), end)
+                if self._execute_below(pe, horizon):
+                    progressed = True
+                # Promise the future to every peer: nothing before
+                # (my next event or my safe horizon, whichever is sooner)
+                # plus lookahead.
+                guarantee = min(pe.next_ts(), pe.safe_horizon(n_pes)) + self.lookahead
+                for other in pes:
+                    if other.id == pe.id:
+                        continue
+                    if guarantee > pe.out_clock[other.id]:
+                        pe.out_clock[other.id] = guarantee
+                        if guarantee > other.in_clock[pe.id]:
+                            other.in_clock[pe.id] = guarantee
+                        self.null_messages += 1
+                        pe.busy += self.cost.remote_send
+                round_busy = max(round_busy, pe.busy)
+                pe.busy += before
+            # No global barrier in CMB, but blocked PEs wait on the slowest
+            # peer they depend on; with all-pairs channels that is the max.
+            self.makespan_units += round_busy + self.cost.sched_per_round
+            self.rounds += 1
+            if all(pe.next_ts() >= end for pe in pes):
+                break
+            processed = sum(pe.processed for pe in pes)
+            if processed and self.null_messages > limit * processed:
+                raise ConfigurationError(
+                    "null-message explosion: lookahead too small for this "
+                    f"model (ratio limit {limit} exceeded)"
+                )
+            if not progressed and self.rounds > self._round_cap:
+                raise ConfigurationError(
+                    "conservative deadlock/creep guard tripped: no progress "
+                    f"after {self.rounds} rounds (lookahead {self.lookahead})"
+                )
+
+    # ------------------------------------------------------------------
+    def _build_result(self) -> RunResult:
+        stats = RunStats(engine="conservative")
+        stats.n_pes = self.cfg.n_pes
+        stats.n_kps = self.cfg.n_pes
+        stats.processed = sum(pe.processed for pe in self.pes)
+        stats.committed = stats.processed  # nothing ever rolls back
+        stats.local_sends = self.local_sends
+        stats.remote_sends = self.real_messages + self.null_messages
+        stats.gvt_rounds = self.rounds
+        stats.makespan_seconds = self.cost.seconds(self.makespan_units)
+        stats.total_busy_seconds = self.cost.seconds(
+            sum(pe.busy for pe in self.pes)
+        )
+        stats.per_pe_busy_seconds = [
+            self.cost.seconds(pe.busy) for pe in self.pes
+        ]
+        stats.event_rate = (
+            stats.committed / stats.makespan_seconds
+            if stats.makespan_seconds
+            else 0.0
+        )
+        result = RunResult(
+            model_stats=self.model.collect_stats(self.lps),
+            run=stats,
+            lps=self.lps,
+        )
+        # Conservative-specific extras travel in model-agnostic fields:
+        result.model_stats = dict(result.model_stats)
+        return result
+
+    @property
+    def null_ratio(self) -> float:
+        """Null messages per committed event (the CMB overhead metric)."""
+        processed = sum(pe.processed for pe in self.pes)
+        return self.null_messages / processed if processed else 0.0
+
+
+def run_conservative(model: Model, config: ConservativeConfig) -> RunResult:
+    """Convenience wrapper: build a conservative kernel and run it."""
+    return ConservativeKernel(model, config).run()

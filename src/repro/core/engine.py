@@ -1,0 +1,131 @@
+"""The sequential discrete-event engine — the correctness oracle.
+
+"It is important to validate the results of the parallel simulation with
+the results of the sequential simulation.  Consequently, the only way for
+the results of the parallel simulation to match the sequential model is for
+the parallel model to be deterministic." (§4.2.1)
+
+This engine shares the model API (:class:`~repro.core.lp.LogicalProcess`,
+:class:`~repro.core.lp.Model`) but none of the Time Warp machinery: one
+heap, events executed strictly in key order, no rollback paths at all.
+Its committed results define what every optimistic configuration must
+reproduce bit-for-bit.
+
+Cost accounting mirrors Fig 5's "1 Processor" line: events are charged the
+cost-model's per-event cost (with the full LP population's cache factor)
+plus local send costs — no GVT, fossil or rollback overhead, because a
+sequential simulator has none.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess, Model
+from repro.core.queue import PendingQueue
+from repro.core.result import RunResult
+from repro.core.stats import RunStats
+from repro.errors import ConfigurationError
+from repro.rng.streams import ReversibleStream, derive_seed
+
+__all__ = ["SequentialEngine", "run_sequential"]
+
+
+class SequentialEngine:
+    """Classic single-heap discrete-event simulator."""
+
+    def __init__(
+        self,
+        model: Model,
+        end_time: float,
+        *,
+        seed: int = 0x5EED,
+        cost: CostModel | None = None,
+    ) -> None:
+        if end_time <= 0:
+            raise ConfigurationError(f"end_time must be positive, got {end_time}")
+        self.model = model
+        self.end_time = end_time
+        self.seed = seed
+        self.cost = cost if cost is not None else CostModel()
+
+        self.lps: list[LogicalProcess] = model.build()
+        if not self.lps:
+            raise ConfigurationError("model.build() returned no LPs")
+        for i, lp in enumerate(self.lps):
+            if lp.id != i:
+                raise ConfigurationError(
+                    f"LP ids must be dense 0..n-1 in build() order; "
+                    f"position {i} has id {lp.id}"
+                )
+        self.pending = PendingQueue()
+        self.sends = 0
+        #: Optional event tracer (see repro.core.trace); in a sequential
+        #: run every executed event commits immediately.
+        self.tracer = None
+        for lp in self.lps:
+            lp.bind(
+                ReversibleStream(derive_seed(seed, lp.id), lp.id),
+                self._emit,
+            )
+
+    def attach_tracer(self, tracer) -> "SequentialEngine":
+        """Attach a :class:`repro.core.trace.Tracer`; returns self."""
+        self.tracer = tracer
+        return self
+
+    def _emit(self, src_lp: LogicalProcess, ev: Event) -> None:
+        self.sends += 1
+        self.pending.push(ev)
+
+    def run(self) -> RunResult:
+        """Execute to the end barrier and collect statistics."""
+        for lp in self.lps:
+            lp._now = -1.0
+            lp.on_init()
+
+        lps = self.lps
+        pending = self.pending
+        end = self.end_time
+        processed = 0
+        while pending:
+            ev = pending.peek()
+            if ev is None or ev.key.ts >= end:
+                break
+            pending.pop()
+            lp = lps[ev.dst]
+            lp._now = ev.key.ts
+            lp.forward(ev)
+            lp.commit(ev)
+            processed += 1
+            if self.tracer is not None:
+                self.tracer.on_exec(ev)
+                self.tracer.on_commit(ev)
+
+        stats = RunStats(engine="sequential", n_pes=1, n_kps=1)
+        stats.processed = processed
+        stats.committed = processed
+        stats.local_sends = self.sends
+        n_lps = len(lps)
+        busy_units = processed * self.cost.event_cost(n_lps) + (
+            self.sends * self.cost.local_send
+        )
+        stats.makespan_seconds = self.cost.seconds(busy_units)
+        stats.total_busy_seconds = stats.makespan_seconds
+        stats.per_pe_busy_seconds = [stats.makespan_seconds]
+        stats.event_rate = (
+            stats.committed / stats.makespan_seconds if stats.makespan_seconds else 0.0
+        )
+        model_stats = self.model.collect_stats(lps)
+        return RunResult(model_stats=model_stats, run=stats, lps=lps)
+
+
+def run_sequential(
+    model: Model,
+    end_time: float,
+    *,
+    seed: int = 0x5EED,
+    cost: CostModel | None = None,
+) -> RunResult:
+    """Convenience wrapper: build a sequential engine and run it."""
+    return SequentialEngine(model, end_time, seed=seed, cost=cost).run()

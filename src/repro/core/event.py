@@ -1,0 +1,108 @@
+"""Events — the messages that drive the simulation.
+
+"The LPs communicate with each other within the simulation via messages.
+Each message represents an event in the system." (§3.1.2).  On ROSS's
+shared-memory architecture, sending a message "merely involves assigning
+ownership of the message's memory location from the source LP to the
+destination LP"; our in-process kernel does the same thing with object
+references, so anti-messages are realised by *direct cancellation*: the
+sender keeps a reference to every event it created and, on rollback, flips
+the event's ``cancelled`` flag (if unprocessed) or triggers a secondary
+rollback (if processed).
+
+An event carries:
+
+* its total-order key ``(recv_ts, origin_lp, origin_seq)``,
+* model payload (``kind`` tag + ``data`` mapping — the ROSS message struct),
+* a ``saved`` mapping where the forward handler stashes whatever its reverse
+  handler needs (ROSS models write ``M->Saved_*`` fields the same way), and
+* kernel journaling used by rollback: the events it sent, the RNG draws it
+  made, and the sender sequence number to restore.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.vt.time import EventKey
+
+__all__ = ["Event"]
+
+
+class Event:
+    """A scheduled (or processed) simulation event.
+
+    Model code treats events as read-only inputs except for the ``saved``
+    dict.  Kernel code owns the bookkeeping fields.
+    """
+
+    __slots__ = (
+        "key",
+        "dst",
+        "kind",
+        "data",
+        "saved",
+        "sent",
+        "lazy_sent",
+        "rng_draws",
+        "prev_send_seq",
+        "snapshot",
+        "processed",
+        "cancelled",
+        "in_pending",
+        "color",
+    )
+
+    def __init__(
+        self,
+        key: EventKey,
+        dst: int,
+        kind: str,
+        data: dict[str, Any] | None = None,
+    ) -> None:
+        self.key = key
+        self.dst = dst
+        self.kind = kind
+        self.data: dict[str, Any] = data if data is not None else {}
+        #: Forward handlers stash reverse-computation state here.
+        self.saved: dict[str, Any] = {}
+        #: Events created while processing this one (for cancellation).
+        self.sent: list[Event] = []
+        #: Under lazy cancellation: children from a rolled-back execution,
+        #: kept alive for potential reuse when this event re-executes.
+        self.lazy_sent: list[Event] | None = None
+        #: RNG draws the destination LP made while processing this event.
+        self.rng_draws: int = 0
+        #: Destination LP's send-sequence counter before processing.
+        self.prev_send_seq: int = 0
+        #: Optional LP-state snapshot (state-saving rollback strategy).
+        self.snapshot: Any = None
+        self.processed: bool = False
+        self.cancelled: bool = False
+        #: True while the event sits in a PE's pending queue; lets the
+        #: kernel keep the queue's live count exact on cancellation.
+        self.in_pending: bool = False
+        #: GVT epoch stamp (Mattern-style coloring; see repro.core.gvt).
+        self.color: int = 0
+
+    # Convenience accessors -------------------------------------------------
+    @property
+    def ts(self) -> float:
+        """Receive timestamp in virtual time."""
+        return self.key.ts
+
+    @property
+    def origin(self) -> int:
+        """Id of the LP that created this event."""
+        return self.key.origin
+
+    def reset_journal(self) -> None:
+        """Clear kernel journaling before (re-)execution."""
+        self.sent.clear()
+        self.rng_draws = 0
+        self.snapshot = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "P" if self.processed else "-"
+        flags += "C" if self.cancelled else "-"
+        return f"Event({self.kind} {self.key} ->lp{self.dst} [{flags}])"

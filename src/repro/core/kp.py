@@ -1,0 +1,108 @@
+"""Kernel processes: rollback containment groups.
+
+"ROSS uses KPs which are groupings of LPs within a PE ... One purpose of a
+KP is to contain rollbacks to a smaller sub-set of LPs within a PE.  This
+is an improvement over rolling back all of the LPs simulated on a given PE.
+Rolling back an LP that was unaffected by the past message is called a
+false rollback." (§3.2.3 / §4.2.3)
+
+Each KP keeps the processed-event list for *all* its LPs in execution
+order.  A straggler or anti-message targeting any LP in the KP rolls the
+whole KP back — events for sibling LPs included; those are counted as
+*false rollback events*, the quantity that shrinks as the KP count grows
+(Figs 7a–c).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.event import Event
+from repro.core.stats import KPStats
+from repro.vt.time import EventKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.optimistic import TimeWarpKernel
+
+__all__ = ["KernelProcess"]
+
+
+class KernelProcess:
+    """One rollback-containment group of LPs on a PE."""
+
+    __slots__ = ("id", "pe_id", "lp_ids", "processed", "stats")
+
+    def __init__(self, kp_id: int, pe_id: int) -> None:
+        self.id = kp_id
+        self.pe_id = pe_id
+        self.lp_ids: list[int] = []
+        #: Processed events in execution order.  Invariant: sorted by key —
+        #: the PE executes in key order between rollbacks, and a rollback
+        #: removes a suffix, so re-execution resumes above the remaining tail.
+        self.processed: list[Event] = []
+        self.stats = KPStats()
+
+    @property
+    def last_key(self) -> EventKey | None:
+        """Key of the most recent processed event, or None if pristine."""
+        return self.processed[-1].key if self.processed else None
+
+    def append_processed(self, event: Event) -> None:
+        """Record a forward execution (called by the PE)."""
+        self.processed.append(event)
+
+    def needs_rollback(self, key: EventKey) -> bool:
+        """True when an arriving event with ``key`` is a straggler here."""
+        return bool(self.processed) and self.processed[-1].key > key
+
+    def rollback_until(self, bound: EventKey, kernel: "TimeWarpKernel", trigger_lp: int) -> int:
+        """Undo every processed event with key >= ``bound``.
+
+        Undone events go back to the pending queue for re-execution (the
+        one being annihilated by an anti-message is flagged cancelled by
+        the caller afterwards).  Returns the number of events undone.
+        """
+        undone = 0
+        processed = self.processed
+        while processed and processed[-1].key >= bound:
+            ev = processed.pop()
+            kernel.undo_event(ev)
+            if ev.dst != trigger_lp:
+                self.stats.false_rollback_events += 1
+            undone += 1
+        if undone:
+            self.stats.rollbacks += 1
+            self.stats.events_rolled_back += undone
+        return undone
+
+    def fossil_collect(self, gvt_ts: float, kernel: "TimeWarpKernel") -> int:
+        """Commit and drop all processed events with ts < ``gvt_ts``.
+
+        Events below GVT can never be rolled back; their journals are
+        released and the model's ``commit`` hook fires exactly once per
+        event, in execution order.
+        """
+        processed = self.processed
+        # The list is key-sorted; find the first entry at or above GVT.
+        lo, hi = 0, len(processed)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if processed[mid].key.ts < gvt_ts:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return 0
+        lps = kernel.lps
+        tracer = kernel.tracer
+        for ev in processed[:lo]:
+            lps[ev.dst].commit(ev)
+            if tracer is not None:
+                tracer.on_commit(ev)
+            ev.sent.clear()
+            ev.snapshot = None
+        del processed[:lo]
+        return lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelProcess(id={self.id}, pe={self.pe_id}, lps={len(self.lp_ids)})"

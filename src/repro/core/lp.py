@@ -1,0 +1,163 @@
+"""Logical processes — the simulated components.
+
+"The primary component in a ROSS simulation application is the Logical
+Process (LP).  A simulation is comprised of a collection of LPs, each
+simulating a separate component of the system." (§3.1.1)
+
+A model subclasses :class:`LogicalProcess` and implements:
+
+``on_init``
+    Schedule the bootstrap events (ROSS models do this in their startup
+    function).  Called once before the run; bootstrap sends are never
+    rolled back.
+``forward(event)``
+    The event handler — the analog of ``Router_EventHandler`` switching on
+    the event kind.  It mutates ``self.state``, may call :meth:`send`, may
+    draw from ``self.rng``, and stashes whatever its reverse needs in
+    ``event.saved``.
+``reverse(event)``
+    The reverse-computation handler: restore ``self.state`` from
+    ``event.saved``.  The kernel automatically un-sends the handler's
+    messages, reverses its RNG draws, and restores the send-sequence
+    counter — models only undo their *own* state writes (an improvement
+    over ROSS, where forgetting a ``tw_rand_reverse_unif`` corrupts runs).
+``commit(event)`` (optional)
+    Called when the event falls below GVT and can never roll back.
+``snapshot_state`` / ``restore_state`` (optional)
+    Override for a cheap copy when running under the state-saving rollback
+    strategy; the default deep-copies ``self.state``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Any
+
+from repro.core.event import Event
+from repro.errors import SchedulingError
+from repro.vt.time import EventKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.rng.streams import ReversibleStream
+
+__all__ = ["LogicalProcess", "Model"]
+
+
+class LogicalProcess:
+    """Base class for all simulated components.
+
+    The kernel (sequential or optimistic) *binds* the LP before the run,
+    giving it its RNG stream and a send callback.  Model code must go
+    through :meth:`send` so the kernel can journal the event for
+    cancellation on rollback.
+    """
+
+    __slots__ = ("id", "rng", "send_seq", "state", "kp", "_emit", "_now")
+
+    def __init__(self, lp_id: int) -> None:
+        self.id = lp_id
+        self.rng: "ReversibleStream" = None  # type: ignore[assignment]
+        #: Monotone send counter; part of rolled-back state.
+        self.send_seq = 0
+        #: Model state (models may also use plain attributes, but only
+        #: ``state`` participates in default snapshots).
+        self.state: Any = None
+        #: Kernel process this LP belongs to (optimistic engine only).
+        self.kp: Any = None
+        # Kernel wiring (set by bind): emit callback and current-time getter.
+        self._emit: Any = None
+        self._now: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Kernel-facing wiring.
+    # ------------------------------------------------------------------
+    def bind(self, rng: "ReversibleStream", emit: Any) -> None:
+        """Attach the RNG stream and the kernel's send callback."""
+        self.rng = rng
+        self._emit = emit
+
+    # ------------------------------------------------------------------
+    # Model-facing API.
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Receive timestamp of the event currently being processed."""
+        return self._now
+
+    def send(
+        self,
+        ts: float,
+        dst: int,
+        kind: str,
+        data: dict[str, Any] | None = None,
+    ) -> Event:
+        """Schedule an event for LP ``dst`` at virtual time ``ts``.
+
+        During event processing ``ts`` must be strictly greater than
+        :attr:`now`; zero-delay sends would break the total event order
+        that makes parallel runs repeatable, so they are rejected at send
+        time (a :class:`~repro.errors.SchedulingError` no rollback could
+        repair).
+        """
+        if ts <= self._now:
+            raise SchedulingError(
+                f"LP {self.id} tried to send {kind!r} at ts={ts} while "
+                f"processing ts={self._now}; sends must move strictly forward"
+            )
+        ev = Event(EventKey(ts, self.id, self.send_seq), dst, kind, data)
+        self.send_seq += 1
+        self._emit(self, ev)
+        return ev
+
+    # ------------------------------------------------------------------
+    # Model interface (override in subclasses).
+    # ------------------------------------------------------------------
+    def on_init(self) -> None:
+        """Schedule bootstrap events.  Default: none."""
+
+    def forward(self, event: Event) -> None:
+        """Process an event (required)."""
+        raise NotImplementedError
+
+    def reverse(self, event: Event) -> None:
+        """Undo a processed event's state writes (required for optimistic
+
+        runs under the reverse-computation strategy).
+        """
+        raise NotImplementedError
+
+    def commit(self, event: Event) -> None:
+        """Hook called when ``event`` becomes irreversible.  Default: none."""
+
+    # ------------------------------------------------------------------
+    # State-saving strategy hooks.
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Any:
+        """Return a full copy of the model state (state-saving rollback)."""
+        return copy.deepcopy(self.state)
+
+    def restore_state(self, snapshot: Any) -> None:
+        """Restore a copy produced by :meth:`snapshot_state`."""
+        self.state = snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.id})"
+
+
+class Model:
+    """A complete simulation model: an LP population plus stats collection.
+
+    Subclasses implement :meth:`build` to create the LPs (the ROSS startup
+    function) and :meth:`collect_stats` as the "statistics collection
+    function ... executed once for each LP when the simulation finishes"
+    (§3.1.5) — here expressed as one pass over the LP list returning a flat
+    dict, which the determinism tests compare across engines.
+    """
+
+    def build(self) -> list[LogicalProcess]:
+        """Create and return the LP population (ids must be 0..n-1)."""
+        raise NotImplementedError
+
+    def collect_stats(self, lps: list[LogicalProcess]) -> dict[str, Any]:
+        """Aggregate model statistics over the final LP states."""
+        raise NotImplementedError

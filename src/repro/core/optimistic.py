@@ -1,0 +1,456 @@
+"""The optimistic (Time Warp) engine: kernel plus round-robin executive.
+
+This is the ROSS analog.  The kernel owns the LP population, the KP/PE
+structure, the transport, rollback strategy, GVT manager and all statistics;
+the executive schedules PEs round-robin, each executing an *optimism batch*
+of events per round.  Because PEs run ahead of each other in virtual time,
+cross-PE messages genuinely arrive in the receiver's past, producing real
+stragglers, rollbacks, anti-message cascades and fossil collection — the
+full Time Warp dynamic, deterministic and repeatable.
+
+Hardware substitution (see DESIGN.md): the PEs are *simulated* processors
+multiplexed on one OS thread.  Every count the report's figures use
+(events processed, rolled back, remote messages, rounds) is measured from
+the real execution; wall-clock speed is derived from those counts through
+the calibrated :class:`~repro.core.costmodel.CostModel`.
+
+Why the interleaving is safe (the invariant the implementation leans on):
+any rollback triggered while event ``e`` is being processed was caused by a
+message ``e`` itself sent, whose timestamp is strictly greater than
+``e.ts``; therefore every event undone by the cascade has a key greater
+than ``e``'s and neither ``e`` nor its parent can be affected mid-flight.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import EngineConfig
+from repro.core.event import Event
+from repro.core.gvt import make_gvt_manager
+from repro.core.kp import KernelProcess
+from repro.core.lp import LogicalProcess, Model
+from repro.core.mapping import build_mapping
+from repro.core.pe import ProcessingElement
+from repro.core.result import RunResult
+from repro.core.rollback import make_strategy
+from repro.core.stats import RunStats
+from repro.core.throttle import Throttle
+from repro.core.transport import make_transport
+from repro.errors import ConfigurationError
+from repro.rng.streams import ReversibleStream, derive_seed
+from repro.vt.time import TIME_HORIZON
+
+__all__ = ["TimeWarpKernel", "run_optimistic"]
+
+
+class TimeWarpKernel:
+    """One optimistic simulation instance.
+
+    Build it with a :class:`~repro.core.lp.Model` and an
+    :class:`~repro.core.config.EngineConfig`, then call :meth:`run`.
+    """
+
+    def __init__(self, model: Model, config: EngineConfig) -> None:
+        self.model = model
+        self.cfg = config
+        self.cost = config.cost
+
+        # --- LP population -------------------------------------------------
+        self.lps: list[LogicalProcess] = model.build()
+        if not self.lps:
+            raise ConfigurationError("model.build() returned no LPs")
+        for i, lp in enumerate(self.lps):
+            if lp.id != i:
+                raise ConfigurationError(
+                    f"LP ids must be dense 0..n-1 in build() order; "
+                    f"position {i} has id {lp.id}"
+                )
+        n_lps = len(self.lps)
+
+        # --- Mapping, KPs, PEs --------------------------------------------
+        grid = getattr(model, "grid", None)
+        self.mapping = build_mapping(
+            n_lps,
+            config.n_kps,
+            config.n_pes,
+            config.mapping,
+            grid=grid,
+            seed=config.seed,
+        )
+        self.kps = [
+            KernelProcess(k, self.mapping.kp_to_pe[k]) for k in range(config.n_kps)
+        ]
+        self.pes = [
+            ProcessingElement(p, config.queue) for p in range(config.n_pes)
+        ]
+        for kp in self.kps:
+            self.pes[kp.pe_id].kp_ids.append(kp.id)
+        self.pe_of_lp: list[int] = []
+        for lp in self.lps:
+            kp = self.kps[self.mapping.lp_to_kp[lp.id]]
+            lp.kp = kp
+            kp.lp_ids.append(lp.id)
+            pe_id = kp.pe_id
+            self.pe_of_lp.append(pe_id)
+            self.pes[pe_id].lp_count += 1
+
+        # --- Strategy / transport / GVT -------------------------------------
+        self.strategy = make_strategy(config.rollback)
+        self.transport = make_transport(config.transport, self._receive, config.n_pes)
+        self.gvt_manager = make_gvt_manager(config.gvt, config.n_pes)
+        # Messages annihilated in transit still count as "arrived" for GVT
+        # message accounting.
+        self.transport.on_drop = lambda ev: self.gvt_manager.on_receive(
+            self.pe_of_lp[ev.dst], ev
+        )
+
+        # --- Cost precomputation --------------------------------------------
+        snapshot_cost = self.cost.snapshot if self.strategy.name == "copy" else 0.0
+        bus = self.cost.bus_factor(config.n_pes, n_lps)
+        # The cache factor uses the *total* LP population: on the ROSS-style
+        # shared-memory target the event pool and fossil lists live in one
+        # shared heap, so partitioning LPs across PEs does not shrink the
+        # hot working set — while the bus factor makes the misses pricier.
+        for pe in self.pes:
+            pe.event_cost = (self.cost.event_cost(n_lps) + snapshot_cost) * bus
+        self.undo_cost = (
+            self.cost.reverse if self.strategy.name == "reverse" else self.cost.restore
+        )
+
+        # --- Run-level counters ----------------------------------------------
+        self.makespan_units = 0.0
+        self.fossil_collected = 0
+        self.gvt_rounds = 0
+        self.cancelled_direct = 0
+        self.cancelled_via_rollback = 0
+        self._cancel_worklist: list[Event] = []
+        self._current_event: Event | None = None
+        self._lazy_pool: dict | None = None
+        #: Lazy cancellation mode (see EngineConfig.cancellation).
+        self.lazy = config.cancellation == "lazy"
+        self.lazy_reused = 0
+        #: Optional optimism throttle (see EngineConfig.adaptive).
+        self.throttle = Throttle() if config.adaptive else None
+        self.gvt = 0.0
+        #: Optional event tracer (see repro.core.trace).
+        self.tracer = None
+        #: Peak live-event counts, sampled at GVT boundaries (the memory
+        #: footprint Time Warp is famous for; ROSS's fossil collection
+        #: exists to bound exactly this).
+        self.peak_pending = 0
+        self.peak_processed = 0
+
+        # --- Bind LPs ---------------------------------------------------------
+        for lp in self.lps:
+            lp.bind(
+                ReversibleStream(derive_seed(config.seed, lp.id), lp.id),
+                self._emit,
+            )
+
+    # ------------------------------------------------------------------
+    # Message path.
+    # ------------------------------------------------------------------
+    def _emit(self, src_lp: LogicalProcess, ev: Event) -> None:
+        """Kernel side of ``LogicalProcess.send``: journal, charge, route."""
+        current = self._current_event
+        pool = self._lazy_pool
+        if pool is not None:
+            # Lazy cancellation: if this re-execution regenerated a message
+            # identical to one from the rolled-back execution, keep the
+            # original in place — its receiver never learns anything
+            # happened.  The send-sequence counter was restored on undo,
+            # so identical behaviour produces identical keys.
+            old = pool.pop(ev.key, None)
+            if old is not None:
+                if (
+                    not old.cancelled
+                    and old.dst == ev.dst
+                    and old.kind == ev.kind
+                    and old.data == ev.data
+                ):
+                    current.sent.append(old)
+                    self.lazy_reused += 1
+                    return
+                # Same key, different content: the old message is wrong.
+                self._cancel(old)
+                self._drain_cancels()
+        src_pe = self.pe_of_lp[src_lp.id]
+        dst_pe = self.pe_of_lp[ev.dst]
+        if current is not None:
+            current.sent.append(ev)
+        pe = self.pes[src_pe]
+        if src_pe == dst_pe:
+            pe.stats.local_sends += 1
+            self._charge(pe, self.cost.local_send)
+        else:
+            pe.stats.remote_sends += 1
+            self._charge(pe, self.cost.remote_send)
+        self.gvt_manager.on_send(src_pe, ev)
+        self.transport.deliver(ev, src_pe, dst_pe)
+
+    def _receive(self, ev: Event) -> None:
+        """Deliver an event to its destination PE, rolling back if it is a
+
+        straggler for the destination KP.
+        """
+        kp = self.lps[ev.dst].kp
+        pe = self.pes[kp.pe_id]
+        self.gvt_manager.on_receive(pe.id, ev)
+        pe.pending.push(ev)
+        if kp.needs_rollback(ev.key):
+            pe.stats.stragglers += 1
+            self._charge(pe, self.cost.rollback_fixed)
+            undone = kp.rollback_until(ev.key, self, ev.dst)
+            self._charge(pe, undone * self.undo_cost)
+            self._drain_cancels()
+
+    # ------------------------------------------------------------------
+    # Event execution and undo.
+    # ------------------------------------------------------------------
+    def execute(self, pe: ProcessingElement, ev: Event) -> None:
+        """Forward-execute one event on its LP (called by the PE)."""
+        lp = self.lps[ev.dst]
+        # Under lazy cancellation, offer the previous execution's messages
+        # for reuse, keyed by their (identically regenerated) event keys.
+        pool: dict | None = None
+        if ev.lazy_sent:
+            pool = {c.key: c for c in ev.lazy_sent}
+            ev.lazy_sent = None
+        ev.reset_journal()
+        ev.prev_send_seq = lp.send_seq
+        self.strategy.before(lp, ev)
+        rng_before = lp.rng.count
+        lp._now = ev.key.ts
+        prev_current = self._current_event
+        prev_pool = self._lazy_pool
+        self._current_event = ev
+        self._lazy_pool = pool
+        try:
+            lp.forward(ev)
+        finally:
+            self._current_event = prev_current
+            self._lazy_pool = prev_pool
+        if pool:
+            # Messages the re-execution did not regenerate are now orphans.
+            for child in pool.values():
+                self._cancel(child)
+            self._drain_cancels()
+        ev.rng_draws = lp.rng.count - rng_before
+        ev.processed = True
+        lp.kp.append_processed(ev)
+        pe.stats.processed += 1
+        self._charge(pe, pe.event_cost)
+        if self.tracer is not None:
+            self.tracer.on_exec(ev)
+
+    def undo_event(self, ev: Event) -> None:
+        """Undo one processed event (called by KP rollback, tail-first).
+
+        Under aggressive cancellation the messages it sent are cancelled
+        now (processed ones are deferred to the cancel worklist to avoid
+        unbounded recursion through cascades).  Under lazy cancellation
+        they are parked on the event for possible reuse at re-execution.
+        Either way the rollback strategy restores LP state and the event
+        is requeued.
+        """
+        lp = self.lps[ev.dst]
+        if self.lazy:
+            if ev.sent:
+                ev.lazy_sent = ev.sent[:]
+                ev.sent.clear()
+        else:
+            for child in reversed(ev.sent):
+                self._cancel(child)
+            ev.sent.clear()
+        self.strategy.undo(lp, ev)
+        ev.processed = False
+        self.pes[self.pe_of_lp[ev.dst]].pending.push(ev)
+        if self.tracer is not None:
+            self.tracer.on_undo(ev)
+
+    def _cancel(self, child: Event) -> None:
+        """Cancel one message: flag it if unprocessed, defer a secondary
+
+        rollback to the worklist if it has already executed.
+        """
+        if child.processed:
+            self._cancel_worklist.append(child)
+        elif not child.cancelled:
+            self._flag_cancelled(child)
+            self.cancelled_direct += 1
+
+    def _flag_cancelled(self, ev: Event) -> None:
+        """Mark an unprocessed event dead and reap its parked children."""
+        ev.cancelled = True
+        if ev.in_pending:
+            self.pes[self.pe_of_lp[ev.dst]].pending.note_cancelled()
+        if ev.lazy_sent:
+            # The event will never re-execute, so its kept messages from
+            # the undone execution can no longer be claimed: cancel them.
+            for child in ev.lazy_sent:
+                self._cancel(child)
+            ev.lazy_sent = None
+
+    def _drain_cancels(self) -> None:
+        """Resolve deferred cancellations of already-processed events.
+
+        Each entry needs a *secondary rollback* of its KP back to just
+        before the event ran; the rollback requeues the event, which is
+        then flagged cancelled.  Rollbacks triggered here may push more
+        work onto the list; the loop runs until quiescence (processed-event
+        count strictly decreases, so it terminates).
+        """
+        worklist = self._cancel_worklist
+        while worklist:
+            ev = worklist.pop()
+            if ev.cancelled:
+                continue
+            if ev.processed:
+                kp = self.lps[ev.dst].kp
+                pe = self.pes[kp.pe_id]
+                self._charge(pe, self.cost.rollback_fixed)
+                undone = kp.rollback_until(ev.key, self, ev.dst)
+                self._charge(pe, undone * self.undo_cost)
+            if not ev.cancelled:
+                self._flag_cancelled(ev)
+                self.cancelled_via_rollback += 1
+
+    def _charge(self, pe: ProcessingElement, units: float) -> None:
+        pe.stats.busy += units
+        pe.stats.round_busy += units
+
+    # ------------------------------------------------------------------
+    # GVT and fossil collection.
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> "TimeWarpKernel":
+        """Attach a :class:`repro.core.trace.Tracer`; returns self."""
+        self.tracer = tracer
+        return self
+
+    def fossil_collect(self, gvt_ts: float) -> int:
+        """Commit and free everything below ``gvt_ts`` across all KPs."""
+        pending_now = sum(len(pe.pending) for pe in self.pes)
+        processed_now = sum(len(kp.processed) for kp in self.kps)
+        if pending_now > self.peak_pending:
+            self.peak_pending = pending_now
+        if processed_now > self.peak_processed:
+            self.peak_processed = processed_now
+        collected = 0
+        for kp in self.kps:
+            collected += kp.fossil_collect(gvt_ts, self)
+        self.fossil_collected += collected
+        return collected
+
+    # ------------------------------------------------------------------
+    # The executive.
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the model to ``cfg.end_time`` and collect statistics."""
+        cfg = self.cfg
+        end = cfg.end_time
+        # Bootstrap: LPs schedule their initial events "at startup".
+        self._current_event = None
+        for lp in self.lps:
+            lp._now = -1.0
+            lp.on_init()
+
+        pes = self.pes
+        rounds = 0
+        gvt_overhead = max(
+            self.cost.gvt_overhead(pe.lp_count, len(pe.kp_ids)) for pe in pes
+        )
+        throttle = self.throttle
+        eff_batch = cfg.batch_size
+        eff_window = cfg.window
+        last_processed = 0
+        last_rolled = 0
+        while True:
+            # Optimism limit: the end barrier, tightened to GVT + window in
+            # virtual-time-window mode.
+            if eff_window is not None:
+                limit = min(end, self.gvt + eff_window)
+            else:
+                limit = end
+            any_work = False
+            for pe in pes:
+                pe.stats.round_busy = 0.0
+            for pe in pes:
+                if pe.process_batch(self, eff_batch, limit):
+                    any_work = True
+            rounds += 1
+            self.makespan_units += (
+                max(pe.stats.round_busy for pe in pes) + self.cost.sched_per_round
+            )
+            if rounds % cfg.gvt_interval == 0 or not any_work:
+                # Estimate is taken *before* the flush so the GVT manager
+                # really has to account for in-flight messages.
+                self.gvt = self.gvt_manager.estimate(self)
+                self.gvt_rounds += 1
+                collected = self.fossil_collect(self.gvt)
+                self.makespan_units += gvt_overhead + (
+                    self.cost.fossil_per_event * collected / len(pes)
+                )
+                if throttle is not None:
+                    processed_now = sum(pe.stats.processed for pe in pes)
+                    rolled_now = sum(
+                        kp.stats.events_rolled_back for kp in self.kps
+                    )
+                    throttle.update(
+                        processed_now - last_processed, rolled_now - last_rolled
+                    )
+                    last_processed, last_rolled = processed_now, rolled_now
+                    eff_batch = throttle.scaled(cfg.batch_size, 1)
+                    if cfg.window is not None:
+                        eff_window = throttle.scaled(
+                            cfg.window, cfg.window / 64.0
+                        )
+                if self.gvt >= end:
+                    break
+            self.transport.flush()
+
+        # Everything below the end barrier is final: commit it all.
+        self.fossil_collect(TIME_HORIZON)
+        return self._build_result(rounds)
+
+    # ------------------------------------------------------------------
+    def _build_result(self, rounds: int) -> RunResult:
+        stats = RunStats(engine="optimistic")
+        cfg = self.cfg
+        stats.n_pes = cfg.n_pes
+        stats.n_kps = cfg.n_kps
+        stats.processed = sum(pe.stats.processed for pe in self.pes)
+        stats.events_rolled_back = sum(kp.stats.events_rolled_back for kp in self.kps)
+        stats.rollbacks = sum(kp.stats.rollbacks for kp in self.kps)
+        stats.false_rollback_events = sum(
+            kp.stats.false_rollback_events for kp in self.kps
+        )
+        stats.stragglers = sum(pe.stats.stragglers for pe in self.pes)
+        stats.cancelled_direct = self.cancelled_direct
+        stats.cancelled_via_rollback = self.cancelled_via_rollback
+        stats.lazy_reused = self.lazy_reused
+        if self.throttle is not None:
+            stats.throttle_adjustments = self.throttle.adjustments
+            stats.throttle_final_factor = self.throttle.factor
+        stats.local_sends = sum(pe.stats.local_sends for pe in self.pes)
+        stats.remote_sends = sum(pe.stats.remote_sends for pe in self.pes)
+        stats.gvt_rounds = self.gvt_rounds
+        stats.fossil_collected = self.fossil_collected
+        stats.peak_pending = self.peak_pending
+        stats.peak_processed = self.peak_processed
+        stats.committed = self.fossil_collected
+        stats.makespan_seconds = self.cost.seconds(self.makespan_units)
+        stats.total_busy_seconds = self.cost.seconds(
+            sum(pe.stats.busy for pe in self.pes)
+        )
+        stats.per_pe_busy_seconds = [
+            self.cost.seconds(pe.stats.busy) for pe in self.pes
+        ]
+        stats.event_rate = (
+            stats.committed / stats.makespan_seconds if stats.makespan_seconds else 0.0
+        )
+        model_stats = self.model.collect_stats(self.lps)
+        return RunResult(model_stats=model_stats, run=stats, lps=self.lps)
+
+
+def run_optimistic(model: Model, config: EngineConfig) -> RunResult:
+    """Convenience wrapper: build a kernel and run it."""
+    return TimeWarpKernel(model, config).run()

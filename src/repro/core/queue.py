@@ -1,0 +1,104 @@
+"""Pending-event priority queue with lazy cancellation.
+
+Each processing element owns one :class:`PendingQueue`.  Cancellation (the
+shared-memory analog of anti-message annihilation) marks the event's
+``cancelled`` flag; the heap discards flagged entries when they surface.
+This is O(1) per cancellation at the cost of dead entries in the heap —
+the classic lazy-deletion trade, appropriate here because cancelled events
+are a small fraction of traffic.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.core.event import Event
+from repro.vt.time import EventKey
+
+__all__ = ["PendingQueue"]
+
+
+class PendingQueue:
+    """Min-heap of events ordered by :class:`~repro.vt.time.EventKey`."""
+
+    __slots__ = ("_heap", "_live", "_counter")
+
+    def __init__(self) -> None:
+        # Entries are (key, insertion_counter, event).  The counter breaks
+        # ties between a dead (cancelled) entry and a live event that
+        # legitimately reuses the same key after a rollback re-send, so
+        # Event objects are never compared.
+        self._heap: list[tuple[EventKey, int, Event]] = []
+        # Count of non-cancelled entries, so __len__ is O(1) and exact.
+        self._live = 0
+        self._counter = 0
+
+    def push(self, event: Event) -> None:
+        """Insert an event (must not already be queued)."""
+        self._counter += 1
+        heapq.heappush(self._heap, (event.key, self._counter, event))
+        event.in_pending = True
+        self._live += 1
+
+    def note_cancelled(self) -> None:
+        """Record that a queued event was flagged cancelled externally.
+
+        The caller flips ``event.cancelled``; the queue only adjusts its
+        live count and lets the heap entry die lazily.
+        """
+        self._live -= 1
+
+    def _drop_dead(self) -> None:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            _, _, dead = heapq.heappop(heap)
+            dead.in_pending = False
+
+    def peek(self) -> Event | None:
+        """The minimum live event, or ``None`` when empty."""
+        self._drop_dead()
+        return self._heap[0][2] if self._heap else None
+
+    def peek_key(self) -> EventKey | None:
+        """Key of the minimum live event, or ``None`` when empty."""
+        ev = self.peek()
+        return ev.key if ev is not None else None
+
+    def pop(self) -> Event:
+        """Remove and return the minimum live event."""
+        self._drop_dead()
+        if not self._heap:
+            raise IndexError("pop from empty PendingQueue")
+        _, _, ev = heapq.heappop(self._heap)
+        ev.in_pending = False
+        self._live -= 1
+        return ev
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self):
+        """Yield live events in arbitrary (heap) order — for inspection
+
+        and invariant checks, not for scheduling.
+        """
+        return (e for _, _, e in self._heap if not e.cancelled)
+
+
+def make_pending_queue(name: str):
+    """Instantiate a pending-queue structure by config name.
+
+    ``"heap"`` is the binary-heap default; ``"splay"`` is the ROSS-style
+    splay tree (:class:`repro.core.splay.SplayPendingQueue`).  Both expose
+    the same interface and ordering, so results never depend on the choice.
+    """
+    if name == "heap":
+        return PendingQueue()
+    if name == "splay":
+        from repro.core.splay import SplayPendingQueue
+
+        return SplayPendingQueue()
+    raise ValueError(f"unknown queue structure {name!r}; choose 'heap' or 'splay'")

@@ -1,0 +1,34 @@
+"""Run results returned by both engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.lp import LogicalProcess
+from repro.core.stats import RunStats
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced.
+
+    Attributes
+    ----------
+    model_stats:
+        The model's aggregated statistics (the "statistics collection
+        function" output, §3.1.5).  Two runs of the same model and seed
+        must produce *identical* model_stats regardless of engine or
+        PE/KP/batch configuration — that is the repeatability property the
+        report validates in its Attachment 3.
+    run:
+        Kernel-level counters and cost-model timing.
+    lps:
+        The final LP population, for custom post-processing.
+    """
+
+    model_stats: dict[str, Any]
+    run: RunStats
+    lps: list[LogicalProcess] = field(repr=False, default_factory=list)

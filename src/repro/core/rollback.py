@@ -1,0 +1,100 @@
+"""Rollback strategies: reverse computation vs state saving.
+
+ROSS's defining feature is rollback via *reverse computation*: instead of
+checkpointing state before every event (the Georgia Tech Time Warp
+approach), it "rolls back the simulation by computing the events in
+reverse" (§3.2.1), which costs almost nothing on the forward path.
+
+Both strategies are implemented behind one small interface so the ablation
+benchmark (ABL-RC in DESIGN.md) can compare them on identical workloads:
+
+* :class:`ReverseComputation` — forward path stores nothing beyond what the
+  model stashes in ``event.saved``; undo calls the model's ``reverse``
+  handler and rewinds the RNG by the journaled draw count.
+* :class:`StateSaving` — forward path snapshots LP state (plus the RNG
+  checkpoint) before every event; undo restores the snapshot.  The RNG is
+  restored from its O(1) checkpoint rather than stepped backward.
+
+Both restore the LP's send-sequence counter from the event journal, so
+re-executed events regenerate identical event keys — the property the
+engine-equivalence (determinism) guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess
+
+__all__ = ["RollbackStrategy", "ReverseComputation", "StateSaving", "make_strategy"]
+
+
+class RollbackStrategy:
+    """Interface: called by the kernel around every event execution."""
+
+    #: Name used in configs and reports.
+    name = "abstract"
+
+    def before(self, lp: LogicalProcess, event: Event) -> None:
+        """Forward-path hook, called just before ``lp.forward(event)``."""
+        raise NotImplementedError
+
+    def undo(self, lp: LogicalProcess, event: Event) -> None:
+        """Restore ``lp`` to its exact state from before ``event`` ran.
+
+        The kernel has already cancelled the event's sent messages; this
+        hook is responsible for model state, RNG position, and the send
+        sequence counter.
+        """
+        raise NotImplementedError
+
+
+class ReverseComputation(RollbackStrategy):
+    """Undo events by running the model's reverse handler (ROSS default)."""
+
+    name = "reverse"
+
+    def before(self, lp: LogicalProcess, event: Event) -> None:
+        # Reverse computation needs no forward-path work: the handler's
+        # own ``event.saved`` writes are the entire checkpoint.
+        return None
+
+    def undo(self, lp: LogicalProcess, event: Event) -> None:
+        # Reverse handlers may read lp.now (e.g. to recompute a quantity
+        # the forward handler derived from it); guarantee it matches the
+        # event being undone, not whatever ran last.
+        lp._now = event.key.ts
+        lp.reverse(event)
+        lp.rng.reverse(event.rng_draws)
+        lp.send_seq = event.prev_send_seq
+
+
+class StateSaving(RollbackStrategy):
+    """Undo events by restoring a per-event state snapshot (GTW style)."""
+
+    name = "copy"
+
+    def before(self, lp: LogicalProcess, event: Event) -> None:
+        event.snapshot = (lp.snapshot_state(), lp.rng.checkpoint())
+
+    def undo(self, lp: LogicalProcess, event: Event) -> None:
+        state, rng_ckpt = event.snapshot
+        lp.restore_state(state)
+        lp.rng.restore(rng_ckpt)
+        lp.send_seq = event.prev_send_seq
+        event.snapshot = None
+
+
+_STRATEGIES = {
+    ReverseComputation.name: ReverseComputation,
+    StateSaving.name: StateSaving,
+}
+
+
+def make_strategy(name: str) -> RollbackStrategy:
+    """Instantiate a rollback strategy by config name ('reverse' | 'copy')."""
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown rollback strategy {name!r}; choose from {sorted(_STRATEGIES)}"
+        ) from None

@@ -1,0 +1,189 @@
+"""Splay-tree pending-event queue — ROSS's event-list data structure.
+
+ROSS schedules events from a splay tree rather than a binary heap: the
+access pattern of a discrete-event simulator is heavily skewed toward the
+near future, and splay trees' amortised self-adjustment exploits that
+(Sleator & Tarjan's classic result; ROSS inherits the choice from GTW).
+
+This implementation provides the same interface as
+:class:`repro.core.queue.PendingQueue` — push / peek / pop / lazy
+cancellation — so the engine can swap structures via
+``EngineConfig(queue="splay")``.  Ordering ties between a dead (cancelled)
+entry and a live re-send reusing its key are broken by an insertion
+counter, exactly like the heap.
+
+The tree is keyed by ``(EventKey, insertion_counter)`` and uses iterative
+*top-down splaying* (no recursion, no parent pointers), splaying on every
+insert and on min-extraction.
+"""
+
+from __future__ import annotations
+
+from repro.core.event import Event
+from repro.vt.time import EventKey
+
+__all__ = ["SplayPendingQueue"]
+
+
+class _Node:
+    __slots__ = ("key", "event", "left", "right")
+
+    def __init__(self, key: tuple, event: Event) -> None:
+        self.key = key
+        self.event = event
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+
+
+class SplayPendingQueue:
+    """Min-ordered event set backed by a top-down splay tree."""
+
+    __slots__ = ("_root", "_live", "_size", "_counter")
+
+    def __init__(self) -> None:
+        self._root: _Node | None = None
+        self._live = 0
+        self._size = 0
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Core splay operation (iterative top-down).
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _splay(root: _Node | None, key: tuple) -> _Node | None:
+        """Splay the node with ``key`` (or its neighbor) to the root."""
+        if root is None:
+            return None
+        # Header node whose left/right collect the split-off subtrees.
+        header = _Node((), None)  # type: ignore[arg-type]
+        left_tail = right_tail = header
+        t = root
+        while True:
+            if key < t.key:
+                child = t.left
+                if child is None:
+                    break
+                if key < child.key:
+                    # Zig-zig: rotate right.
+                    t.left = child.right
+                    child.right = t
+                    t = child
+                    if t.left is None:
+                        break
+                # Link right.
+                right_tail.left = t
+                right_tail = t
+                t = t.left
+            elif key > t.key:
+                child = t.right
+                if child is None:
+                    break
+                if key > child.key:
+                    # Zag-zag: rotate left.
+                    t.right = child.left
+                    child.left = t
+                    t = child
+                    if t.right is None:
+                        break
+                # Link left.
+                left_tail.right = t
+                left_tail = t
+                t = t.right
+            else:
+                break
+        # Assemble.
+        left_tail.right = t.left
+        right_tail.left = t.right
+        t.left = header.right
+        t.right = header.left
+        return t
+
+    # ------------------------------------------------------------------
+    # Queue interface.
+    # ------------------------------------------------------------------
+    def push(self, event: Event) -> None:
+        """Insert an event (must not already be queued)."""
+        self._counter += 1
+        key = (event.key, self._counter)
+        node = _Node(key, event)
+        root = self._splay(self._root, key)
+        if root is not None:
+            # Keys are unique (the counter strictly increases), so the
+            # splayed root is strictly smaller or larger.
+            if key < root.key:
+                node.right = root
+                node.left = root.left
+                root.left = None
+            else:
+                node.left = root
+                node.right = root.right
+                root.right = None
+        self._root = node
+        event.in_pending = True
+        self._live += 1
+        self._size += 1
+
+    def _min_node(self) -> _Node | None:
+        """Splay the live minimum to the root, discarding dead entries."""
+        while True:
+            root = self._root
+            if root is None:
+                return None
+            # Walk the left spine with zig-zig rotations (top-down splay
+            # toward -infinity).
+            while root.left is not None:
+                child = root.left
+                root.left = child.right
+                child.right = root
+                root = child
+            self._root = root
+            if root.event.cancelled:
+                # Drop the dead minimum: its right subtree replaces it.
+                root.event.in_pending = False
+                self._root = root.right
+                self._size -= 1
+                continue
+            return root
+
+    def peek(self) -> Event | None:
+        """The minimum live event, or ``None`` when empty."""
+        node = self._min_node()
+        return node.event if node is not None else None
+
+    def peek_key(self) -> EventKey | None:
+        """Key of the minimum live event, or ``None`` when empty."""
+        ev = self.peek()
+        return ev.key if ev is not None else None
+
+    def pop(self) -> Event:
+        """Remove and return the minimum live event."""
+        node = self._min_node()
+        if node is None:
+            raise IndexError("pop from empty SplayPendingQueue")
+        self._root = node.right  # the min has no left child after splay
+        node.event.in_pending = False
+        self._live -= 1
+        self._size -= 1
+        return node.event
+
+    def note_cancelled(self) -> None:
+        """Record an external cancellation (lazy deletion)."""
+        self._live -= 1
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def __iter__(self):
+        """Yield live events in arbitrary order (iterative traversal)."""
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if not node.event.cancelled:
+                yield node.event
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)

@@ -1,0 +1,78 @@
+"""Adaptive optimism control.
+
+Fixed optimism (a constant batch size or virtual-time window) is a blunt
+instrument: too little starves the PEs between GVT barriers, too much turns
+stragglers into avalanche rollbacks.  The throttle adjusts an *optimism
+factor* in ``(0, 1]`` after every GVT round using the measured rollback
+fraction — classic multiplicative-decrease / multiplicative-increase:
+
+* rollback fraction above ``high`` → halve the factor (optimism is being
+  wasted on work that gets undone),
+* below ``low`` → grow the factor by 1.5× toward 1.0 (the machine is
+  undercommitted).
+
+Everything the controller reads is a deterministic function of the
+simulation, so adaptive runs remain exactly repeatable — the determinism
+tests cover them like any other configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThrottleConfig", "Throttle"]
+
+
+@dataclass(frozen=True)
+class ThrottleConfig:
+    """Thresholds and bounds for the optimism controller."""
+
+    #: Rollback fraction above which optimism is cut.
+    high: float = 0.20
+    #: Rollback fraction below which optimism is restored.
+    low: float = 0.05
+    #: Smallest allowed optimism factor.
+    floor: float = 1.0 / 64.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low < self.high <= 1.0:
+            raise ValueError(
+                f"need 0 <= low < high <= 1, got low={self.low} high={self.high}"
+            )
+        if not 0.0 < self.floor <= 1.0:
+            raise ValueError(f"floor must be in (0, 1], got {self.floor}")
+
+
+class Throttle:
+    """Multiplicative increase/decrease controller over the optimism factor."""
+
+    def __init__(self, cfg: ThrottleConfig | None = None) -> None:
+        self.cfg = cfg if cfg is not None else ThrottleConfig()
+        self.factor = 1.0
+        self.adjustments = 0
+        #: (observation_index, factor) after every update — for analysis.
+        self.history: list[tuple[int, float]] = []
+        self._observations = 0
+
+    def update(self, processed: int, rolled_back: int) -> float:
+        """Feed one GVT period's counts; returns the new factor."""
+        self._observations += 1
+        if processed > 0:
+            fraction = rolled_back / processed
+            cfg = self.cfg
+            if fraction > cfg.high:
+                new = max(cfg.floor, self.factor / 2.0)
+            elif fraction < cfg.low:
+                new = min(1.0, self.factor * 1.5)
+            else:
+                new = self.factor
+            if new != self.factor:
+                self.factor = new
+                self.adjustments += 1
+                self.history.append((self._observations, new))
+        return self.factor
+
+    def scaled(self, value: int | float, minimum: int | float):
+        """Apply the factor to an optimism budget, respecting a floor."""
+        scaled = value * self.factor
+        return max(minimum, type(value)(scaled))

@@ -1,0 +1,125 @@
+"""Event tracing: observe what the kernel executes, undoes and commits.
+
+A :class:`Tracer` attached to an engine records one
+:class:`TraceRecord` per lifecycle transition:
+
+* ``EXEC``     — an event was forward-executed,
+* ``UNDO``     — a processed event was rolled back,
+* ``COMMIT``   — an event fell below GVT (optimistic) or executed
+  (sequential) and became irreversible.
+
+Uses:
+
+* debugging models ("why did my counter go negative?"),
+* the strongest determinism check we have: the *committed sequence* of an
+  optimistic run — in key order — must equal the sequential engine's
+  execution sequence, event for event (not just the final statistics),
+* rollback forensics: which LPs thrash, what the straggler chains look
+  like.
+
+Tracing costs one callback per transition, so it is off by default; both
+engines accept ``tracer=`` at run time via their kernels' ``attach_tracer``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.event import Event
+
+__all__ = ["TraceRecord", "Tracer", "EXEC", "UNDO", "COMMIT"]
+
+EXEC = "EXEC"
+UNDO = "UNDO"
+COMMIT = "COMMIT"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One lifecycle transition of one event."""
+
+    action: str
+    ts: float
+    origin: int
+    seq: int
+    dst: int
+    kind: str
+
+    @classmethod
+    def of(cls, action: str, event: Event) -> "TraceRecord":
+        key = event.key
+        return cls(action, key.ts, key.origin, key.seq, event.dst, event.kind)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.action:<6} @{self.ts:.6f} {self.kind} "
+            f"lp{self.origin}:{self.seq} -> lp{self.dst}"
+        )
+
+
+class Tracer:
+    """Collects trace records; optionally bounded to the most recent N."""
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError(f"trace limit must be positive, got {limit}")
+        self.limit = limit
+        self.records: list[TraceRecord] = []
+        self.counts = {EXEC: 0, UNDO: 0, COMMIT: 0}
+
+    # ------------------------------------------------------------------
+    # Kernel-facing hooks.
+    # ------------------------------------------------------------------
+    def on_exec(self, event: Event) -> None:
+        """Record a forward execution."""
+        self._add(EXEC, event)
+
+    def on_undo(self, event: Event) -> None:
+        """Record a rollback of a processed event."""
+        self._add(UNDO, event)
+
+    def on_commit(self, event: Event) -> None:
+        """Record an event becoming irreversible (below GVT)."""
+        self._add(COMMIT, event)
+
+    def _add(self, action: str, event: Event) -> None:
+        self.counts[action] += 1
+        self.records.append(TraceRecord.of(action, event))
+        if self.limit is not None and len(self.records) > self.limit:
+            del self.records[: len(self.records) - self.limit]
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def select(self, action: str) -> list[TraceRecord]:
+        """All records of one action, in recording order."""
+        return [r for r in self.records if r.action == action]
+
+    def committed_sequence(self) -> list[tuple]:
+        """Committed events as comparable tuples, sorted by event key.
+
+        Two runs of the same model are equivalent iff these sequences are
+        equal — this is the event-level form of the report's
+        repeatability check.
+        """
+        commits = self.select(COMMIT)
+        return sorted((r.ts, r.origin, r.seq, r.dst, r.kind) for r in commits)
+
+    def thrash_by_lp(self) -> dict[int, int]:
+        """UNDO count per destination LP — who rolls back the most."""
+        out: dict[int, int] = {}
+        for r in self.records:
+            if r.action == UNDO:
+                out[r.dst] = out.get(r.dst, 0) + 1
+        return out
+
+    def format(self, last: int | None = None) -> str:
+        """Human-readable dump of the (last ``last``) records."""
+        rows: Iterable[TraceRecord] = self.records
+        if last is not None:
+            rows = self.records[-last:]
+        return "\n".join(str(r) for r in rows)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,126 @@
+"""Message transports between PEs.
+
+On ROSS's shared-memory target, a send "merely involves assigning ownership
+of the message's memory location from the source LP to the destination LP"
+(§3.1.2) — i.e. delivery is immediate.  :class:`ImmediateTransport` models
+that.  :class:`MailboxTransport` instead buffers cross-PE messages until
+the end of the scheduling round, modelling a machine where inter-processor
+delivery has latency; it exists so the Mattern-style asynchronous GVT
+algorithm (which must account for messages in flight) has something real to
+synchronise over, and as an ablation of delivery latency on rollback
+behaviour.
+
+Both transports deliver *locally* (same PE) immediately: an LP's self-sends
+and neighbor sends within a PE never sit in a mailbox.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.event import Event
+from repro.vt.time import TIME_HORIZON
+
+__all__ = ["ImmediateTransport", "MailboxTransport", "make_transport"]
+
+
+class ImmediateTransport:
+    """Deliver every message instantly (shared-memory pointer handoff)."""
+
+    name = "immediate"
+
+    def __init__(self, receive: Callable[[Event], None], n_pes: int) -> None:
+        self._receive = receive
+        #: Called for messages annihilated while still in transit; the
+        #: immediate transport never holds messages, so never calls it.
+        self.on_drop: Callable[[Event], None] | None = None
+
+    def deliver(self, event: Event, src_pe: int, dst_pe: int) -> None:
+        """Hand the event to the destination PE right away."""
+        self._receive(event)
+
+    def flush(self) -> int:
+        """No-op; immediate transport never holds messages."""
+        return 0
+
+    def min_in_flight_ts(self) -> float:
+        """No in-flight messages ever exist."""
+        return TIME_HORIZON
+
+    def in_flight_count(self) -> int:
+        """Messages currently in transit (always 0 here)."""
+        return 0
+
+
+class MailboxTransport:
+    """Buffer cross-PE messages until the next round-boundary flush."""
+
+    name = "mailbox"
+
+    def __init__(self, receive: Callable[[Event], None], n_pes: int) -> None:
+        self._receive = receive
+        self._boxes: list[list[Event]] = [[] for _ in range(n_pes)]
+        self._count = 0
+        #: Called for messages annihilated in the mailbox, so GVT message
+        #: accounting still sees them "arrive" (otherwise a Mattern-style
+        #: estimator would wait forever for the epoch to balance).
+        self.on_drop: Callable[[Event], None] | None = None
+
+    def deliver(self, event: Event, src_pe: int, dst_pe: int) -> None:
+        """Queue cross-PE messages; local messages skip the mailbox."""
+        if src_pe == dst_pe:
+            self._receive(event)
+        else:
+            self._boxes[dst_pe].append(event)
+            self._count += 1
+
+    def flush(self) -> int:
+        """Deliver all buffered messages (called at round boundaries).
+
+        Messages cancelled while in the mailbox (direct cancellation caught
+        the event before it was ever seen) are silently dropped — the
+        cheapest possible annihilation.
+        """
+        delivered = 0
+        for box in self._boxes:
+            if not box:
+                continue
+            batch, box[:] = box[:], []
+            for ev in batch:
+                self._count -= 1
+                if not ev.cancelled:
+                    self._receive(ev)
+                    delivered += 1
+                elif self.on_drop is not None:
+                    self.on_drop(ev)
+        return delivered
+
+    def min_in_flight_ts(self) -> float:
+        """Minimum timestamp still sitting in a mailbox (for GVT)."""
+        best = TIME_HORIZON
+        for box in self._boxes:
+            for ev in box:
+                if not ev.cancelled and ev.key.ts < best:
+                    best = ev.key.ts
+        return best
+
+    def in_flight_count(self) -> int:
+        """Messages currently buffered in mailboxes."""
+        return self._count
+
+
+_TRANSPORTS = {
+    ImmediateTransport.name: ImmediateTransport,
+    MailboxTransport.name: MailboxTransport,
+}
+
+
+def make_transport(name: str, receive: Callable[[Event], None], n_pes: int):
+    """Instantiate a transport by config name."""
+    try:
+        cls = _TRANSPORTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown transport {name!r}; choose from {sorted(_TRANSPORTS)}"
+        ) from None
+    return cls(receive, n_pes)

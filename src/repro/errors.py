@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by the simulator derives from
+:class:`ReproError` so applications can catch simulator faults separately
+from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulator."""
+
+
+class ConfigurationError(ReproError):
+    """An engine or model configuration value is invalid or inconsistent."""
+
+
+class SchedulingError(ReproError):
+    """An event was scheduled illegally (e.g. into the past, or after the
+
+    simulation end barrier). In Time Warp terms this is the model violating
+    causality *at send time*, which no rollback can repair.
+    """
+
+
+class RollbackError(ReproError):
+    """The kernel failed to restore state during a rollback.
+
+    This indicates a broken reverse handler in the model: forward and
+    reverse computation are not inverses of each other.
+    """
+
+
+class TopologyError(ReproError):
+    """A network topology query was invalid (bad coordinates, bad id)."""
+
+
+class ModelError(ReproError):
+    """A model handler violated a model-level invariant (e.g. a bufferless
+
+    router received more packets in one time step than it has output links).
+    """

@@ -1,0 +1,68 @@
+"""ABL-RC: reverse computation vs state saving.
+
+ROSS's headline design claim (Carothers et al. [3, 4]) is that reverse
+computation beats checkpoint-based (GTW-style) state saving because it
+moves the cost off the forward path.  Both strategies are implemented in
+this kernel; this ablation runs the identical hot-potato workload under
+each and compares forward-path cost, rollback cost and the resulting event
+rate.  Both must also produce results identical to the oracle — the
+determinism tests enforce that separately.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    SweepParams,
+    kp_count_for,
+    run_hotpotato_parallel,
+)
+from repro.experiments.report import Table
+
+__all__ = ["run"]
+
+
+def run(params: SweepParams) -> Table:
+    """Compare rollback strategies at 4 PEs across the size sweep."""
+    table = Table(
+        title="ABL-RC — reverse computation vs state saving (4 PEs)",
+        columns=[
+            "N",
+            "strategy",
+            "committed",
+            "rolled back",
+            "makespan (s)",
+            "event rate",
+        ],
+    )
+    pairs: dict[int, dict[str, float]] = {}
+    for n in params.sizes:
+        n_kps = kp_count_for(n, 16, 4)
+        for strategy in ("reverse", "copy"):
+            result = run_hotpotato_parallel(
+                n,
+                1.0,
+                params.duration,
+                params.seed,
+                n_pes=4,
+                n_kps=n_kps,
+                batch_size=params.batch_size,
+                window=params.window,
+                rollback=strategy,
+            )
+            run_stats = result.run
+            table.add_row(
+                n,
+                strategy,
+                run_stats.committed,
+                run_stats.events_rolled_back,
+                run_stats.makespan_seconds,
+                run_stats.event_rate,
+            )
+            pairs.setdefault(n, {})[strategy] = run_stats.event_rate
+    for n, rates in pairs.items():
+        if "reverse" in rates and "copy" in rates and rates["copy"] > 0:
+            table.notes.append(
+                f"N={n}: reverse computation is {rates['reverse'] / rates['copy']:.2f}x "
+                f"the state-saving event rate"
+            )
+    return table

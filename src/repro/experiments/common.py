@@ -1,0 +1,118 @@
+"""Shared plumbing for the figure-reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.core.result import RunResult
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+
+__all__ = ["SweepParams", "run_hotpotato_sequential", "run_hotpotato_parallel", "kp_count_for"]
+
+#: Injection loads used by Figs 3 and 4 ("% Injecting Routers").
+DEFAULT_LOADS: tuple[float, ...] = (0.25, 0.50, 0.75, 1.00)
+
+
+@dataclass(frozen=True)
+class SweepParams:
+    """Parameters shared by the experiment runners.
+
+    The defaults are laptop-scale; the report sweeps N up to 256 and the
+    CLI accepts the full range (``--sizes 8,16,...,256``) for anyone with
+    the patience.
+    """
+
+    sizes: tuple[int, ...] = (8, 16)
+    duration: float = 100.0
+    loads: tuple[float, ...] = DEFAULT_LOADS
+    pe_counts: tuple[int, ...] = (1, 2, 4)
+    kp_counts: tuple[int, ...] = (4, 8, 16, 32, 64)
+    batch_size: int = 16
+    #: Virtual-time optimism window (steps) for the Time Warp sweeps; see
+    #: EngineConfig.window.  Scales per-round optimism with network size.
+    window: float = 2.0
+    #: Independent seeds per data point for figs 3/4 (1 = the report's
+    #: single-seed methodology; more adds Student-t confidence intervals).
+    replications: int = 1
+    seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("at least one network size required")
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+
+    def seeds(self) -> tuple[int, ...]:
+        """The independent seeds used for replicated data points."""
+        return tuple(self.seed + i for i in range(self.replications))
+
+
+def kp_count_for(n: int, requested: int, n_pes: int) -> int:
+    """Largest usable KP count <= ``requested`` for an n×n grid.
+
+    Block mapping needs the balanced factorisation of the KP count to tile
+    the grid and the PE count to tile the KPs; powers of four (1, 4, 16,
+    64) tile any even grid, so we round down within that family when the
+    requested count does not fit.
+    """
+    from repro.core.mapping import balanced_tile_counts
+
+    def fits(k: int) -> bool:
+        if k < n_pes or k % n_pes or k > n * n:
+            return False
+        kr, kc = balanced_tile_counts(k)
+        if n % kr or n % kc:
+            return False
+        pr, pc = balanced_tile_counts(n_pes)
+        return kr % pr == 0 and kc % pc == 0
+
+    k = requested
+    while k >= n_pes:
+        if fits(k):
+            return k
+        k -= 1
+    raise ValueError(f"no usable KP count <= {requested} for n={n}, pes={n_pes}")
+
+
+def run_hotpotato_sequential(
+    n: int, load: float, duration: float, seed: int
+) -> RunResult:
+    """One sequential hot-potato run (the Fig 3/4 workhorse)."""
+    cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=load)
+    return run_sequential(HotPotatoModel(cfg), duration, seed=seed)
+
+
+def run_hotpotato_parallel(
+    n: int,
+    load: float,
+    duration: float,
+    seed: int,
+    *,
+    n_pes: int,
+    n_kps: int,
+    batch_size: int = 16,
+    window: float | None = None,
+    **overrides,
+) -> RunResult:
+    """One Time Warp hot-potato run (the Fig 5-8 workhorse).
+
+    When ``window`` is given, the batch size becomes a generous cap and
+    the virtual-time window drives per-round optimism (ROSS-like).
+    """
+    cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=load)
+    if window is not None:
+        batch_size = max(batch_size, 1 << 20)
+    ecfg = EngineConfig(
+        end_time=duration,
+        n_pes=n_pes,
+        n_kps=n_kps,
+        batch_size=batch_size,
+        window=window,
+        seed=seed,
+        **overrides,
+    )
+    return run_optimistic(HotPotatoModel(cfg), ecfg)

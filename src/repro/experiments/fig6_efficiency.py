@@ -1,0 +1,32 @@
+"""Figure 6: efficiency (speed-up per processor) vs network size.
+
+"The simulation for smaller networks is close to linear (1), but the
+simulation of larger graphs drops to approximately 0.5." (§4.2.2)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.speedup import efficiency
+from repro.experiments.common import SweepParams
+from repro.experiments.fig5_speedup import collect_rates
+from repro.experiments.report import Table
+
+__all__ = ["run"]
+
+
+def run(params: SweepParams) -> Table:
+    """Regenerate the Fig 6 series (efficiency = speed-up / #PE)."""
+    rates = collect_rates(params)
+    table = Table(
+        title="Figure 6 — efficiency (speed-up / #PE) vs N",
+        columns=["N", "LPs"] + [f"{p} PE" for p in params.pe_counts],
+    )
+    for n in params.sizes:
+        seq_rate = rates[(n, 1)]
+        table.add_row(
+            n,
+            n * n,
+            *(efficiency(seq_rate, rates[(n, p)], p) for p in params.pe_counts),
+        )
+    table.notes.append("1.0 is linear speed-up; the 1-PE column is 1 by definition")
+    return table

@@ -1,0 +1,179 @@
+"""Command-line interface: regenerate any figure of the report.
+
+Examples
+--------
+Run everything at laptop scale::
+
+    python -m repro.experiments all
+
+One figure, bigger sweep, CSV output::
+
+    python -m repro.experiments fig3 --sizes 8,16,24,32 --duration 200 \
+        --csv-dir results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.experiments.common import SweepParams
+from repro.experiments.figures import EXPERIMENTS, experiment_ids, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_tuple(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated int list: {text!r}")
+
+
+def _float_tuple(text: str) -> tuple[float, ...]:
+    try:
+        return tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-separated float list: {text!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the experiment CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the report's figures from the reproduction.",
+        epilog="experiments: "
+        + "; ".join(f"{k} — {desc}" for k, (desc, _) in EXPERIMENTS.items()),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see below) or 'all'",
+    )
+    parser.add_argument(
+        "--sizes",
+        type=_int_tuple,
+        default=(8, 16),
+        help="network dimensions N to sweep (default: 8,16; the report "
+        "goes to 256 — budget accordingly)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=100.0,
+        help="simulated duration in time steps (default: 100)",
+    )
+    parser.add_argument(
+        "--loads",
+        type=_float_tuple,
+        default=(0.25, 0.50, 0.75, 1.00),
+        help="injector fractions for figs 3/4 (default: 0.25,0.5,0.75,1.0)",
+    )
+    parser.add_argument(
+        "--pes",
+        type=_int_tuple,
+        default=(1, 2, 4),
+        help="PE counts for figs 5/6 (default: 1,2,4)",
+    )
+    parser.add_argument(
+        "--kps",
+        type=_int_tuple,
+        default=(4, 8, 16, 32, 64),
+        help="KP counts for figs 7/8 (default: 4,8,16,32,64)",
+    )
+    parser.add_argument("--batch", type=int, default=16, help="optimism batch size")
+    parser.add_argument("--seed", type=int, default=0x5EED, help="global seed")
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="independent seeds per figs-3/4 data point (adds 95%% CIs)",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render each table's numeric series as an ASCII chart",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=pathlib.Path,
+        default=None,
+        help="also write each table as CSV into this directory",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    ids = experiment_ids() if "all" in args.experiments else args.experiments
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {experiment_ids()}")
+        return 2
+    params = SweepParams(
+        sizes=args.sizes,
+        duration=args.duration,
+        loads=args.loads,
+        pe_counts=args.pes,
+        kp_counts=args.kps,
+        batch_size=args.batch,
+        replications=args.replications,
+        seed=args.seed,
+    )
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in ids:
+        start = time.perf_counter()
+        table = run_experiment(exp_id, params)
+        elapsed = time.perf_counter() - start
+        print(table.to_text())
+        if args.plot:
+            chart = chart_from_table(table)
+            if chart:
+                print()
+                print(chart)
+        print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
+        if args.csv_dir is not None:
+            out = args.csv_dir / f"{exp_id}.csv"
+            out.write_text(table.to_csv())
+            print(f"wrote {out}")
+    return 0
+
+
+def chart_from_table(table) -> str | None:
+    """Render a table's numeric series against its first column, if any.
+
+    Returns ``None`` for tables that don't have a numeric x-axis plus at
+    least one numeric series over two or more rows (e.g. the determinism
+    matrix), so callers can skip plotting gracefully.
+    """
+    from repro.analysis.asciichart import plot
+
+    if len(table.rows) < 2:
+        return None
+    xs = [row[0] for row in table.rows]
+    if not all(isinstance(x, (int, float)) and not isinstance(x, bool) for x in xs):
+        return None
+    series = {}
+    for idx, name in enumerate(table.columns):
+        if idx == 0:
+            continue
+        pts = []
+        for row in table.rows:
+            v = row[idx]
+            if isinstance(v, bool) or not isinstance(v, (int, float)):
+                break
+            pts.append((float(row[0]), float(v)))
+        else:
+            if len({x for x, _ in pts}) >= 2:
+                series[str(name)] = pts
+    if not series:
+        return None
+    return plot(series, title=table.title)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""``python -m repro.hotpotato`` — run one simulation from the shell.
+
+Mirrors the report's program parameters (§3.3.1): network size N, number
+of processors, simulation duration, ``probability_i`` (the injector
+fraction) and ``absorb_sleeping_packet`` — plus this implementation's
+engine knobs.
+
+Examples::
+
+    python -m repro.hotpotato --n 8 --duration 200
+    python -m repro.hotpotato --n 16 --processors 4 --kps 64 --probability-i 50
+    python -m repro.hotpotato --n 8 --no-absorb-sleeping --validate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.simulation import HotPotatoSimulation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.hotpotato",
+        description="Simulate hot-potato routing on an N x N bufferless torus.",
+    )
+    parser.add_argument("--n", type=int, default=8, help="network dimension N (default 8)")
+    parser.add_argument(
+        "--processors",
+        type=int,
+        default=1,
+        help="simulated PEs; 1 = sequential engine (default)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=100.0,
+        help="SIMULATION_DURATION in time steps (default 100)",
+    )
+    parser.add_argument(
+        "--probability-i",
+        type=float,
+        default=100.0,
+        help="percent of routers hosting injection applications (default 100)",
+    )
+    parser.add_argument(
+        "--no-absorb-sleeping",
+        action="store_true",
+        help="run the proof-verification mode: routers do not absorb "
+        "sleeping packets at their destination",
+    )
+    parser.add_argument("--mesh", action="store_true", help="mesh instead of torus")
+    parser.add_argument("--kps", type=int, default=16, help="kernel processes (default 16)")
+    parser.add_argument("--batch", type=int, default=16, help="optimism batch size")
+    parser.add_argument("--seed", type=int, default=0x5EED, help="global seed")
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="also run the other engine and check the results are identical",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not 0.0 <= args.probability_i <= 100.0:
+        print("--probability-i must be within [0, 100]")
+        return 2
+    cfg = HotPotatoConfig(
+        n=args.n,
+        duration=args.duration,
+        injector_fraction=args.probability_i / 100.0,
+        absorb_sleeping=not args.no_absorb_sleeping,
+        torus=not args.mesh,
+    )
+    sim = HotPotatoSimulation(cfg, seed=args.seed)
+    if args.processors <= 1:
+        result = sim.run()
+    else:
+        result = sim.run_parallel(
+            n_pes=args.processors, n_kps=args.kps, batch_size=args.batch
+        )
+
+    ms = result.model_stats
+    run = result.run
+    topology = "mesh" if args.mesh else "torus"
+    print(f"{cfg.n}x{cfg.n} {topology}, {sum(sim._model().injectors)} injectors, "
+          f"{cfg.duration:.0f} steps, engine={run.engine} ({run.n_pes} PE)")
+    print(f"  events committed   : {run.committed:,}")
+    if run.engine == "optimistic":
+        print(f"  events rolled back : {run.events_rolled_back:,}")
+        print(f"  event rate (model) : {run.event_rate:,.0f} ev/s")
+    print(f"  packets injected   : {ms['injected']:,} (+{ms['initial_packets']} initial)")
+    print(f"  packets delivered  : {ms['delivered']:,}")
+    print(f"  avg delivery time  : {ms['avg_delivery_time']:.3f} steps")
+    print(f"  max delivery time  : {ms['max_delivery_time']} steps")
+    print(f"  avg wait to inject : {ms['avg_inject_wait']:.3f} steps")
+    print(f"  max wait to inject : {ms['max_inject_wait']} steps")
+    print(f"  deflection rate    : {100 * ms['deflection_rate']:.2f}%")
+
+    if args.validate:
+        other = (
+            sim.run_parallel(n_pes=4, n_kps=args.kps, batch_size=args.batch)
+            if args.processors <= 1
+            else sim.run()
+        )
+        identical = other.model_stats == ms
+        print(f"  cross-engine check : {'IDENTICAL' if identical else 'MISMATCH'}")
+        if not identical:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

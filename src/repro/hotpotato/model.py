@@ -1,0 +1,81 @@
+"""The hot-potato network model: router population plus stat collection."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.lp import LogicalProcess, Model
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.policy import BuschHotPotatoPolicy, RoutingPolicy
+from repro.hotpotato.router import MODEL_LOOKAHEAD, RouterLP
+from repro.hotpotato.stats import aggregate_router_stats
+from repro.net import GridTopology, MeshTopology, TorusTopology
+from repro.rng.streams import ReversibleStream, derive_seed
+
+__all__ = ["HotPotatoModel", "choose_injectors"]
+
+
+def choose_injectors(cfg: HotPotatoConfig) -> tuple[bool, ...]:
+    """Decide which routers host packet injection applications.
+
+    Exact mode places ``round(fraction * n²)`` injectors evenly over the
+    id space (deterministic, load-comparable across runs).  Probabilistic
+    mode implements the report's ``probability_i`` literally: each router
+    is an injector with probability ``fraction``, drawn from a dedicated
+    layout stream so engine seeds don't change the workload.
+    """
+    num = cfg.num_routers
+    frac = cfg.injector_fraction
+    if frac <= 0.0:
+        return (False,) * num
+    if frac >= 1.0:
+        return (True,) * num
+    if cfg.exact_injectors:
+        k = max(1, round(frac * num))
+        marks = [False] * num
+        for i in range(k):
+            marks[(i * num) // k] = True
+        return tuple(marks)
+    flags = []
+    for node in range(num):
+        stream = ReversibleStream(derive_seed(cfg.layout_seed, node), node)
+        flags.append(stream.unif() < frac)
+    return tuple(flags)
+
+
+class HotPotatoModel(Model):
+    """N×N torus (or mesh) of bufferless hot-potato routers."""
+
+    def __init__(
+        self,
+        cfg: HotPotatoConfig | None = None,
+        policy: RoutingPolicy | None = None,
+    ) -> None:
+        self.cfg = cfg if cfg is not None else HotPotatoConfig()
+        self.policy = policy if policy is not None else BuschHotPotatoPolicy()
+        self.topo: GridTopology = (
+            TorusTopology(self.cfg.n) if self.cfg.torus else MeshTopology(self.cfg.n)
+        )
+        #: Grid shape consumed by the block LP/KP/PE mapping.
+        self.grid = (self.cfg.n, self.cfg.n)
+        #: Declared lookahead for conservative execution (see router.py).
+        self.lookahead = MODEL_LOOKAHEAD
+        self.injectors = choose_injectors(self.cfg)
+        #: Commit-time (delivery_step, latency) log; populated during the
+        #: run when cfg.delivery_log is set.  Entries commit in per-KP key
+        #: order, so sort before time-series analysis.
+        self.delivery_log: list[tuple[int, int]] = []
+
+    def build(self) -> list[LogicalProcess]:
+        log = self.delivery_log if self.cfg.delivery_log else None
+        return [
+            RouterLP(i, self.cfg, self.topo, self.policy, self.injectors[i], log)
+            for i in range(self.cfg.num_routers)
+        ]
+
+    def collect_stats(self, lps: list[LogicalProcess]) -> dict[str, Any]:
+        stats = aggregate_router_stats(lps)
+        stats["policy"] = self.policy.name
+        stats["n"] = self.cfg.n
+        stats["injectors"] = sum(self.injectors)
+        return stats

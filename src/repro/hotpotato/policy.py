@@ -1,0 +1,207 @@
+"""Routing policies: the per-step link decision and priority transitions.
+
+The policy layer is pure decision logic — given where a packet wants to go
+and which output links are still free this step, pick a link and the
+packet's next priority.  Keeping it separate from the router LP makes the
+algorithm rules (§1.2.5) unit-testable without a simulator, and lets the
+baseline algorithms (:mod:`repro.baselines`) plug into the same router.
+
+The hot-potato rules implemented by :class:`BuschHotPotatoPolicy`:
+
+* **Sleeping** — route to any good link (deflect if none).  Each time it is
+  routed, upgrade to Active with probability 1/(24n).
+* **Active** — route to any good link.  When deflected, upgrade to Excited
+  with probability 1/(16n).
+* **Excited** — route via the home-run path; success promotes to Running,
+  deflection demotes back to Active (Excited lasts at most one step).
+* **Running** — route via the home-run path; deflection (possible only
+  while turning, per the theory) demotes to Active.
+
+All probability draws go through the LP's reversible RNG stream, so the
+Time Warp kernel can undo them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.packet import Priority
+from repro.net import DIRECTIONS, Direction, GridTopology
+from repro.rng.streams import ReversibleStream
+
+__all__ = [
+    "RouteOutcome",
+    "RoutingPolicy",
+    "BuschHotPotatoPolicy",
+    "first_free_good",
+    "first_free",
+]
+
+
+@dataclass(frozen=True)
+class RouteOutcome:
+    """The routing decision for one packet at one router and step.
+
+    Attributes
+    ----------
+    direction:
+        Output link chosen (a free link always exists: a bufferless router
+        never receives more packets per step than it has output links).
+    new_priority:
+        Packet priority for the next hop.
+    deflected:
+        The packet did not advance toward its destination this hop.
+    upgraded / demoted:
+        Priority transition flags.  ``demoted`` marks an Excited/Running
+        packet knocked off its home-run path (the theory's notion of a
+        home-run deflection), even when the replacement hop still makes
+        progress over another good link.
+    turning:
+        The packet was at its home-run turn this step (only meaningful for
+        Excited/Running packets).
+    """
+
+    direction: Direction
+    new_priority: Priority
+    deflected: bool
+    upgraded: bool = False
+    demoted: bool = False
+    turning: bool = False
+
+
+def first_free_good(
+    topo: GridTopology, node: int, dest: int, free: tuple[bool, bool, bool, bool]
+) -> Direction | None:
+    """First free *good* link in the topology's deterministic order."""
+    for d in topo.good_dirs(node, dest):
+        if free[d]:
+            return d
+    return None
+
+
+def first_free(
+    free: tuple[bool, bool, bool, bool], avoid: Direction | None = None
+) -> Direction | None:
+    """First free link in compass order, optionally skipping one direction.
+
+    ``avoid`` lets callers prefer not to bounce a packet straight back the
+    way it came when another free link exists.
+    """
+    for d in DIRECTIONS:
+        if free[d] and d != avoid:
+            return d
+    if avoid is not None and free[avoid]:
+        return avoid
+    return None
+
+
+class RoutingPolicy:
+    """Interface for per-packet routing decisions."""
+
+    #: Name used in configs, stats and reports.
+    name = "abstract"
+
+    def route(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        rng: ReversibleStream,
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        """Decide the output link and next priority for one packet.
+
+        ``free[d]`` tells whether output link ``d`` is still unclaimed this
+        step.  At least one entry is True (bufferless invariant).  RNG
+        draws must go through ``rng`` so rollbacks can undo them.
+        """
+        raise NotImplementedError
+
+
+class BuschHotPotatoPolicy(RoutingPolicy):
+    """The SPAA 2001 four-priority hot-potato algorithm (see module doc)."""
+
+    name = "busch"
+
+    def route(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        rng: ReversibleStream,
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        if priority >= Priority.EXCITED:
+            return self._route_homerun(topo, node, dest, priority, free, cfg)
+        return self._route_greedy(topo, node, dest, priority, free, rng, cfg)
+
+    # ------------------------------------------------------------------
+    def _route_greedy(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        rng: ReversibleStream,
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        """Sleeping/Active: any good link, else deflect."""
+        d = first_free_good(topo, node, dest, free)
+        deflected = d is None
+        if deflected:
+            d = first_free(free)
+            assert d is not None, "bufferless invariant violated"
+        if priority == Priority.SLEEPING:
+            # "When a packet in the Sleeping state is routed, it is given a
+            # chance with the probability of 1/24n to upgrade" — on every
+            # route, deflected or not.
+            if rng.bernoulli(cfg.sleeping_upgrade_p):
+                return RouteOutcome(d, Priority.ACTIVE, deflected, upgraded=True)
+            return RouteOutcome(d, Priority.SLEEPING, deflected)
+        # Active: the upgrade chance applies only when deflected.
+        if deflected:
+            if rng.bernoulli(cfg.active_upgrade_p):
+                return RouteOutcome(d, Priority.EXCITED, True, upgraded=True)
+            return RouteOutcome(d, Priority.ACTIVE, True)
+        return RouteOutcome(d, Priority.ACTIVE, False)
+
+    def _route_homerun(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        """Excited/Running: the one-bend path or demotion to Active."""
+        want = topo.homerun_dir(node, dest)
+        turning = topo.is_turning(node, dest)
+        assert want is not None, "home-run packet already at destination"
+        if free[want]:
+            # Excited promotes to Running on a successful home-run hop;
+            # Running just keeps running.
+            upgraded = priority == Priority.EXCITED
+            return RouteOutcome(
+                want, Priority.RUNNING, False, upgraded=upgraded, turning=turning
+            )
+        # Knocked off the home-run path: back to Active either way
+        # (``demoted``).  The hop may still make progress over another good
+        # link, in which case it is not a ``deflected`` hop in the
+        # distance sense.
+        d = first_free_good(topo, node, dest, free)
+        if d is not None:
+            return RouteOutcome(
+                d, Priority.ACTIVE, False, demoted=True, turning=turning
+            )
+        d = first_free(free)
+        assert d is not None, "bufferless invariant violated"
+        return RouteOutcome(
+            d, Priority.ACTIVE, True, demoted=True, turning=turning
+        )

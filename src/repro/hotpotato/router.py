@@ -1,0 +1,473 @@
+"""The bufferless router LP with its four event handlers (and reverses).
+
+"There are four event types: ARRIVE, ROUTE, HEARTBEAT and
+PACKET_INJECTION_APPLICATION" (§3.1.4); an additional INIT event performs
+the startup network fill so that even initialisation is an ordinary,
+rollback-safe event.
+
+Within each unit-length time step ``s`` the virtual-time layout is:
+
+====================  =======================================
+event                 timestamp inside step ``s``
+====================  =======================================
+ARRIVE                ``s + jitter``, jitter in (0, 0.5]
+ROUTE                 ``s + 0.6 + 0.05*rank + 0.04*jitter``
+INJECT                ``s + 0.9``
+HEARTBEAT             ``s + 0.95``
+====================  =======================================
+
+where ``rank`` is 0 for Running down to 3 for Sleeping — "the time stamps
+of the generated ROUTE events are staggered based on priority" (§3.1.4) so
+higher-priority packets claim output links first, and the carried arrival
+jitter breaks same-priority contention randomly (§3.2.2).  All routing for
+step ``s`` completes before injection, which completes before the
+utilisation sample; packets forwarded at step ``s`` arrive at step
+``s + 1``.  Every handler records what it changed in ``event.saved`` and
+has an exact reverse, so the model runs unmodified on the Time Warp kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess
+from repro.errors import ModelError
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.packet import Priority
+from repro.hotpotato.policy import RoutingPolicy, first_free, first_free_good
+from repro.hotpotato.stats import RouterStats
+from repro.net import DIRECTIONS, GridTopology
+
+__all__ = [
+    "RouterLP",
+    "INIT",
+    "ARRIVE",
+    "ROUTE",
+    "HEARTBEAT",
+    "INJECT",
+]
+
+# Event kinds (INJECT keeps the report's verbose name).
+INIT = "INIT"
+ARRIVE = "ARRIVE"
+ROUTE = "ROUTE"
+HEARTBEAT = "HEARTBEAT"
+INJECT = "PACKET_INJECTION_APPLICATION"
+
+# Virtual-time layout within a step (see module docstring).
+INIT_TS = 0.1
+ROUTE_BASE = 0.6
+ROUTE_PRIO_STRIDE = 0.05
+ROUTE_JITTER_SCALE = 0.04
+INJECT_OFFSET = 0.9
+HEARTBEAT_OFFSET = 0.95
+#: Arrival offset used when the randomised jitter is disabled.
+FIXED_JITTER = 0.25
+
+#: Minimum virtual-time gap between any event and anything it schedules,
+#: over all handler/offset combinations (the binding case is INJECT at
+#: s+0.9 sending an ARRIVE at s+1+jitter with jitter >= 1/(2*jitter_slots)).
+#: Declared as the model's lookahead for conservative execution.
+MODEL_LOOKAHEAD = 0.1
+
+
+class RouterLP(LogicalProcess):
+    """One bufferless router (plus optional injection application)."""
+
+    __slots__ = (
+        "cfg",
+        "topo",
+        "policy",
+        "is_injector",
+        "neighbors",
+        "exists",
+        "links",
+        "head_gen_step",
+        "stats",
+        "delivery_log",
+    )
+
+    def __init__(
+        self,
+        lp_id: int,
+        cfg: HotPotatoConfig,
+        topo: GridTopology,
+        policy: RoutingPolicy,
+        is_injector: bool,
+        delivery_log: list | None = None,
+    ) -> None:
+        super().__init__(lp_id)
+        self.cfg = cfg
+        self.topo = topo
+        self.policy = policy
+        self.is_injector = is_injector
+        #: Shared model-level log written at commit time (rollback-safe).
+        self.delivery_log = delivery_log
+        #: Neighbor LP per direction (None off a mesh edge).
+        self.neighbors = tuple(topo.neighbor(lp_id, d) for d in DIRECTIONS)
+        #: Which output links physically exist (all four on a torus).
+        self.exists = tuple(nb is not None for nb in self.neighbors)
+        #: Last step each output link was claimed (-1 = never).  A link is
+        #: free at step s iff its entry differs from s.
+        self.links = [-1, -1, -1, -1]
+        #: Generation step of the oldest not-yet-injected packet; equals
+        #: the number of packets injected so far, since one packet is
+        #: generated per step from step 0.
+        self.head_gen_step = 0
+        self.stats = RouterStats()
+
+    # ------------------------------------------------------------------
+    # Startup.
+    # ------------------------------------------------------------------
+    def on_init(self) -> None:
+        self.send(INIT_TS, self.id, INIT)
+
+    # ------------------------------------------------------------------
+    # Dispatch.
+    # ------------------------------------------------------------------
+    def forward(self, event: Event) -> None:
+        kind = event.kind
+        if kind == ARRIVE:
+            self._arrive(event)
+        elif kind == ROUTE:
+            self._route(event)
+        elif kind == INJECT:
+            self._inject(event)
+        elif kind == HEARTBEAT:
+            self._heartbeat(event)
+        elif kind == INIT:
+            self._init_fill(event)
+        else:  # pragma: no cover - defensive
+            raise ModelError(f"router {self.id}: unknown event kind {kind!r}")
+
+    def reverse(self, event: Event) -> None:
+        kind = event.kind
+        if kind == ARRIVE:
+            self._rc_arrive(event)
+        elif kind == ROUTE:
+            self._rc_route(event)
+        elif kind == INJECT:
+            self._rc_inject(event)
+        elif kind == HEARTBEAT:
+            self._rc_heartbeat(event)
+        elif kind == INIT:
+            self._rc_init_fill(event)
+        else:  # pragma: no cover - defensive
+            raise ModelError(f"router {self.id}: unknown event kind {kind!r}")
+
+    def commit(self, event: Event) -> None:
+        """Commit hook: record final deliveries in the shared log.
+
+        Commit fires exactly once per event, after it can never be rolled
+        back, so appending here needs no reverse handler.
+        """
+        if (
+            self.delivery_log is not None
+            and event.kind == ARRIVE
+            and "absorb" in event.saved
+        ):
+            data = event.data
+            self.delivery_log.append(
+                (data["step"], data["step"] - data["inject_step"])
+            )
+
+    # ------------------------------------------------------------------
+    # Shared helpers.
+    # ------------------------------------------------------------------
+    def _draw_jitter(self) -> float:
+        """Per-packet arrival offset in (0, 0.5] (one draw, or none)."""
+        cfg = self.cfg
+        if cfg.arrival_jitter:
+            return self.rng.integer(1, cfg.jitter_slots) / (2 * cfg.jitter_slots)
+        return FIXED_JITTER
+
+    def _draw_destination(self) -> int:
+        """Uniform destination among the other routers (one draw)."""
+        d = self.rng.integer(0, self.topo.num_nodes - 2)
+        return d + 1 if d >= self.id else d
+
+    def _free_mask(self, step: int) -> tuple[bool, bool, bool, bool]:
+        links = self.links
+        ex = self.exists
+        return tuple(ex[d] and links[d] != step for d in DIRECTIONS)  # type: ignore[return-value]
+
+    def _send_arrive(self, direction: int, step: int, fields: dict[str, Any]) -> None:
+        """Forward a packet over ``direction``, arriving next step."""
+        nb = self.neighbors[direction]
+        assert nb is not None, "routed onto a non-existent link"
+        self.send(step + 1 + fields["jitter"], nb, ARRIVE, fields)
+
+    # ------------------------------------------------------------------
+    # INIT: seed the network "to full (four packets per router)" (§3.3.1).
+    # ------------------------------------------------------------------
+    def _init_fill(self, event: Event) -> None:
+        cfg = self.cfg
+        seeded: list[int] = []
+        if cfg.initial_fill > 0.0:
+            for d in DIRECTIONS:
+                if not self.exists[d]:
+                    continue
+                if cfg.initial_fill < 1.0 and not self.rng.bernoulli(cfg.initial_fill):
+                    continue
+                dest = self._draw_destination()
+                jitter = self._draw_jitter()
+                self.links[d] = 0
+                seeded.append(d)
+                self._send_arrive(
+                    d,
+                    0,
+                    {
+                        "step": 1,
+                        "dest": dest,
+                        "priority": int(Priority.SLEEPING),
+                        "inject_step": 0,
+                        "jitter": jitter,
+                        "distance": self.topo.distance(self.id, dest),
+                        "src": self.id,
+                    },
+                )
+        event.saved["seeded"] = seeded
+        self.stats.initial_packets += len(seeded)
+        if self.is_injector:
+            self.send(INJECT_OFFSET, self.id, INJECT, {"step": 0})
+        if cfg.heartbeat:
+            self.send(HEARTBEAT_OFFSET, self.id, HEARTBEAT, {"step": 0})
+
+    def _rc_init_fill(self, event: Event) -> None:
+        seeded = event.saved["seeded"]
+        for d in seeded:
+            self.links[d] = -1
+        self.stats.initial_packets -= len(seeded)
+
+    # ------------------------------------------------------------------
+    # ARRIVE: absorb at destination, else queue a ROUTE decision.
+    # ------------------------------------------------------------------
+    def _arrive(self, event: Event) -> None:
+        data = event.data
+        step: int = data["step"]
+        priority = data["priority"]
+        if data["dest"] == self.id and (
+            priority != Priority.SLEEPING or self.cfg.absorb_sleeping
+        ):
+            # Absorption: record delivery statistics; the output link the
+            # packet would have used stays free for injection (§4.1).
+            st = self.stats
+            dt = step - data["inject_step"]
+            st.delivered += 1
+            st.total_delivery_time += dt
+            st.total_distance += data["distance"]
+            st.delivered_by_priority[priority] += 1
+            prev_max = st.max_delivery_time
+            if dt > prev_max:
+                st.max_delivery_time = dt
+            event.saved["absorb"] = prev_max
+            return
+        rank = Priority(priority).route_rank
+        ts = (
+            step
+            + ROUTE_BASE
+            + ROUTE_PRIO_STRIDE * rank
+            + ROUTE_JITTER_SCALE * data["jitter"]
+        )
+        # The ROUTE event reuses the same payload dict: handlers treat
+        # payloads as read-only, so sharing is safe and avoids a copy.
+        self.send(ts, self.id, ROUTE, data)
+        event.saved.pop("absorb", None)
+
+    def _rc_arrive(self, event: Event) -> None:
+        prev_max = event.saved.pop("absorb", None)
+        if prev_max is None:
+            return  # only sent a ROUTE event; the kernel cancels it
+        data = event.data
+        st = self.stats
+        dt = data["step"] - data["inject_step"]
+        st.delivered -= 1
+        st.total_delivery_time -= dt
+        st.total_distance -= data["distance"]
+        st.delivered_by_priority[data["priority"]] -= 1
+        st.max_delivery_time = prev_max
+
+    # ------------------------------------------------------------------
+    # ROUTE: claim an output link per the policy; forward the packet.
+    # ------------------------------------------------------------------
+    def _route(self, event: Event) -> None:
+        data = event.data
+        step: int = data["step"]
+        free = self._free_mask(step)
+        if not any(free):
+            # More packets than output links.  In a committed timeline this
+            # is impossible (the bufferless invariant); it CAN be observed
+            # transiently under lazy cancellation, where a rolled-back
+            # neighbor's parked message stays visible until its sender
+            # re-executes and disowns it.  Such states are always rolled
+            # back, so route "impossibly" on the first physical link and
+            # count it; committed statistics must show zero overflows
+            # (asserted across the test suite).
+            st = self.stats
+            d = next(dd for dd in DIRECTIONS if self.exists[dd])
+            event.saved["route"] = (int(d), self.links[d], False, False, False, False, data["priority"])
+            event.saved["overflow"] = True
+            self.links[d] = step
+            st.routes += 1
+            st.overflow_routes += 1
+            fields = dict(data)
+            fields["step"] = step + 1
+            self._send_arrive(d, step, fields)
+            return
+        event.saved.pop("overflow", None)
+        priority = Priority(data["priority"])
+        out = self.policy.route(
+            self.topo, self.id, data["dest"], priority, free, self.rng, self.cfg
+        )
+        d = out.direction
+        st = self.stats
+        event.saved["route"] = (
+            int(d),
+            self.links[d],
+            out.deflected,
+            out.upgraded,
+            out.demoted,
+            priority == Priority.RUNNING and out.demoted and not out.turning,
+            int(priority),
+        )
+        self.links[d] = step
+        st.routes += 1
+        if out.deflected:
+            st.deflections += 1
+        if out.upgraded:
+            if priority == Priority.SLEEPING:
+                st.upgrades_sleeping += 1
+            elif priority == Priority.ACTIVE:
+                st.upgrades_active += 1
+            else:
+                st.promotions_running += 1
+        if out.demoted:
+            st.demotions += 1
+        if priority == Priority.RUNNING and out.demoted and not out.turning:
+            st.running_deflections_off_turn += 1
+        fields = dict(data)
+        fields["step"] = step + 1
+        fields["priority"] = int(out.new_priority)
+        self._send_arrive(d, step, fields)
+
+    def _rc_route(self, event: Event) -> None:
+        d, prev_claim, deflected, upgraded, demoted, off_turn, priority = event.saved[
+            "route"
+        ]
+        st = self.stats
+        self.links[d] = prev_claim
+        st.routes -= 1
+        if event.saved.pop("overflow", None):
+            st.overflow_routes -= 1
+            return
+        if deflected:
+            st.deflections -= 1
+        if upgraded:
+            if priority == Priority.SLEEPING:
+                st.upgrades_sleeping -= 1
+            elif priority == Priority.ACTIVE:
+                st.upgrades_active -= 1
+            else:
+                st.promotions_running -= 1
+        if demoted:
+            st.demotions -= 1
+        if off_turn:
+            st.running_deflections_off_turn -= 1
+
+    # ------------------------------------------------------------------
+    # INJECT: one injection attempt per step (§3.1.4).
+    # ------------------------------------------------------------------
+    def _inject(self, event: Event) -> None:
+        data = event.data
+        step: int = data["step"]
+        # The application generates one packet per step from step 0; the
+        # queue head's generation step doubles as the injected count.
+        self.send(step + 1 + INJECT_OFFSET, self.id, INJECT, {"step": step + 1})
+        pending = (step + 1) - self.head_gen_step
+        if pending <= 0:
+            event.saved["inject"] = None
+            return
+        free = self._free_mask(step)
+        if not any(free):
+            # "a packet can only be injected when there is a free link at
+            # that router" (§4.1) — blocked this step.
+            self.stats.inject_blocked += 1
+            event.saved["inject"] = ()
+            return
+        dest = self._draw_destination()
+        jitter = self._draw_jitter()
+        d = first_free_good(self.topo, self.id, dest, free)
+        if d is None:
+            d = first_free(free)
+            assert d is not None
+        st = self.stats
+        wait = step - self.head_gen_step
+        prev_max = st.max_inject_wait
+        event.saved["inject"] = (int(d), self.links[d], wait, prev_max)
+        self.links[d] = step
+        self.head_gen_step += 1
+        st.injected += 1
+        st.total_inject_wait += wait
+        if wait > prev_max:
+            st.max_inject_wait = wait
+        self._send_arrive(
+            d,
+            step,
+            {
+                "step": step + 1,
+                "dest": dest,
+                "priority": int(Priority.SLEEPING),
+                "inject_step": step,
+                "jitter": jitter,
+                "distance": self.topo.distance(self.id, dest),
+                "src": self.id,
+            },
+        )
+
+    def _rc_inject(self, event: Event) -> None:
+        saved = event.saved["inject"]
+        if saved is None:
+            return
+        if saved == ():
+            self.stats.inject_blocked -= 1
+            return
+        d, prev_claim, wait, prev_max = saved
+        st = self.stats
+        self.links[d] = prev_claim
+        self.head_gen_step -= 1
+        st.injected -= 1
+        st.total_inject_wait -= wait
+        st.max_inject_wait = prev_max
+
+    # ------------------------------------------------------------------
+    # HEARTBEAT: sample output-link utilisation (optional, §3.1.4).
+    # ------------------------------------------------------------------
+    def _heartbeat(self, event: Event) -> None:
+        step: int = event.data["step"]
+        links = self.links
+        claimed = sum(
+            1 for d in DIRECTIONS if self.exists[d] and links[d] == step
+        )
+        st = self.stats
+        st.util_claimed += claimed
+        st.util_samples += sum(self.exists)
+        event.saved["hb"] = claimed
+        self.send(step + 1 + HEARTBEAT_OFFSET, self.id, HEARTBEAT, {"step": step + 1})
+
+    def _rc_heartbeat(self, event: Event) -> None:
+        st = self.stats
+        st.util_claimed -= event.saved["hb"]
+        st.util_samples -= sum(self.exists)
+
+    # ------------------------------------------------------------------
+    # State-saving snapshots (cheaper than the default deepcopy).
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Any:
+        return (list(self.links), self.head_gen_step, self.stats.copy())
+
+    def restore_state(self, snapshot: Any) -> None:
+        links, head, stats = snapshot
+        self.links = list(links)
+        self.head_gen_step = head
+        self.stats = stats.copy()

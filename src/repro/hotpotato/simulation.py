@@ -1,0 +1,83 @@
+"""High-level facade: configure, run, and compare engines in one call."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.core.result import RunResult
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+from repro.hotpotato.policy import RoutingPolicy
+
+__all__ = ["HotPotatoSimulation"]
+
+
+class HotPotatoSimulation:
+    """One-stop API for running the hot-potato model.
+
+    Examples
+    --------
+    >>> sim = HotPotatoSimulation(HotPotatoConfig(n=8, duration=50.0))
+    >>> seq = sim.run()                      # sequential oracle
+    >>> par = sim.run_parallel(n_pes=4, n_kps=16)
+    >>> assert seq.model_stats == par.model_stats   # repeatability
+    """
+
+    def __init__(
+        self,
+        cfg: HotPotatoConfig | None = None,
+        policy: RoutingPolicy | None = None,
+        *,
+        seed: int = 0x5EED,
+    ) -> None:
+        self.cfg = cfg if cfg is not None else HotPotatoConfig()
+        self.policy = policy
+        self.seed = seed
+
+    def _model(self) -> HotPotatoModel:
+        # A fresh model per run: LP state is single-use.
+        return HotPotatoModel(self.cfg, self.policy)
+
+    def run(self) -> RunResult:
+        """Run on the sequential oracle engine."""
+        return run_sequential(self._model(), self.cfg.duration, seed=self.seed)
+
+    def run_parallel(
+        self,
+        n_pes: int = 4,
+        n_kps: int = 64,
+        *,
+        batch_size: int = 16,
+        engine_config: EngineConfig | None = None,
+        **overrides: Any,
+    ) -> RunResult:
+        """Run on the Time Warp engine.
+
+        Either pass a full :class:`EngineConfig` (its ``end_time`` is
+        overridden by the model duration) or let this method build one
+        from ``n_pes`` / ``n_kps`` / ``batch_size`` plus keyword overrides
+        (``mapping=...``, ``rollback=...``, ...).
+        """
+        if engine_config is not None:
+            ecfg = replace(engine_config, end_time=self.cfg.duration)
+        else:
+            ecfg = EngineConfig(
+                end_time=self.cfg.duration,
+                n_pes=n_pes,
+                n_kps=n_kps,
+                batch_size=batch_size,
+                seed=self.seed,
+                **overrides,
+            )
+        return run_optimistic(self._model(), ecfg)
+
+    def validate_determinism(self, n_pes: int = 4, n_kps: int = 16) -> bool:
+        """The report's Attachment-3 check: parallel results == sequential."""
+        return (
+            self.run().model_stats
+            == self.run_parallel(n_pes=n_pes, n_kps=n_kps).model_stats
+        )

@@ -1,0 +1,23 @@
+"""Reference models that ship with the kernel.
+
+* :mod:`repro.models.phold` — the classic PHOLD synthetic workload, used
+  to exercise and benchmark the Time Warp kernel independently of the
+  hot-potato routing model.
+* :mod:`repro.models.mm1` — a tandem M/M/1 queueing network whose
+  steady-state behaviour has closed forms (ρ, L, W, Little's law),
+  validating the kernel against theory rather than another simulator.
+"""
+
+from repro.models.mm1 import MM1Config, MM1Model, QueueLP, SinkLP, SourceLP
+from repro.models.phold import PholdConfig, PholdLP, PholdModel
+
+__all__ = [
+    "MM1Config",
+    "MM1Model",
+    "PholdConfig",
+    "PholdLP",
+    "PholdModel",
+    "QueueLP",
+    "SinkLP",
+    "SourceLP",
+]

@@ -1,0 +1,254 @@
+"""A tandem M/M/1 queueing network — analytically checkable kernel food.
+
+The hot-potato model validates the kernel against a *sequential oracle*;
+this model validates it against *closed-form theory*: a line of M/M/1
+queues with Poisson arrivals (rate λ) and exponential service (rate μ)
+has, in steady state,
+
+* utilisation        ρ = λ/μ,
+* mean number in system   L = ρ / (1 − ρ),
+* mean sojourn time        W = 1 / (μ − λ),
+* and Little's law         L = λ·W  holds even out of steady state.
+
+The test suite runs the model on every engine and checks the measured
+statistics against these formulas — a correctness anchor that does not
+depend on any other part of this repository being right.
+
+Reverse computation note: each queue LP's state is (queue depth, busy
+flag, accumulators); all transitions save what they need in the event,
+so the model runs optimistically like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess, Model
+from repro.errors import ConfigurationError
+
+__all__ = ["MM1Config", "QueueLP", "SourceLP", "SinkLP", "MM1Model"]
+
+ARRIVAL = "ARRIVAL"
+DEPART = "DEPART"
+GENERATE = "GENERATE"
+
+#: Fixed transfer delay between stations — also the model's lookahead.
+TRANSFER = 0.05
+
+
+@dataclass(frozen=True)
+class MM1Config:
+    """Tandem queue parameters."""
+
+    #: Queueing stations in series.
+    stations: int = 1
+    #: Poisson arrival rate λ.
+    arrival_rate: float = 0.5
+    #: Exponential service rate μ per station.
+    service_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.stations < 1:
+            raise ConfigurationError("need at least one station")
+        if self.arrival_rate <= 0 or self.service_rate <= 0:
+            raise ConfigurationError("rates must be positive")
+        if self.arrival_rate >= self.service_rate:
+            raise ConfigurationError(
+                f"unstable queue: λ={self.arrival_rate} >= μ={self.service_rate}"
+            )
+
+    @property
+    def rho(self) -> float:
+        """Offered load ρ = λ/μ."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def expected_sojourn(self) -> float:
+        """Theoretical mean time in one station, W = 1/(μ-λ)."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def expected_in_system(self) -> float:
+        """Theoretical mean jobs in one station, L = ρ/(1-ρ)."""
+        return self.rho / (1.0 - self.rho)
+
+
+class SourceLP(LogicalProcess):
+    """Poisson job source (LP 0)."""
+
+    def __init__(self, lp_id: int, cfg: MM1Config):
+        super().__init__(lp_id)
+        self.cfg = cfg
+        self.state = [0]  # jobs generated
+
+    def on_init(self) -> None:
+        self.send(TRANSFER + self.rng.exponential(1.0 / self.cfg.arrival_rate),
+                  self.id, GENERATE)
+
+    def forward(self, event: Event) -> None:
+        self.state[0] += 1
+        # Hand the job to station 1 and schedule the next arrival.
+        self.send(self.now + TRANSFER, self.id + 1, ARRIVAL,
+                  {"born": self.now})
+        gap = self.rng.exponential(1.0 / self.cfg.arrival_rate)
+        self.send(self.now + TRANSFER + gap, self.id, GENERATE)
+
+    def reverse(self, event: Event) -> None:
+        self.state[0] -= 1
+
+
+class QueueLP(LogicalProcess):
+    """One M/M/1 station: FIFO queue + exponential server.
+
+    Time-weighted queue-length integration (for L) uses the classic
+    accumulate-on-change trick, fully reversible via saved deltas.
+    """
+
+    __slots__ = ("cfg",)
+
+    def __init__(self, lp_id: int, cfg: MM1Config):
+        super().__init__(lp_id)
+        self.cfg = cfg
+        self.state = {
+            "queue": [],          # arrival payloads waiting (FIFO)
+            "busy": False,
+            "in_service": None,   # payload being served
+            "last_change": 0.0,   # last time num-in-system changed
+            "area": 0.0,          # ∫ num-in-system dt
+            "completed": 0,
+            "busy_area": 0.0,     # ∫ busy dt  (for utilisation)
+        }
+
+    # -- helpers ---------------------------------------------------------
+    def _num_in_system(self) -> int:
+        s = self.state
+        return len(s["queue"]) + (1 if s["busy"] else 0)
+
+    def _advance_clock(self, event: Event) -> None:
+        # Reverse-computation pitfall: floating-point accumulation is NOT
+        # reversible by subtraction — ``(a + x) - x`` can differ from ``a``
+        # in the last ulp, and a single ulp breaks bit-identical engine
+        # equivalence.  Save the old *values* and restore them instead.
+        s = self.state
+        event.saved["clock"] = (s["last_change"], s["area"], s["busy_area"])
+        dt = self.now - s["last_change"]
+        s["area"] += dt * self._num_in_system()
+        if s["busy"]:
+            s["busy_area"] += dt
+        s["last_change"] = self.now
+
+    def _rc_clock(self, event: Event) -> None:
+        s = self.state
+        s["last_change"], s["area"], s["busy_area"] = event.saved["clock"]
+
+    # -- handlers --------------------------------------------------------
+    def forward(self, event: Event) -> None:
+        if event.kind == ARRIVAL:
+            self._advance_clock(event)
+            s = self.state
+            if s["busy"]:
+                s["queue"].append(event.data)
+                event.saved["action"] = "queued"
+            else:
+                s["busy"] = True
+                s["in_service"] = event.data
+                service = self.rng.exponential(1.0 / self.cfg.service_rate)
+                self.send(self.now + service, self.id, DEPART)
+                event.saved["action"] = "served"
+        else:  # DEPART
+            self._advance_clock(event)
+            s = self.state
+            done = s["in_service"]
+            event.saved["done"] = done
+            s["completed"] += 1
+            # Forward the job downstream (the sink is the last LP).
+            self.send(self.now + TRANSFER, self.id + 1, ARRIVAL, dict(done))
+            if s["queue"]:
+                nxt = s["queue"].pop(0)
+                s["in_service"] = nxt
+                event.saved["action"] = "next"
+                service = self.rng.exponential(1.0 / self.cfg.service_rate)
+                self.send(self.now + service, self.id, DEPART)
+            else:
+                s["busy"] = False
+                s["in_service"] = None
+                event.saved["action"] = "idle"
+
+    def reverse(self, event: Event) -> None:
+        s = self.state
+        action = event.saved["action"]
+        if event.kind == ARRIVAL:
+            if action == "queued":
+                s["queue"].pop()
+            else:  # served
+                s["busy"] = False
+                s["in_service"] = None
+        else:  # DEPART
+            if action == "next":
+                s["queue"].insert(0, s["in_service"])
+            s["in_service"] = event.saved["done"]
+            s["busy"] = True
+            s["completed"] -= 1
+        self._rc_clock(event)
+
+
+class SinkLP(LogicalProcess):
+    """Absorbs finished jobs and accumulates sojourn statistics."""
+
+    def __init__(self, lp_id: int):
+        super().__init__(lp_id)
+        self.state = [0, 0.0]  # [absorbed, total_sojourn]
+
+    def forward(self, event: Event) -> None:
+        # Same float-accumulator rule as QueueLP: save, don't subtract.
+        event.saved["sojourn"] = self.state[1]
+        self.state[0] += 1
+        self.state[1] += self.now - event.data["born"]
+
+    def reverse(self, event: Event) -> None:
+        self.state[0] -= 1
+        self.state[1] = event.saved["sojourn"]
+
+
+class MM1Model(Model):
+    """Source → stations… → sink, with closed-form expectations attached."""
+
+    def __init__(self, cfg: MM1Config | None = None):
+        self.cfg = cfg if cfg is not None else MM1Config()
+        self.lookahead = TRANSFER
+
+    def build(self) -> list[LogicalProcess]:
+        cfg = self.cfg
+        lps: list[LogicalProcess] = [SourceLP(0, cfg)]
+        for i in range(cfg.stations):
+            lps.append(QueueLP(1 + i, cfg))
+        lps.append(SinkLP(1 + cfg.stations))
+        return lps
+
+    def collect_stats(self, lps: list[LogicalProcess]) -> dict[str, Any]:
+        source: SourceLP = lps[0]  # type: ignore[assignment]
+        sink: SinkLP = lps[-1]  # type: ignore[assignment]
+        stations = lps[1:-1]
+        per_station = []
+        for q in stations:
+            s = q.state
+            per_station.append(
+                {
+                    "completed": s["completed"],
+                    "area": s["area"],
+                    "busy_area": s["busy_area"],
+                    "last_change": s["last_change"],
+                    "depth_now": len(s["queue"]) + (1 if s["busy"] else 0),
+                }
+            )
+        absorbed, total_sojourn = sink.state
+        return {
+            "generated": source.state[0],
+            "absorbed": absorbed,
+            "mean_total_sojourn": total_sojourn / absorbed if absorbed else 0.0,
+            "per_station": tuple(
+                tuple(sorted(d.items())) for d in per_station
+            ),
+        }

@@ -1,0 +1,61 @@
+"""Compass directions on a 2-D grid network.
+
+Every router in the N×N torus/mesh has four bidirectional links, one per
+compass direction.  Directions double as output-link indices in router
+state, so they are small contiguous integers.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+__all__ = ["Direction", "DIRECTIONS", "NO_DIRECTION"]
+
+
+class Direction(IntEnum):
+    """One of the four mesh/torus link directions.
+
+    The integer values index per-router link arrays.  Row coordinates grow
+    southward and column coordinates grow eastward, matching the LP-number
+    layout in the paper (§3.1.3: "Row 1 contains LP 0..31" and an eastward
+    send is ``lp + 1``).
+    """
+
+    NORTH = 0
+    EAST = 1
+    SOUTH = 2
+    WEST = 3
+
+    @property
+    def delta(self) -> tuple[int, int]:
+        """(row_delta, col_delta) of a single hop in this direction."""
+        return _DELTAS[self]
+
+    @property
+    def opposite(self) -> "Direction":
+        """The reverse direction (the link a packet from here arrives on)."""
+        return Direction((self + 2) & 3)
+
+    @property
+    def is_horizontal(self) -> bool:
+        """True for EAST/WEST — the row-traversal phase of a home-run path."""
+        return self in (Direction.EAST, Direction.WEST)
+
+
+_DELTAS = {
+    Direction.NORTH: (-1, 0),
+    Direction.EAST: (0, 1),
+    Direction.SOUTH: (1, 0),
+    Direction.WEST: (0, -1),
+}
+
+#: All four directions in index order; handy for iteration.
+DIRECTIONS: tuple[Direction, ...] = (
+    Direction.NORTH,
+    Direction.EAST,
+    Direction.SOUTH,
+    Direction.WEST,
+)
+
+#: Sentinel for "no routing decision yet" (the paper's ``NO_DIRECTION``).
+NO_DIRECTION: int = -1

@@ -1,0 +1,191 @@
+"""N×N (and R×C) torus topology with hot-potato routing geometry.
+
+The simulation "emulates the topology by restricting where a router can
+route a packet" (§3.1.3): routers are numbered row-major and neighbor ids
+are computed arithmetically with wraparound, e.g. an eastward send from LP
+``x`` goes to ``((x // C) * C) + ((x + 1) % C)``.  This module centralises
+that arithmetic plus the routing geometry the algorithm needs:
+
+* *good links* — directions that bring a packet closer to its destination,
+* *home-run paths* — the one-bend row-then-column path used by Excited and
+  Running packets, and
+* the *turn* predicate — Running packets can only be deflected while turning
+  from the row phase to the column phase.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.net.directions import DIRECTIONS, Direction
+
+__all__ = ["TorusTopology"]
+
+
+class TorusTopology:
+    """A rows × cols torus of routers with four bidirectional links each.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions; ``cols`` defaults to ``rows`` (the paper's N×N
+        case).  Both must be at least 2 so every node has four distinct
+        links... except that 2 is allowed even though opposite directions
+        then reach the same neighbor, which the algorithm tolerates.
+
+    Notes
+    -----
+    Node ids are row-major: ``id = r * cols + c``.  Rows grow southward,
+    columns grow eastward (see :class:`repro.net.directions.Direction`).
+    On the torus the maximum distance between nodes is about ``N`` rather
+    than ``2N`` for the mesh (§1.1), which is why the simulation uses it.
+    """
+
+    #: This topology wraps around; used by models to decide if ``neighbor``
+    #: can ever return ``None``.
+    wraps = True
+
+    def __init__(self, rows: int, cols: int | None = None) -> None:
+        if cols is None:
+            cols = rows
+        if rows < 2 or cols < 2:
+            raise TopologyError(
+                f"torus dimensions must be >= 2, got {rows}x{cols}"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.num_nodes = rows * cols
+
+    # ------------------------------------------------------------------
+    # Id / coordinate arithmetic.
+    # ------------------------------------------------------------------
+    def coords(self, node: int) -> tuple[int, int]:
+        """(row, col) of a node id."""
+        self._check(node)
+        return divmod(node, self.cols)
+
+    def node_id(self, row: int, col: int) -> int:
+        """Node id of (row, col); coordinates are taken modulo the grid."""
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def neighbor(self, node: int, direction: Direction) -> int:
+        """The node one hop away in ``direction`` (always exists: wraps)."""
+        self._check(node)
+        r, c = divmod(node, self.cols)
+        dr, dc = direction.delta
+        return ((r + dr) % self.rows) * self.cols + (c + dc) % self.cols
+
+    def neighbors(self, node: int) -> tuple[int, int, int, int]:
+        """All four neighbor ids, indexed by :class:`Direction`."""
+        return tuple(self.neighbor(node, d) for d in DIRECTIONS)  # type: ignore[return-value]
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(
+                f"node id {node} out of range for {self.rows}x{self.cols} torus"
+            )
+
+    # ------------------------------------------------------------------
+    # Distance geometry.
+    # ------------------------------------------------------------------
+    def signed_row_delta(self, src_row: int, dst_row: int) -> int:
+        """Minimal signed row displacement from src to dst on the ring.
+
+        Positive means southward.  For even rings the antipodal tie
+        (|delta| == rows/2) resolves to the positive (southward) direction,
+        deterministically.
+        """
+        return _ring_delta(src_row, dst_row, self.rows)
+
+    def signed_col_delta(self, src_col: int, dst_col: int) -> int:
+        """Minimal signed column displacement; positive means eastward."""
+        return _ring_delta(src_col, dst_col, self.cols)
+
+    def distance(self, src: int, dst: int) -> int:
+        """Torus (wraparound Manhattan) distance between two nodes."""
+        sr, sc = self.coords(src)
+        dr, dc = self.coords(dst)
+        return abs(_ring_delta(sr, dr, self.rows)) + abs(
+            _ring_delta(sc, dc, self.cols)
+        )
+
+    def diameter(self) -> int:
+        """Maximum distance between any two nodes."""
+        return self.rows // 2 + self.cols // 2
+
+    # ------------------------------------------------------------------
+    # Routing geometry.
+    # ------------------------------------------------------------------
+    def good_dirs(self, src: int, dst: int) -> tuple[Direction, ...]:
+        """Directions whose single hop strictly decreases distance to dst.
+
+        These are the paper's *good links* (§1.2.4).  The result is empty
+        iff ``src == dst``; otherwise it has one or two entries (row and/or
+        column progress).  Order is deterministic: horizontal progress
+        first, matching the home-run (row-first) orientation.
+        """
+        sr, sc = self.coords(src)
+        dr, dc = self.coords(dst)
+        out: list[Direction] = []
+        cd = _ring_delta(sc, dc, self.cols)
+        if cd > 0:
+            out.append(Direction.EAST)
+            if 2 * cd == self.cols:
+                # Antipodal column: both directions make progress; EAST is
+                # the canonical pick but WEST is equally good.
+                out.append(Direction.WEST)
+        elif cd < 0:
+            out.append(Direction.WEST)
+        rd = _ring_delta(sr, dr, self.rows)
+        if rd > 0:
+            out.append(Direction.SOUTH)
+            if 2 * rd == self.rows:
+                out.append(Direction.NORTH)
+        elif rd < 0:
+            out.append(Direction.NORTH)
+        return tuple(out)
+
+    def homerun_dir(self, src: int, dst: int) -> Direction | None:
+        """The next hop of the *home-run* (one-bend, row-first) path.
+
+        The home-run path moves within the row toward the destination
+        column (east/west), then turns and follows the column (north/south)
+        to the destination node (§1.2.4).  Returns ``None`` when
+        ``src == dst``.
+        """
+        sr, sc = self.coords(src)
+        dr, dc = self.coords(dst)
+        cd = _ring_delta(sc, dc, self.cols)
+        if cd > 0:
+            return Direction.EAST
+        if cd < 0:
+            return Direction.WEST
+        rd = _ring_delta(sr, dr, self.rows)
+        if rd > 0:
+            return Direction.SOUTH
+        if rd < 0:
+            return Direction.NORTH
+        return None
+
+    def is_turning(self, src: int, dst: int) -> bool:
+        """True when a home-run packet at ``src`` is at its *turn*: it has
+
+        reached the destination column but not yet the destination row.
+        Running packets may only be deflected at this step (§1.2.5).
+        """
+        sr, sc = self.coords(src)
+        dr, dc = self.coords(dst)
+        return _ring_delta(sc, dc, self.cols) == 0 and sr != dr
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TorusTopology({self.rows}x{self.cols})"
+
+
+def _ring_delta(src: int, dst: int, size: int) -> int:
+    """Minimal signed displacement from src to dst on a ring of ``size``.
+
+    Result lies in ``(-size/2, size/2]``: antipodal ties resolve to the
+    positive direction so the choice is deterministic.
+    """
+    d = (dst - src) % size
+    return d if d <= size // 2 else d - size

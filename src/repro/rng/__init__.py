@@ -1,0 +1,34 @@
+"""Reversible random number generation (ROSS ``tw_rand`` analog).
+
+See :mod:`repro.rng.streams` for the per-LP stream API and
+:mod:`repro.rng.lcg` for the underlying invertible generator.
+"""
+
+from repro.rng.lcg import (
+    INCREMENT,
+    MASK64,
+    MULTIPLIER,
+    MULTIPLIER_INV,
+    affine_pow,
+    lcg_jump,
+    lcg_next,
+    lcg_output,
+    lcg_prev,
+    splitmix64,
+)
+from repro.rng.streams import ReversibleStream, derive_seed
+
+__all__ = [
+    "INCREMENT",
+    "MASK64",
+    "MULTIPLIER",
+    "MULTIPLIER_INV",
+    "ReversibleStream",
+    "affine_pow",
+    "derive_seed",
+    "lcg_jump",
+    "lcg_next",
+    "lcg_output",
+    "lcg_prev",
+    "splitmix64",
+]

@@ -1,0 +1,151 @@
+"""Per-LP reversible random number streams.
+
+Each logical process owns one :class:`ReversibleStream`, seeded from the
+global simulation seed and the LP id.  The stream counts how many draws it
+has produced; the Time Warp kernel snapshots that count around every event
+handler and, on rollback, calls :meth:`ReversibleStream.reverse` to undo
+exactly the draws the handler made.  This replaces ROSS's per-handler
+``tw_rand_reverse_unif`` calls with automatic, kernel-level accounting —
+model authors cannot forget a reverse call.
+
+Every distribution method consumes **exactly one** underlying uniform draw,
+which keeps the draw count equal to the call count and makes reverse
+accounting trivial.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.rng.lcg import (
+    lcg_jump,
+    lcg_next,
+    lcg_output,
+    lcg_prev,
+    splitmix64,
+)
+
+__all__ = ["ReversibleStream", "derive_seed"]
+
+
+def derive_seed(global_seed: int, stream_id: int) -> int:
+    """Derive a 64-bit stream seed from a global seed and a stream id.
+
+    Two rounds of SplitMix64 over a combination of the inputs; consecutive
+    ``stream_id`` values yield uncorrelated streams.
+    """
+    return splitmix64(splitmix64(global_seed & ((1 << 64) - 1)) ^ (stream_id + 1))
+
+
+class ReversibleStream:
+    """A reversible, countable random number stream (ROSS ``tw_rand``).
+
+    Parameters
+    ----------
+    seed:
+        64-bit stream seed (use :func:`derive_seed`).
+    stream_id:
+        Identifier recorded for diagnostics (typically the owning LP id).
+
+    Notes
+    -----
+    The stream supports three state-manipulation operations used by the
+    kernel:
+
+    * :meth:`reverse` — undo the last ``n`` draws (reverse computation),
+    * :meth:`checkpoint` / :meth:`restore` — O(1) snapshot for state-saving
+      rollback,
+    * :meth:`seek` — jump to an absolute draw count in O(log delta).
+    """
+
+    __slots__ = ("_state", "_count", "seed", "stream_id")
+
+    def __init__(self, seed: int, stream_id: int = 0) -> None:
+        self.seed = seed & ((1 << 64) - 1)
+        self.stream_id = stream_id
+        self._state = self.seed
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Draws — each consumes exactly one underlying uniform.
+    # ------------------------------------------------------------------
+    def unif(self) -> float:
+        """Uniform float in ``[0, 1)`` (ROSS ``tw_rand_unif``)."""
+        self._state = lcg_next(self._state)
+        self._count += 1
+        return lcg_output(self._state)
+
+    def integer(self, low: int, high: int) -> int:
+        """Uniform integer in the **inclusive** range ``[low, high]``
+
+        (ROSS ``tw_rand_integer`` semantics).
+        """
+        if high < low:
+            raise ValueError(f"empty integer range [{low}, {high}]")
+        span = high - low + 1
+        return low + int(self.unif() * span)
+
+    def exponential(self, mean: float) -> float:
+        """Exponentially distributed float with the given mean
+
+        (ROSS ``tw_rand_exponential``).
+        """
+        if mean <= 0.0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        u = self.unif()
+        # 1 - u is in (0, 1], so log never sees zero.
+        return -mean * math.log(1.0 - u)
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability ``p`` — used for the hot-potato priority
+
+        upgrade chances 1/(24N) and 1/(16N).
+        """
+        return self.unif() < p
+
+    # ------------------------------------------------------------------
+    # Reverse computation support.
+    # ------------------------------------------------------------------
+    def reverse(self, n: int = 1) -> None:
+        """Undo the last ``n`` draws (ROSS ``tw_rand_reverse_unif`` × n)."""
+        if n < 0:
+            raise ValueError(f"cannot reverse a negative draw count: {n}")
+        if n > self._count:
+            raise ValueError(
+                f"stream {self.stream_id}: asked to reverse {n} draws but only "
+                f"{self._count} were ever made"
+            )
+        for _ in range(n):
+            self._state = lcg_prev(self._state)
+        self._count -= n
+
+    # ------------------------------------------------------------------
+    # Snapshots.
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total number of draws made so far (monotone except via reverse)."""
+        return self._count
+
+    def checkpoint(self) -> tuple[int, int]:
+        """O(1) snapshot of the stream: ``(state, count)``."""
+        return (self._state, self._count)
+
+    def restore(self, snapshot: tuple[int, int]) -> None:
+        """Restore a snapshot produced by :meth:`checkpoint`."""
+        self._state, self._count = snapshot
+
+    def seek(self, count: int) -> None:
+        """Jump to the absolute draw count ``count`` in O(log delta)."""
+        if count < 0:
+            raise ValueError(f"draw count cannot be negative: {count}")
+        delta = count - self._count
+        if delta:
+            self._state = lcg_jump(self._state, delta)
+            self._count = count
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReversibleStream(stream_id={self.stream_id}, count={self._count})"
+        )

@@ -1,0 +1,41 @@
+"""Event keys and virtual-time constants."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: The beginning of virtual time.  No event may be scheduled before this.
+TIME_EPOCH: float = 0.0
+
+#: A timestamp greater than any legal event time; used as the "no event"
+#: sentinel in GVT reductions (ROSS uses DBL_MAX the same way).
+TIME_HORIZON: float = float("inf")
+
+
+class EventKey(NamedTuple):
+    """Total-order key for events.
+
+    Attributes
+    ----------
+    ts:
+        Receive timestamp in virtual time.
+    origin:
+        Id of the LP that *sent* (created) the event.
+    seq:
+        The sender's send-sequence number at creation time.  Unique per
+        origin, restored on rollback, hence identical across re-executions.
+    """
+
+    ts: float
+    origin: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"@{self.ts:.6f}<{self.origin}:{self.seq}>"
+
+
+#: Key that compares before every real event key.
+KEY_EPOCH = EventKey(TIME_EPOCH, -1, -1)
+
+#: Key that compares after every real event key.
+KEY_HORIZON = EventKey(TIME_HORIZON, 1 << 62, 1 << 62)

@@ -1,0 +1,60 @@
+"""Tiny deterministic models used by the kernel test suite."""
+
+from __future__ import annotations
+
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess, Model
+
+TICK = "TICK"
+POKE = "POKE"
+
+
+class ChattyLP(LogicalProcess):
+    """Ticks once per unit time; optionally pokes a peer with a small delay.
+
+    A poke sent by a later-scheduled PE lands in the peer's past, forcing a
+    straggler rollback — the deterministic way to exercise Time Warp paths.
+    """
+
+    def __init__(self, lp_id: int, peer: int | None, poke_delay: float = 0.1):
+        super().__init__(lp_id)
+        self.peer = peer
+        self.poke_delay = poke_delay
+        self.state = [0, 0]  # [ticks, pokes received]
+
+    def on_init(self) -> None:
+        self.send(1.0, self.id, TICK)
+
+    def forward(self, event: Event) -> None:
+        if event.kind == TICK:
+            self.state[0] += 1
+            self.send(self.now + 1.0, self.id, TICK)
+            if self.peer is not None:
+                self.send(self.now + self.poke_delay, self.peer, POKE)
+        else:
+            self.state[1] += 1
+
+    def reverse(self, event: Event) -> None:
+        if event.kind == TICK:
+            self.state[0] -= 1
+        else:
+            self.state[1] -= 1
+
+
+class ChattyModel(Model):
+    """``n_lps`` tickers; LPs listed in ``pokers`` poke their target."""
+
+    def __init__(self, n_lps: int = 2, pokers: dict[int, int] | None = None):
+        self.n_lps = n_lps
+        self.pokers = pokers or {}
+
+    def build(self) -> list[LogicalProcess]:
+        return [
+            ChattyLP(i, self.pokers.get(i)) for i in range(self.n_lps)
+        ]
+
+    def collect_stats(self, lps):
+        return {
+            "ticks": tuple(lp.state[0] for lp in lps),
+            "pokes": tuple(lp.state[1] for lp in lps),
+        }

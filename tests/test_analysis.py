@@ -1,0 +1,63 @@
+"""Tests for the analysis helpers (linear fits, speed-up arithmetic)."""
+
+import pytest
+
+from repro.analysis.linfit import fit_linear
+from repro.analysis.speedup import SpeedupPoint, efficiency, speedup
+
+
+def test_perfect_line():
+    fit = fit_linear([1, 2, 3, 4], [3, 5, 7, 9])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(1.0)
+    assert fit.r_squared == pytest.approx(1.0)
+
+
+def test_predict():
+    fit = fit_linear([0, 1], [1, 3])
+    assert fit.predict(10) == pytest.approx(21.0)
+
+
+def test_noisy_line_r2_below_one():
+    fit = fit_linear([1, 2, 3, 4, 5], [2, 4.5, 5.5, 8.2, 9.9])
+    assert 0.9 < fit.r_squared < 1.0
+
+
+def test_quadratic_data_has_worse_linear_fit_than_linear_data():
+    xs = list(range(1, 20))
+    quad = fit_linear(xs, [x * x for x in xs])
+    lin = fit_linear(xs, [3 * x + 1 for x in xs])
+    assert lin.r_squared > quad.r_squared
+
+
+def test_constant_ys_fit_exactly():
+    fit = fit_linear([1, 2, 3], [5, 5, 5])
+    assert fit.slope == pytest.approx(0.0)
+    assert fit.r_squared == 1.0
+
+
+@pytest.mark.parametrize(
+    "xs,ys",
+    [([1], [1]), ([1, 1, 1], [1, 2, 3]), ([1, 2], [1, 2, 3])],
+)
+def test_fit_rejects_degenerate_inputs(xs, ys):
+    with pytest.raises(ValueError):
+        fit_linear(xs, ys)
+
+
+def test_speedup_and_efficiency():
+    assert speedup(100.0, 350.0) == pytest.approx(3.5)
+    assert efficiency(100.0, 350.0, 4) == pytest.approx(0.875)
+
+
+def test_speedup_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        speedup(0.0, 10.0)
+    with pytest.raises(ValueError):
+        efficiency(10.0, 10.0, 0)
+
+
+def test_speedup_point():
+    p = SpeedupPoint(n=32, n_pes=4, event_rate=800.0, sequential_rate=400.0)
+    assert p.speedup == pytest.approx(2.0)
+    assert p.efficiency == pytest.approx(0.5)

@@ -1,0 +1,136 @@
+"""Tests for replication statistics and the ASCII chart renderer."""
+
+import pytest
+
+from repro.analysis.asciichart import plot
+from repro.analysis.replication import Estimate, replicate, summarize
+from repro.experiments.report import Table
+from repro.experiments.runner import chart_from_table
+
+
+# ----------------------------------------------------------------------
+# Replication.
+# ----------------------------------------------------------------------
+def test_single_sample_is_a_point_estimate():
+    est = summarize([5.0])
+    assert est.mean == 5.0
+    assert est.half_width == 0.0
+    assert est.n == 1
+
+
+def test_interval_contains_mean_and_is_symmetric():
+    est = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert est.mean == 3.0
+    assert est.low == pytest.approx(3.0 - est.half_width)
+    assert est.high == pytest.approx(3.0 + est.half_width)
+    assert est.half_width > 0
+
+
+def test_known_t_interval():
+    # n=4, sd≈0.8165, sem≈0.4082, t(0.975, 3)≈3.1824 → half-width ≈ 1.2992.
+    est = summarize([1.0, 2.0, 3.0, 2.0])
+    assert est.n == 4
+    assert est.half_width == pytest.approx(1.2992, rel=1e-3)
+
+
+def test_more_replications_tighter_interval():
+    wide = summarize([1.0, 3.0])
+    narrow = summarize([1.0, 3.0] * 10)
+    assert narrow.half_width < wide.half_width
+
+
+def test_identical_samples_zero_width():
+    est = summarize([2.0] * 8)
+    assert est.half_width == 0.0
+
+
+def test_overlap_semantics():
+    a = Estimate(mean=1.0, half_width=0.5, n=3, confidence=0.95)
+    b = Estimate(mean=1.8, half_width=0.5, n=3, confidence=0.95)
+    c = Estimate(mean=3.0, half_width=0.5, n=3, confidence=0.95)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)
+
+
+def test_summarize_validation():
+    with pytest.raises(ValueError):
+        summarize([])
+    with pytest.raises(ValueError):
+        summarize([1.0], confidence=1.0)
+
+
+def test_replicate_runs_each_seed():
+    seen = []
+
+    def run(seed):
+        seen.append(seed)
+        return float(seed)
+
+    est = replicate(run, seeds=[1, 2, 3])
+    assert seen == [1, 2, 3]
+    assert est.mean == 2.0
+    with pytest.raises(ValueError):
+        replicate(run, seeds=[])
+
+
+def test_str_format():
+    assert "±" in str(summarize([1.0, 2.0]))
+
+
+# ----------------------------------------------------------------------
+# ASCII charts.
+# ----------------------------------------------------------------------
+def test_plot_contains_series_and_legend():
+    text = plot(
+        {"lin": [(0, 0.0), (10, 10.0)], "flat": [(0, 5.0), (10, 5.0)]},
+        title="T",
+    )
+    assert text.splitlines()[0] == "T"
+    assert "*=lin" in text and "o=flat" in text
+    assert "10" in text and "0" in text  # axis labels
+
+
+def test_plot_extremes_placed_correctly():
+    text = plot({"s": [(0, 0.0), (1, 1.0)]}, height=4, width=10)
+    lines = text.splitlines()
+    # Max y on the top row, min on the bottom row of the grid.
+    assert "*" in lines[0]
+    assert "*" in lines[3]
+
+
+def test_plot_validation():
+    with pytest.raises(ValueError):
+        plot({})
+    with pytest.raises(ValueError):
+        plot({"a": []})
+    with pytest.raises(ValueError):
+        plot({"a": [(0, 1)]}, height=1)
+
+
+def test_chart_from_table_numeric_series():
+    t = Table(title="x", columns=["N", "a", "b"])
+    t.add_row(1, 2.0, 3.0)
+    t.add_row(2, 4.0, 5.0)
+    chart = chart_from_table(t)
+    assert chart is not None
+    assert "*=a" in chart and "o=b" in chart
+
+
+def test_chart_from_table_skips_non_numeric():
+    t = Table(title="x", columns=["name", "value"])
+    t.add_row("alpha", 1.0)
+    t.add_row("beta", 2.0)
+    assert chart_from_table(t) is None
+
+
+def test_chart_from_table_skips_single_row():
+    t = Table(title="x", columns=["N", "a"])
+    t.add_row(1, 2.0)
+    assert chart_from_table(t) is None
+
+
+def test_chart_from_table_skips_mixed_column():
+    t = Table(title="x", columns=["N", "a"])
+    t.add_row(1, 2.0)
+    t.add_row(2, "-")
+    assert chart_from_table(t) is None

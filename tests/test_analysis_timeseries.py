@@ -1,0 +1,99 @@
+"""Tests for the delivery-log time-series analysis and the commit-time log."""
+
+import pytest
+
+from repro.analysis.timeseries import DeliverySeries, build_series, warmup_end
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+
+
+# ----------------------------------------------------------------------
+# Pure series arithmetic.
+# ----------------------------------------------------------------------
+def test_empty_log():
+    s = build_series([])
+    assert s.steps == () and s.total == 0
+    assert s.throughput() == 0.0
+
+
+def test_bucketing_and_means():
+    s = build_series([(3, 2), (3, 4), (5, 6)])
+    assert s.steps == (3, 4, 5)
+    assert s.counts == (2, 0, 1)
+    assert s.mean_latency == (3.0, 0.0, 6.0)
+    assert s.total == 3
+    assert s.throughput() == pytest.approx(1.0)
+
+
+def test_unsorted_log_ok():
+    a = build_series([(5, 1), (3, 1), (4, 1)])
+    b = build_series([(3, 1), (4, 1), (5, 1)])
+    assert a == b
+
+
+def test_warmup_end_detects_settling():
+    # Ramp for 10 steps then steady at 10/step.
+    log = []
+    for step in range(10):
+        log += [(step, 1)] * step
+    for step in range(10, 60):
+        log += [(step, 1)] * 10
+    s = build_series(log)
+    w = warmup_end(s, window=5)
+    assert w is not None
+    assert w <= 12  # settles right after the ramp
+
+
+def test_warmup_none_when_too_short():
+    assert warmup_end(build_series([(1, 1), (2, 1)]), window=5) is None
+
+
+# ----------------------------------------------------------------------
+# Commit-time log from real runs.
+# ----------------------------------------------------------------------
+CFG = HotPotatoConfig(n=6, duration=40.0, injector_fraction=1.0, delivery_log=True)
+
+
+def test_log_matches_delivered_count_sequential():
+    model = HotPotatoModel(CFG)
+    result = run_sequential(model, CFG.duration)
+    assert len(model.delivery_log) == result.model_stats["delivered"]
+    total_latency = sum(dt for _, dt in model.delivery_log)
+    avg = total_latency / len(model.delivery_log)
+    assert avg == pytest.approx(result.model_stats["avg_delivery_time"])
+
+
+def test_log_identical_across_engines():
+    seq_model = HotPotatoModel(CFG)
+    run_sequential(seq_model, CFG.duration)
+    opt_model = HotPotatoModel(CFG)
+    result = run_optimistic(
+        opt_model,
+        EngineConfig(
+            end_time=CFG.duration, n_pes=4, n_kps=12, batch_size=64, mapping="striped"
+        ),
+    )
+    assert result.run.events_rolled_back > 0
+    # Commit order differs across engines; the multiset of deliveries must not.
+    assert sorted(opt_model.delivery_log) == sorted(seq_model.delivery_log)
+
+
+def test_log_off_by_default():
+    cfg = HotPotatoConfig(n=4, duration=10.0)
+    model = HotPotatoModel(cfg)
+    run_sequential(model, cfg.duration)
+    assert model.delivery_log == []
+
+
+def test_real_run_series_has_steady_state():
+    model = HotPotatoModel(
+        HotPotatoConfig(n=6, duration=80.0, injector_fraction=1.0, delivery_log=True)
+    )
+    run_sequential(model, 80.0)
+    series = build_series(model.delivery_log)
+    assert series.total > 0
+    w = warmup_end(series, window=5, tolerance=0.5)
+    assert w is not None  # a loaded network reaches steady throughput

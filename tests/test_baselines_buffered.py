@@ -1,0 +1,97 @@
+"""Tests for the buffered flow-controlled baseline network."""
+
+import pytest
+
+from repro.baselines.buffered import BufferedConfig, BufferedModel
+from repro.core.config import EngineConfig
+from repro.core.engine import SequentialEngine, run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.errors import ConfigurationError
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+
+
+def run(cfg, seed=1):
+    return run_sequential(BufferedModel(cfg), cfg.duration, seed=seed)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        BufferedConfig(window=0)
+    with pytest.raises(ConfigurationError):
+        BufferedConfig(n=1)
+    with pytest.raises(ConfigurationError):
+        BufferedConfig(duration=-1)
+    with pytest.raises(ConfigurationError):
+        BufferedConfig(injector_fraction=1.5)
+
+
+def test_delivers_packets():
+    result = run(BufferedConfig(n=6, duration=40.0))
+    ms = result.model_stats
+    assert ms["delivered"] > 0
+    assert ms["injected"] >= ms["delivered"]
+    assert ms["avg_delivery_time"] > 0
+
+
+def test_window_limits_outstanding_packets():
+    cfg = BufferedConfig(n=6, duration=40.0, window=2)
+    engine = SequentialEngine(BufferedModel(cfg), cfg.duration, seed=1)
+    engine.run()
+    for lp in engine.lps:
+        assert 0 <= lp.outstanding <= 2
+
+
+def test_packet_conservation():
+    cfg = BufferedConfig(n=6, duration=40.0, window=4)
+    engine = SequentialEngine(BufferedModel(cfg), cfg.duration, seed=1)
+    result = engine.run()
+    ms = result.model_stats
+    queued = sum(len(q) for lp in engine.lps for q in lp.queues)
+    in_flight = sum(1 for ev in engine.pending if ev.kind == "B_ARRIVE")
+    assert ms["injected"] == ms["delivered"] + queued + in_flight
+
+
+def test_bigger_window_injects_more():
+    small = run(BufferedConfig(n=6, duration=40.0, window=1)).model_stats
+    large = run(BufferedConfig(n=6, duration=40.0, window=8)).model_stats
+    assert large["injected"] > small["injected"]
+    assert large["link_utilization"] > small["link_utilization"]
+
+
+def test_window_blocking_counted():
+    result = run(BufferedConfig(n=6, duration=40.0, window=1))
+    assert result.model_stats["window_blocked"] > 0
+
+
+def test_parallel_matches_sequential():
+    cfg = BufferedConfig(n=6, duration=30.0, window=4)
+    seq = run_sequential(BufferedModel(cfg), cfg.duration)
+    par = run_optimistic(
+        BufferedModel(cfg),
+        EngineConfig(
+            end_time=cfg.duration, n_pes=4, n_kps=12, batch_size=32, mapping="striped"
+        ),
+    )
+    assert par.run.events_rolled_back > 0
+    assert seq.model_stats == par.model_stats
+
+
+def test_flow_control_underutilizes_links_vs_hotpotato():
+    # The paper's motivating claim (§1.2.3).
+    n, duration = 8, 60.0
+    buffered = run(BufferedConfig(n=n, duration=duration, window=4)).model_stats
+    hp_cfg = HotPotatoConfig(
+        n=n, duration=duration, injector_fraction=1.0, heartbeat=True
+    )
+    hot = run_sequential(HotPotatoModel(hp_cfg), duration, seed=1).model_stats
+    assert hot["link_utilization"] > 1.5 * buffered["link_utilization"]
+
+
+def test_larger_window_increases_queueing_delay():
+    # The classic flow-control trade-off: opening the window admits more
+    # packets, which then queue behind each other in the buffers.
+    small = run(BufferedConfig(n=8, duration=60.0, window=1)).model_stats
+    large = run(BufferedConfig(n=8, duration=60.0, window=16)).model_stats
+    assert large["avg_delivery_time"] > small["avg_delivery_time"]
+    assert large["avg_queue_length"] > small["avg_queue_length"]

@@ -1,0 +1,126 @@
+"""Unit and integration tests for the baseline deflection policies."""
+
+import pytest
+
+from repro.baselines.policies import (
+    DimensionOrderPolicy,
+    GreedyPolicy,
+    RandomDeflectionPolicy,
+)
+from repro.core.engine import run_sequential
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+from repro.hotpotato.packet import Priority
+from repro.hotpotato.simulation import HotPotatoSimulation
+from repro.net import Direction, TorusTopology
+from repro.rng.streams import ReversibleStream
+
+ALL_FREE = (True, True, True, True)
+
+
+@pytest.fixture
+def topo():
+    return TorusTopology(8)
+
+
+def cfg():
+    return HotPotatoConfig(n=8)
+
+
+def rng():
+    return ReversibleStream(3)
+
+
+def freeze(*dirs):
+    return tuple(d in dirs for d in range(4))
+
+
+def test_greedy_takes_good_link(topo):
+    out = GreedyPolicy().route(
+        topo, topo.node_id(0, 0), topo.node_id(0, 3), Priority.ACTIVE, ALL_FREE, rng(), cfg()
+    )
+    assert out.direction == Direction.EAST
+    assert not out.deflected
+    assert out.new_priority == Priority.ACTIVE
+
+
+def test_greedy_deflects_when_blocked(topo):
+    mask = freeze(Direction.NORTH)
+    out = GreedyPolicy().route(
+        topo, topo.node_id(0, 0), topo.node_id(0, 3), Priority.ACTIVE, mask, rng(), cfg()
+    )
+    assert out.deflected
+    assert out.direction == Direction.NORTH
+
+
+def test_greedy_never_upgrades(topo):
+    out = GreedyPolicy().route(
+        topo, 0, 9, Priority.SLEEPING, ALL_FREE, rng(), cfg()
+    )
+    assert out.new_priority == Priority.ACTIVE
+    assert not out.upgraded
+
+
+def test_dimension_order_prefers_row_hop(topo):
+    out = DimensionOrderPolicy().route(
+        topo, topo.node_id(0, 0), topo.node_id(2, 2), Priority.ACTIVE, ALL_FREE, rng(), cfg()
+    )
+    assert out.direction == Direction.EAST
+
+
+def test_dimension_order_falls_back_to_other_good(topo):
+    mask = freeze(Direction.SOUTH, Direction.NORTH)
+    out = DimensionOrderPolicy().route(
+        topo, topo.node_id(0, 0), topo.node_id(2, 2), Priority.ACTIVE, mask, rng(), cfg()
+    )
+    assert out.direction == Direction.SOUTH
+    assert not out.deflected
+
+
+def test_random_deflection_picks_among_good(topo):
+    node, dest = topo.node_id(0, 0), topo.node_id(2, 2)
+    seen = set()
+    stream = rng()
+    for _ in range(50):
+        out = RandomDeflectionPolicy().route(
+            topo, node, dest, Priority.ACTIVE, ALL_FREE, stream, cfg()
+        )
+        seen.add(out.direction)
+        assert not out.deflected
+    assert seen == {Direction.EAST, Direction.SOUTH}
+
+
+def test_random_deflection_forced_choice_draws_nothing(topo):
+    node, dest = topo.node_id(0, 0), topo.node_id(0, 3)
+    stream = rng()
+    out = RandomDeflectionPolicy().route(
+        topo, node, dest, Priority.ACTIVE, ALL_FREE, stream, cfg()
+    )
+    assert out.direction == Direction.EAST
+    assert stream.count == 0
+
+
+@pytest.mark.parametrize(
+    "policy_cls", [GreedyPolicy, DimensionOrderPolicy, RandomDeflectionPolicy]
+)
+def test_baseline_parallel_matches_sequential(policy_cls):
+    cfg_run = HotPotatoConfig(n=6, duration=25.0, injector_fraction=1.0)
+    sim = HotPotatoSimulation(cfg_run, policy=policy_cls())
+    assert sim.run().model_stats == sim.run_parallel(
+        n_pes=2, n_kps=6, mapping="striped"
+    ).model_stats
+
+
+def test_busch_beats_greedy_on_max_delivery_under_load():
+    # The priority escort's purpose is bounding worst-case delivery; under
+    # saturation it should not be (much) worse than memoryless greedy.
+    base = dict(n=8, duration=120.0, injector_fraction=1.0)
+    results = {}
+    for name, policy in [("busch", None), ("greedy", GreedyPolicy())]:
+        model = HotPotatoModel(HotPotatoConfig(**base), policy)
+        results[name] = run_sequential(model, base["duration"]).model_stats
+    assert results["busch"]["delivered"] > 0 and results["greedy"]["delivered"] > 0
+    assert (
+        results["busch"]["max_delivery_time"]
+        <= results["greedy"]["max_delivery_time"] * 2.0
+    )

@@ -1,0 +1,54 @@
+"""Unit tests for the virtual wall-clock cost model."""
+
+from repro.core.costmodel import CostModel
+
+
+def test_cache_factor_flat_below_knee():
+    cm = CostModel(cache_lps=256)
+    assert cm.cache_factor(1) == 1.0
+    assert cm.cache_factor(256) == 1.0
+
+
+def test_cache_factor_grows_log2_above_knee():
+    cm = CostModel(cache_lps=256, cache_penalty=0.5)
+    assert cm.cache_factor(512) == 1.5
+    assert cm.cache_factor(1024) == 2.0
+
+
+def test_event_cost_scales_with_cache_factor():
+    cm = CostModel(event=2.0, cache_lps=256, cache_penalty=0.5)
+    assert cm.event_cost(100) == 2.0
+    assert cm.event_cost(512) == 3.0
+
+
+def test_bus_factor_needs_multiple_pes_and_pressure():
+    cm = CostModel(cache_lps=256, bus_penalty=0.1)
+    assert cm.bus_factor(1, 10_000) == 1.0
+    assert cm.bus_factor(4, 100) == 1.0
+    assert cm.bus_factor(2, 512) == 1.1
+    assert cm.bus_factor(4, 512) > cm.bus_factor(2, 512)
+
+
+def test_gvt_overhead_components():
+    cm = CostModel(gvt_per_pe=10.0, kp_per_round=1.0, fossil_per_lp=0.5)
+    assert cm.gvt_overhead(lps_per_pe=4, kps_per_pe=2) == 10.0 + 2.0 + 2.0
+
+
+def test_gvt_overhead_grows_with_kps():
+    cm = CostModel()
+    assert cm.gvt_overhead(100, 64) > cm.gvt_overhead(100, 4)
+
+
+def test_seconds_conversion():
+    cm = CostModel(unit_seconds=1e-6)
+    assert cm.seconds(2_000_000) == 2.0
+
+
+def test_frozen():
+    cm = CostModel()
+    try:
+        cm.event = 5.0
+        raised = False
+    except AttributeError:
+        raised = True
+    assert raised

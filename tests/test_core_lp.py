@@ -1,0 +1,84 @@
+"""Unit tests for the LogicalProcess/Model base classes."""
+
+import pytest
+
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess, Model
+from repro.errors import SchedulingError
+from repro.rng.streams import ReversibleStream
+
+
+class PlainLP(LogicalProcess):
+    def forward(self, event):
+        pass
+
+    def reverse(self, event):
+        pass
+
+
+def bound_lp(sink):
+    lp = PlainLP(3)
+    lp.bind(ReversibleStream(1), lambda src, ev: sink.append((src, ev)))
+    return lp
+
+
+def test_send_creates_keyed_event_and_bumps_seq():
+    sink = []
+    lp = bound_lp(sink)
+    lp._now = 1.0
+    e1 = lp.send(2.0, 7, "K", {"a": 1})
+    e2 = lp.send(2.0, 8, "K")
+    assert e1.key == (2.0, 3, 0)
+    assert e2.key == (2.0, 3, 1)
+    assert lp.send_seq == 2
+    assert [ev for (_, ev) in sink] == [e1, e2]
+    assert e1.data == {"a": 1}
+    assert e2.data == {}
+
+
+def test_send_into_past_rejected():
+    lp = bound_lp([])
+    lp._now = 5.0
+    with pytest.raises(SchedulingError):
+        lp.send(5.0, 0, "K")  # zero-delay also rejected
+    with pytest.raises(SchedulingError):
+        lp.send(4.0, 0, "K")
+
+
+def test_bootstrap_send_at_time_zero_allowed():
+    sink = []
+    lp = bound_lp(sink)
+    lp._now = -1.0  # the engines set this before on_init
+    lp.send(0.0, 0, "K")
+    assert len(sink) == 1
+
+
+def test_forward_reverse_required():
+    lp = LogicalProcess(0)
+    with pytest.raises(NotImplementedError):
+        lp.forward(None)
+    with pytest.raises(NotImplementedError):
+        lp.reverse(None)
+
+
+def test_default_hooks_are_noops():
+    lp = PlainLP(0)
+    lp.on_init()
+    lp.commit(None)
+
+
+def test_default_snapshot_deepcopies_state():
+    lp = PlainLP(0)
+    lp.state = {"xs": [1, 2]}
+    snap = lp.snapshot_state()
+    lp.state["xs"].append(3)
+    lp.restore_state(snap)
+    assert lp.state == {"xs": [1, 2]}
+
+
+def test_model_interface_abstract():
+    m = Model()
+    with pytest.raises(NotImplementedError):
+        m.build()
+    with pytest.raises(NotImplementedError):
+        m.collect_stats([])

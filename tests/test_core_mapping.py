@@ -1,0 +1,103 @@
+"""Unit tests for LP→KP→PE mapping strategies."""
+
+import pytest
+
+from repro.core.mapping import Mapping, balanced_tile_counts, build_mapping
+from repro.errors import ConfigurationError
+
+
+def test_balanced_tile_counts():
+    assert balanced_tile_counts(64) == (8, 8)
+    assert balanced_tile_counts(8) == (2, 4)
+    assert balanced_tile_counts(1) == (1, 1)
+    assert balanced_tile_counts(7) == (1, 7)
+
+
+def test_block_mapping_tiles_grid():
+    m = build_mapping(64, 4, 4, "block", grid=(8, 8))
+    # 4 KPs over an 8x8 grid = 4x4 tiles; LP (0,0) and (3,3) share a KP.
+    assert m.lp_to_kp[0] == m.lp_to_kp[3 * 8 + 3]
+    assert m.lp_to_kp[0] != m.lp_to_kp[4 * 8 + 4]
+    assert m.n_pes == 4
+
+
+def test_block_mapping_kp_contiguity():
+    # Adjacent LPs usually share a KP: the whole point of the mapping.
+    m = build_mapping(64, 4, 1, "block", grid=(8, 8))
+    same = sum(
+        1
+        for r in range(8)
+        for c in range(7)
+        if m.lp_to_kp[r * 8 + c] == m.lp_to_kp[r * 8 + c + 1]
+    )
+    assert same > 40  # 48 of 56 east-pairs are internal for 4x4 tiles
+
+
+def test_block_requires_divisible_grid():
+    with pytest.raises(ConfigurationError):
+        build_mapping(49, 4, 2, "block", grid=(7, 7))
+
+
+def test_block_without_grid_falls_back_to_striped():
+    m = build_mapping(100, 4, 2, "block", grid=None)
+    assert m.lp_to_kp == build_mapping(100, 4, 2, "striped").lp_to_kp
+
+
+def test_striped_mapping_contiguous_ranges():
+    m = build_mapping(100, 4, 2, "striped")
+    assert m.lp_to_kp[0] == 0
+    assert m.lp_to_kp[99] == 3
+    # Monotone non-decreasing.
+    assert list(m.lp_to_kp) == sorted(m.lp_to_kp)
+
+
+def test_random_mapping_deterministic_and_scattered():
+    m1 = build_mapping(256, 8, 4, "random", seed=7)
+    m2 = build_mapping(256, 8, 4, "random", seed=7)
+    assert m1.lp_to_kp == m2.lp_to_kp
+    m3 = build_mapping(256, 8, 4, "random", seed=8)
+    assert m1.lp_to_kp != m3.lp_to_kp
+    assert len(set(m1.lp_to_kp)) == 8
+
+
+def test_every_pe_gets_kps():
+    for strategy in ("striped", "random"):
+        m = build_mapping(64, 8, 4, strategy)
+        assert set(m.kp_to_pe) == {0, 1, 2, 3}
+
+
+def test_lp_to_pe_composition():
+    m = build_mapping(64, 8, 4, "striped")
+    for lp in range(64):
+        assert m.lp_to_pe(lp) == m.kp_to_pe[m.lp_to_kp[lp]]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_lps=0, n_kps=1, n_pes=1),
+        dict(n_lps=10, n_kps=0, n_pes=1),
+        dict(n_lps=10, n_kps=2, n_pes=4),  # fewer KPs than PEs
+        dict(n_lps=10, n_kps=3, n_pes=2),  # not a multiple
+        dict(n_lps=10, n_kps=16, n_pes=2),  # more KPs than LPs
+    ],
+)
+def test_invalid_population_sizes(kwargs):
+    with pytest.raises(ConfigurationError):
+        build_mapping(strategy="striped", **kwargs)
+
+
+def test_unknown_strategy():
+    with pytest.raises(ConfigurationError):
+        build_mapping(10, 2, 1, "fancy")
+
+
+def test_grid_size_mismatch():
+    with pytest.raises(ConfigurationError):
+        build_mapping(10, 2, 1, "block", grid=(3, 3))
+
+
+def test_validate_rejects_sparse_pes():
+    m = Mapping(lp_to_kp=(0, 1), kp_to_pe=(0, 2))
+    with pytest.raises(ConfigurationError):
+        m.validate()

@@ -1,0 +1,99 @@
+"""Unit tests for the rollback strategies (reverse computation vs copy)."""
+
+import pytest
+
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess
+from repro.core.rollback import ReverseComputation, StateSaving, make_strategy
+from repro.rng.streams import ReversibleStream
+from repro.vt.time import EventKey
+
+
+class CounterLP(LogicalProcess):
+    """Minimal LP: adds event data to a counter and draws once."""
+
+    def __init__(self):
+        super().__init__(0)
+        self.state = [0]
+
+    def forward(self, event):
+        self.state[0] += event.data["add"]
+        self.rng.unif()
+
+    def reverse(self, event):
+        self.state[0] -= event.data["add"]
+
+
+def make_lp():
+    lp = CounterLP()
+    lp.bind(ReversibleStream(99), lambda src, ev: None)
+    return lp
+
+
+def run_one(lp, strategy, add=5):
+    ev = Event(EventKey(1.0, 0, 0), 0, "k", {"add": add})
+    ev.prev_send_seq = lp.send_seq
+    strategy.before(lp, ev)
+    before_count = lp.rng.count
+    lp.forward(ev)
+    ev.rng_draws = lp.rng.count - before_count
+    return ev
+
+
+@pytest.mark.parametrize("name", ["reverse", "copy"])
+def test_undo_restores_state_and_rng(name):
+    strategy = make_strategy(name)
+    lp = make_lp()
+    baseline = (lp.state[0], lp.rng.checkpoint(), lp.send_seq)
+    ev = run_one(lp, strategy)
+    assert lp.state[0] == 5
+    strategy.undo(lp, ev)
+    assert (lp.state[0], lp.rng.checkpoint(), lp.send_seq) == baseline
+
+
+@pytest.mark.parametrize("name", ["reverse", "copy"])
+def test_undo_then_redo_is_identical(name):
+    strategy = make_strategy(name)
+    lp = make_lp()
+    ev = run_one(lp, strategy)
+    after = (lp.state[0], lp.rng.checkpoint())
+    strategy.undo(lp, ev)
+    ev2 = run_one(lp, strategy)
+    assert (lp.state[0], lp.rng.checkpoint()) == after
+    assert ev2.rng_draws == 1
+
+
+def test_reverse_computation_stores_no_snapshot():
+    strategy = ReverseComputation()
+    lp = make_lp()
+    ev = run_one(lp, strategy)
+    assert ev.snapshot is None
+
+
+def test_state_saving_stores_and_clears_snapshot():
+    strategy = StateSaving()
+    lp = make_lp()
+    ev = run_one(lp, strategy)
+    assert ev.snapshot is not None
+    strategy.undo(lp, ev)
+    assert ev.snapshot is None
+
+
+def test_state_saving_snapshot_is_a_copy():
+    strategy = StateSaving()
+    lp = make_lp()
+    ev = Event(EventKey(1.0, 0, 0), 0, "k", {"add": 1})
+    strategy.before(lp, ev)
+    lp.state[0] = 777  # mutate after snapshot
+    state, _ = ev.snapshot
+    assert state[0] == 0
+
+
+def test_make_strategy_unknown():
+    with pytest.raises(ValueError):
+        make_strategy("nope")
+
+
+def test_strategy_names():
+    assert make_strategy("reverse").name == "reverse"
+    assert make_strategy("copy").name == "copy"

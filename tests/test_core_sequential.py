@@ -1,0 +1,108 @@
+"""Unit tests for the sequential oracle engine."""
+
+import pytest
+
+from repro.core.engine import SequentialEngine, run_sequential
+from repro.core.event import Event
+from repro.core.lp import LogicalProcess, Model
+from repro.errors import ConfigurationError
+from tests.kernel_models import ChattyModel
+
+
+class RecorderLP(LogicalProcess):
+    """Schedules a fixed set of self-events and records execution order."""
+
+    def __init__(self, lp_id, times):
+        super().__init__(lp_id)
+        self.times = times
+        self.seen = []
+        self.committed = []
+
+    def on_init(self):
+        for t in self.times:
+            self.send(t, self.id, "E")
+
+    def forward(self, event):
+        self.seen.append(event.ts)
+
+    def reverse(self, event):  # pragma: no cover - never rolled back
+        self.seen.pop()
+
+    def commit(self, event):
+        self.committed.append(event.ts)
+
+
+class RecorderModel(Model):
+    def __init__(self, times, n_lps=1):
+        self.times = times
+        self.n_lps = n_lps
+
+    def build(self):
+        return [RecorderLP(i, self.times) for i in range(self.n_lps)]
+
+    def collect_stats(self, lps):
+        return {"seen": tuple(tuple(lp.seen) for lp in lps)}
+
+
+def test_events_execute_in_timestamp_order():
+    result = run_sequential(RecorderModel([3.0, 1.0, 2.0]), 10.0)
+    assert result.model_stats["seen"] == ((1.0, 2.0, 3.0),)
+
+
+def test_end_barrier_is_exclusive():
+    result = run_sequential(RecorderModel([1.0, 5.0, 5.00001]), 5.0)
+    assert result.model_stats["seen"] == ((1.0,),)
+    assert result.run.committed == 1
+
+
+def test_commit_hook_fires_per_event():
+    engine = SequentialEngine(RecorderModel([1.0, 2.0]), 10.0)
+    result = engine.run()
+    assert result.lps[0].committed == [1.0, 2.0]
+
+
+def test_stats_consistency():
+    result = run_sequential(ChattyModel(n_lps=3), 20.0)
+    run = result.run
+    assert run.engine == "sequential"
+    assert run.committed == run.processed
+    assert run.events_rolled_back == 0
+    assert run.event_rate > 0
+    assert run.makespan_seconds > 0
+    # 3 LPs x 19 ticks each (ticks at 1..19 < 20).
+    assert result.model_stats["ticks"] == (19, 19, 19)
+
+
+def test_same_seed_same_results():
+    a = run_sequential(ChattyModel(3, pokers={0: 1}), 15.0, seed=5)
+    b = run_sequential(ChattyModel(3, pokers={0: 1}), 15.0, seed=5)
+    assert a.model_stats == b.model_stats
+
+
+def test_empty_model_rejected():
+    class Empty(Model):
+        def build(self):
+            return []
+
+        def collect_stats(self, lps):
+            return {}
+
+    with pytest.raises(ConfigurationError):
+        SequentialEngine(Empty(), 1.0)
+
+
+def test_nondense_lp_ids_rejected():
+    class Bad(Model):
+        def build(self):
+            return [RecorderLP(5, [])]
+
+        def collect_stats(self, lps):
+            return {}
+
+    with pytest.raises(ConfigurationError):
+        SequentialEngine(Bad(), 1.0)
+
+
+def test_bad_end_time_rejected():
+    with pytest.raises(ConfigurationError):
+        SequentialEngine(RecorderModel([]), 0.0)

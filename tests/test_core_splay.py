@@ -1,0 +1,148 @@
+"""Tests for the splay-tree pending queue, including heap-parity properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.event import Event
+from repro.core.optimistic import run_optimistic
+from repro.core.queue import PendingQueue, make_pending_queue
+from repro.core.splay import SplayPendingQueue
+from repro.models.phold import PholdConfig, PholdModel
+from repro.vt.time import EventKey
+
+
+def ev(ts, origin=0, seq=0):
+    return Event(EventKey(ts, origin, seq), 0, "k")
+
+
+# ----------------------------------------------------------------------
+# Basic interface parity with the heap.
+# ----------------------------------------------------------------------
+def test_pops_in_key_order():
+    q = SplayPendingQueue()
+    for i, ts in enumerate([5.0, 1.0, 3.0, 2.0, 4.0]):
+        q.push(ev(ts, seq=i))
+    assert [q.pop().ts for _ in range(5)] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+
+def test_peek_and_len():
+    q = SplayPendingQueue()
+    assert not q and q.peek() is None and q.peek_key() is None
+    e = ev(2.0)
+    q.push(e)
+    assert q.peek() is e
+    assert q.peek_key() == e.key
+    assert len(q) == 1
+    assert e.in_pending
+
+
+def test_pop_empty_raises():
+    with pytest.raises(IndexError):
+        SplayPendingQueue().pop()
+
+
+def test_cancelled_events_skipped():
+    q = SplayPendingQueue()
+    a, b = ev(1.0), ev(2.0, seq=1)
+    q.push(a)
+    q.push(b)
+    a.cancelled = True
+    q.note_cancelled()
+    assert len(q) == 1
+    assert q.pop() is b
+    assert not a.in_pending  # reaped during min extraction
+    assert not q
+
+
+def test_duplicate_key_after_cancellation():
+    q = SplayPendingQueue()
+    old = ev(1.0)
+    q.push(old)
+    old.cancelled = True
+    q.note_cancelled()
+    new = ev(1.0)  # same key as the dead entry
+    q.push(new)
+    assert q.pop() is new
+
+
+def test_iter_yields_live_events():
+    q = SplayPendingQueue()
+    events = [ev(float(i), seq=i) for i in range(10)]
+    for e in events:
+        q.push(e)
+    events[3].cancelled = True
+    q.note_cancelled()
+    live = set(iter(q))
+    assert live == set(events) - {events[3]}
+
+
+def test_factory():
+    assert isinstance(make_pending_queue("heap"), PendingQueue)
+    assert isinstance(make_pending_queue("splay"), SplayPendingQueue)
+    with pytest.raises(ValueError):
+        make_pending_queue("btree")
+
+
+# ----------------------------------------------------------------------
+# Property: identical observable behavior to the heap.
+# ----------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.floats(min_value=0, max_value=100)),
+            st.tuples(st.just("pop"), st.just(0.0)),
+            st.tuples(st.just("cancel_min"), st.just(0.0)),
+        ),
+        max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_splay_matches_heap_on_random_op_sequences(ops):
+    heap, splay = PendingQueue(), SplayPendingQueue()
+    seq = 0
+    for op, ts in ops:
+        if op == "push":
+            seq += 1
+            # Twin event objects: the structures own their own flags.
+            heap.push(ev(ts, seq=seq))
+            splay.push(ev(ts, seq=seq))
+        elif op == "pop":
+            if heap:
+                assert splay.pop().key == heap.pop().key
+            else:
+                assert not splay
+        else:  # cancel the current minimum in both
+            if heap:
+                h, s = heap.peek(), splay.peek()
+                assert h.key == s.key
+                h.cancelled = True
+                s.cancelled = True
+                heap.note_cancelled()
+                splay.note_cancelled()
+        assert len(heap) == len(splay)
+    while heap:
+        assert splay.pop().key == heap.pop().key
+    assert not splay
+
+
+# ----------------------------------------------------------------------
+# Engine integration: identical results on either structure.
+# ----------------------------------------------------------------------
+def test_engine_results_identical_across_queue_structures():
+    phold = PholdConfig(n_lps=32, jobs_per_lp=3, remote_fraction=0.7)
+    oracle = run_sequential(PholdModel(phold), 20.0).model_stats
+    for queue in ("heap", "splay"):
+        cfg = EngineConfig(
+            end_time=20.0,
+            n_pes=4,
+            n_kps=8,
+            batch_size=32,
+            mapping="striped",
+            queue=queue,
+        )
+        result = run_optimistic(PholdModel(phold), cfg)
+        assert result.model_stats == oracle
+        assert result.run.events_rolled_back > 0

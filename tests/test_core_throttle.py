@@ -1,0 +1,141 @@
+"""Tests for the adaptive optimism throttle."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.core.throttle import Throttle, ThrottleConfig
+from repro.models.phold import PholdConfig, PholdModel
+
+END = 25.0
+PHOLD = PholdConfig(n_lps=48, jobs_per_lp=4, remote_fraction=0.9)
+
+
+# ----------------------------------------------------------------------
+# Controller unit tests.
+# ----------------------------------------------------------------------
+def test_high_rollback_halves_factor():
+    t = Throttle()
+    t.update(processed=100, rolled_back=50)
+    assert t.factor == 0.5
+    t.update(processed=100, rolled_back=50)
+    assert t.factor == 0.25
+    assert t.adjustments == 2
+    assert len(t.history) == 2
+
+
+def test_low_rollback_restores_factor():
+    t = Throttle()
+    t.factor = 0.25
+    t.update(processed=100, rolled_back=0)
+    assert t.factor == pytest.approx(0.375)
+    for _ in range(10):
+        t.update(processed=100, rolled_back=0)
+    assert t.factor == 1.0  # capped
+
+
+def test_midband_is_stable():
+    t = Throttle()
+    t.update(processed=100, rolled_back=10)  # between low=5% and high=20%
+    assert t.factor == 1.0
+    assert t.adjustments == 0
+
+
+def test_floor_is_respected():
+    t = Throttle(ThrottleConfig(floor=0.125))
+    for _ in range(20):
+        t.update(processed=10, rolled_back=10)
+    assert t.factor == 0.125
+
+
+def test_zero_processed_is_ignored():
+    t = Throttle()
+    t.update(processed=0, rolled_back=0)
+    assert t.factor == 1.0
+
+
+def test_scaled_preserves_types_and_floors():
+    t = Throttle()
+    t.factor = 0.1
+    assert t.scaled(64, 1) == 6
+    assert t.scaled(1, 1) == 1  # floor
+    assert t.scaled(2.0, 0.5) == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [dict(low=0.5, high=0.2), dict(low=-0.1, high=0.5), dict(floor=0.0), dict(floor=2.0)],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        ThrottleConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Engine integration.
+# ----------------------------------------------------------------------
+def test_adaptive_run_matches_oracle():
+    oracle = run_sequential(PholdModel(PHOLD), END).model_stats
+    cfg = EngineConfig(
+        end_time=END,
+        n_pes=4,
+        n_kps=8,
+        batch_size=256,
+        mapping="striped",
+        adaptive=True,
+    )
+    result = run_optimistic(PholdModel(PHOLD), cfg)
+    assert result.model_stats == oracle
+
+
+def test_adaptive_throttles_a_rollback_heavy_run():
+    cfg = EngineConfig(
+        end_time=END,
+        n_pes=4,
+        n_kps=8,
+        batch_size=512,
+        mapping="random",  # maximise cross-PE traffic -> rollbacks
+        adaptive=True,
+    )
+    result = run_optimistic(PholdModel(PHOLD), cfg)
+    assert result.run.throttle_adjustments > 0
+    assert result.run.throttle_final_factor <= 1.0
+
+
+def test_adaptive_reduces_wasted_work():
+    base = dict(
+        end_time=END, n_pes=4, n_kps=8, batch_size=512, mapping="random"
+    )
+    fixed = run_optimistic(PholdModel(PHOLD), EngineConfig(**base))
+    adaptive = run_optimistic(
+        PholdModel(PHOLD), EngineConfig(adaptive=True, **base)
+    )
+    assert adaptive.model_stats == fixed.model_stats
+    assert adaptive.run.events_rolled_back < fixed.run.events_rolled_back
+
+
+def test_adaptive_repeatable():
+    cfg = EngineConfig(
+        end_time=END, n_pes=4, n_kps=8, batch_size=256, mapping="striped",
+        adaptive=True,
+    )
+    a = run_optimistic(PholdModel(PHOLD), cfg)
+    b = run_optimistic(PholdModel(PHOLD), cfg)
+    assert a.model_stats == b.model_stats
+    assert a.run.throttle_adjustments == b.run.throttle_adjustments
+
+
+def test_adaptive_with_window_mode():
+    oracle = run_sequential(PholdModel(PHOLD), END).model_stats
+    cfg = EngineConfig(
+        end_time=END,
+        n_pes=4,
+        n_kps=8,
+        batch_size=1 << 20,
+        window=3.0,
+        mapping="striped",
+        adaptive=True,
+    )
+    result = run_optimistic(PholdModel(PHOLD), cfg)
+    assert result.model_stats == oracle

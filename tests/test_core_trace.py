@@ -1,0 +1,98 @@
+"""Tests for the event tracer, including the event-level determinism check."""
+
+import pytest
+
+from repro.core.config import EngineConfig
+from repro.core.engine import SequentialEngine
+from repro.core.optimistic import TimeWarpKernel
+from repro.core.trace import COMMIT, EXEC, UNDO, TraceRecord, Tracer
+from repro.models.phold import PholdConfig, PholdModel
+from tests.kernel_models import ChattyModel
+
+END = 15.0
+PHOLD = PholdConfig(n_lps=16, jobs_per_lp=2, remote_fraction=0.7)
+
+
+def run_seq_traced(model):
+    tracer = Tracer()
+    engine = SequentialEngine(model, END).attach_tracer(tracer)
+    result = engine.run()
+    return tracer, result
+
+
+def run_opt_traced(model, **kw):
+    kw.setdefault("mapping", "striped")
+    tracer = Tracer()
+    kernel = TimeWarpKernel(model, EngineConfig(end_time=END, **kw))
+    kernel.attach_tracer(tracer)
+    result = kernel.run()
+    return tracer, result
+
+
+def test_sequential_trace_counts():
+    tracer, result = run_seq_traced(PholdModel(PHOLD))
+    assert tracer.counts[EXEC] == result.run.committed
+    assert tracer.counts[COMMIT] == result.run.committed
+    assert tracer.counts[UNDO] == 0
+
+
+def test_optimistic_trace_counts_match_stats():
+    tracer, result = run_opt_traced(PholdModel(PHOLD), n_pes=4, n_kps=8, batch_size=64)
+    run = result.run
+    assert tracer.counts[EXEC] == run.processed
+    assert tracer.counts[UNDO] == run.events_rolled_back
+    assert tracer.counts[COMMIT] == run.committed
+    assert run.events_rolled_back > 0  # the check above is non-trivial
+
+
+def test_committed_sequences_identical_across_engines():
+    # Event-level repeatability: not just equal final statistics, the
+    # exact same committed events in the exact same order.
+    seq_tracer, _ = run_seq_traced(PholdModel(PHOLD))
+    opt_tracer, _ = run_opt_traced(PholdModel(PHOLD), n_pes=4, n_kps=8, batch_size=64)
+    assert opt_tracer.committed_sequence() == seq_tracer.committed_sequence()
+
+
+def test_thrash_by_lp_targets_the_poked_lp():
+    tracer, _ = run_opt_traced(
+        ChattyModel(n_lps=2, pokers={1: 0}), n_pes=2, n_kps=2, batch_size=1000
+    )
+    thrash = tracer.thrash_by_lp()
+    assert thrash  # rollbacks happened
+    assert max(thrash, key=thrash.get) == 0  # LP 0 is the straggler target
+
+
+def test_limit_keeps_most_recent():
+    tracer = Tracer(limit=5)
+    seq_engine_tracer, _ = run_seq_traced(PholdModel(PHOLD))
+    # Re-run with the limited tracer.
+    engine = SequentialEngine(PholdModel(PHOLD), END).attach_tracer(tracer)
+    engine.run()
+    assert len(tracer) == 5
+    assert tracer.counts[EXEC] > 5  # counts keep the full totals
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        Tracer(limit=0)
+
+
+def test_record_formatting():
+    tracer, _ = run_seq_traced(PholdModel(PHOLD))
+    text = tracer.format(last=3)
+    assert text.count("\n") == 2
+    assert "EXEC" in text or "COMMIT" in text
+
+
+def test_select_filters_actions():
+    tracer, _ = run_opt_traced(PholdModel(PHOLD), n_pes=2, n_kps=4, batch_size=64)
+    assert all(r.action == UNDO for r in tracer.select(UNDO))
+    assert len(tracer.select(EXEC)) == tracer.counts[EXEC]
+
+
+def test_peak_memory_stats_tracked():
+    _, result = run_opt_traced(PholdModel(PHOLD), n_pes=2, n_kps=4, batch_size=64)
+    assert result.run.peak_pending > 0
+    assert result.run.peak_processed > 0
+    # Fossil collection bounds the processed list well below total work.
+    assert result.run.peak_processed < result.run.processed

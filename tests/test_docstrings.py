@@ -1,0 +1,47 @@
+"""Documentation gate: every public module, class and function has a
+
+docstring.  Keeps deliverable (e) — doc comments on every public item —
+enforced rather than aspirational.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if "__main__" not in name
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} has no module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_members_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not inspect.getdoc(obj):
+            missing.append(name)
+        elif inspect.isclass(obj):
+            for m_name, member in vars(obj).items():
+                if m_name.startswith("_"):
+                    continue
+                if inspect.isfunction(member) and not inspect.getdoc(member):
+                    missing.append(f"{name}.{m_name}")
+    assert not missing, f"{module_name}: undocumented public items: {missing}"

@@ -1,0 +1,62 @@
+"""Unit tests for the experiment plumbing (SweepParams, run helpers)."""
+
+import pytest
+
+from repro.experiments.common import (
+    DEFAULT_LOADS,
+    SweepParams,
+    run_hotpotato_parallel,
+    run_hotpotato_sequential,
+)
+
+
+def test_default_loads_are_the_reports():
+    assert DEFAULT_LOADS == (0.25, 0.50, 0.75, 1.00)
+
+
+def test_sweep_params_defaults():
+    p = SweepParams()
+    assert p.sizes == (8, 16)
+    assert p.duration == 100.0
+    assert p.pe_counts == (1, 2, 4)
+    assert p.window == 2.0
+
+
+def test_sweep_params_requires_sizes():
+    with pytest.raises(ValueError):
+        SweepParams(sizes=())
+
+
+def test_sequential_helper_runs():
+    result = run_hotpotato_sequential(4, 1.0, 15.0, seed=1)
+    assert result.run.engine == "sequential"
+    assert result.model_stats["delivered"] > 0
+
+
+def test_parallel_helper_batch_mode():
+    result = run_hotpotato_parallel(
+        4, 1.0, 15.0, 1, n_pes=2, n_kps=4, batch_size=16
+    )
+    assert result.run.engine == "optimistic"
+    assert result.run.n_pes == 2
+
+
+def test_parallel_helper_window_mode_raises_batch_cap():
+    result = run_hotpotato_parallel(
+        4, 1.0, 15.0, 1, n_pes=2, n_kps=4, batch_size=16, window=2.0
+    )
+    # Window mode runs fine and produces Time Warp activity on 2 PEs.
+    assert result.run.committed > 0
+
+
+def test_parallel_helper_forwards_overrides():
+    result = run_hotpotato_parallel(
+        4, 1.0, 15.0, 1, n_pes=2, n_kps=4, rollback="copy", mapping="striped"
+    )
+    assert result.run.committed > 0
+
+
+def test_helpers_share_results_given_same_seed():
+    a = run_hotpotato_sequential(4, 1.0, 15.0, seed=7)
+    b = run_hotpotato_parallel(4, 1.0, 15.0, 7, n_pes=4, n_kps=8, mapping="striped")
+    assert a.model_stats == b.model_stats

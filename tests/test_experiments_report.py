@@ -1,0 +1,73 @@
+"""Tests for the Table result container."""
+
+import pytest
+
+from repro.experiments.report import Table
+
+
+def make():
+    t = Table(title="T", columns=["a", "b"])
+    t.add_row(1, 2.5)
+    t.add_row(10000, 0.123456)
+    return t
+
+
+def test_add_row_checks_width():
+    t = make()
+    with pytest.raises(ValueError):
+        t.add_row(1)
+
+
+def test_column_access():
+    t = make()
+    assert t.column("a") == [1, 10000]
+    with pytest.raises(ValueError):
+        t.column("zzz")
+
+
+def test_text_rendering():
+    text = make().to_text()
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "b" in lines[2]
+    assert "0.123" in text
+
+
+def test_text_includes_notes():
+    t = make()
+    t.notes.append("hello")
+    assert "note: hello" in t.to_text()
+
+
+def test_csv_rendering():
+    csv_text = make().to_csv()
+    rows = csv_text.strip().splitlines()
+    assert rows[0] == "a,b"
+    assert rows[1] == "1,2.5"
+    assert len(rows) == 3
+
+
+def test_bool_formatting():
+    t = Table(title="B", columns=["ok"])
+    t.add_row(True)
+    t.add_row(False)
+    text = t.to_text()
+    assert "yes" in text and "no" in text
+
+
+def test_large_float_formatting():
+    t = Table(title="F", columns=["rate"])
+    t.add_row(1234567.89)
+    assert "1,234,568" in t.to_text()
+
+
+def test_markdown_rendering():
+    t = make()
+    t.notes.append("a note")
+    md = t.to_markdown()
+    lines = md.splitlines()
+    assert lines[0] == "### T"
+    assert lines[2] == "| a | b |"
+    assert lines[3] == "|---|---|"
+    assert "| 1 | 2.5 |" in md
+    assert "*a note*" in md

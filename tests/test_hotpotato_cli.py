@@ -1,0 +1,49 @@
+"""Tests for the ``python -m repro.hotpotato`` command-line interface."""
+
+import pytest
+
+from repro.hotpotato.__main__ import build_parser, main
+
+
+def test_defaults():
+    args = build_parser().parse_args([])
+    assert args.n == 8
+    assert args.processors == 1
+    assert args.probability_i == 100.0
+
+
+def test_sequential_run(capsys):
+    rc = main(["--n", "4", "--duration", "20", "--probability-i", "50"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "4x4 torus" in out
+    assert "engine=sequential" in out
+    assert "packets delivered" in out
+
+
+def test_parallel_run(capsys):
+    rc = main(
+        ["--n", "4", "--duration", "20", "--processors", "2", "--kps", "4"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "engine=optimistic (2 PE)" in out
+    assert "events rolled back" in out
+
+
+def test_validate_cross_engine(capsys):
+    rc = main(["--n", "4", "--duration", "20", "--kps", "8", "--validate"])
+    assert rc == 0
+    assert "IDENTICAL" in capsys.readouterr().out
+
+
+def test_mesh_and_proof_mode(capsys):
+    rc = main(
+        ["--n", "4", "--duration", "20", "--mesh", "--no-absorb-sleeping"]
+    )
+    assert rc == 0
+    assert "4x4 mesh" in capsys.readouterr().out
+
+
+def test_bad_probability(capsys):
+    assert main(["--probability-i", "150"]) == 2

@@ -1,0 +1,125 @@
+"""System-level invariants of the hot-potato network (DESIGN.md 3, 4).
+
+Packet conservation, the bufferless guarantee, absorption-mode semantics,
+O(N) growth, and the theoretical property that Running packets are never
+knocked off their home-run path except while turning.
+"""
+
+import pytest
+
+from repro.core.engine import SequentialEngine
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+from repro.hotpotato.router import ARRIVE, ROUTE
+
+
+def run_engine(cfg, seed=1):
+    engine = SequentialEngine(HotPotatoModel(cfg), cfg.duration, seed=seed)
+    result = engine.run()
+    return engine, result
+
+
+@pytest.mark.parametrize("frac", [0.0, 0.5, 1.0])
+def test_packet_conservation(frac):
+    cfg = HotPotatoConfig(n=6, duration=40.0, injector_fraction=frac)
+    engine, result = run_engine(cfg)
+    ms = result.model_stats
+    in_flight = sum(1 for ev in engine.pending if ev.kind in (ARRIVE, ROUTE))
+    total_in = ms["initial_packets"] + ms["injected"]
+    assert total_in == ms["delivered"] + in_flight
+
+
+def test_static_mode_drains_the_network():
+    # injector_fraction=0 with full fill is the one-shot/static analysis:
+    # every seeded packet must eventually be delivered.
+    cfg = HotPotatoConfig(n=6, duration=200.0, injector_fraction=0.0)
+    engine, result = run_engine(cfg)
+    ms = result.model_stats
+    assert ms["injected"] == 0
+    assert ms["delivered"] == ms["initial_packets"] == 144
+    in_flight = sum(1 for ev in engine.pending if ev.kind in (ARRIVE, ROUTE))
+    assert in_flight == 0
+
+
+def test_bufferless_invariant_no_overflow_routes():
+    # A router never sees more packets than links in any real (committed)
+    # timeline: the overflow counter stays zero across a busy run.
+    cfg = HotPotatoConfig(n=8, duration=60.0, injector_fraction=1.0)
+    _, result = run_engine(cfg)
+    assert result.model_stats["delivered"] > 0
+    assert result.model_stats["overflow_routes"] == 0
+
+
+def test_running_never_demoted_off_turn():
+    # "a running packet cannot be deflected from its path except while it
+    # is turning" (§1.2.5) — holds in every configuration we run.
+    for frac in (0.5, 1.0):
+        cfg = HotPotatoConfig(n=8, duration=80.0, injector_fraction=frac)
+        _, result = run_engine(cfg)
+        assert result.model_stats["running_deflections_off_turn"] == 0
+
+
+def test_absorb_sleeping_false_still_delivers_upgraded_packets():
+    cfg = HotPotatoConfig(n=6, duration=80.0, injector_fraction=0.5, absorb_sleeping=False)
+    _, result = run_engine(cfg)
+    ms = result.model_stats
+    # Sleeping packets are never absorbed in proof mode.
+    assert ms["delivered_by_priority"][0] == 0
+    assert ms["delivered"] > 0  # upgraded packets still arrive
+
+
+def test_absorb_mode_changes_results():
+    base = dict(n=6, duration=60.0, injector_fraction=0.5)
+    _, a = run_engine(HotPotatoConfig(absorb_sleeping=True, **base))
+    _, b = run_engine(HotPotatoConfig(absorb_sleeping=False, **base))
+    assert a.model_stats["delivered"] > b.model_stats["delivered"]
+
+
+def test_delivery_time_grows_linearly_with_n():
+    from repro.analysis.linfit import fit_linear
+
+    sizes = (4, 8, 12)
+    times = []
+    for n in sizes:
+        cfg = HotPotatoConfig(n=n, duration=60.0, injector_fraction=1.0)
+        _, result = run_engine(cfg)
+        times.append(result.model_stats["avg_delivery_time"])
+    assert times == sorted(times)  # monotone in N
+    fit = fit_linear(sizes, times)
+    assert fit.r_squared > 0.98  # the O(N) claim
+    assert 0.3 < fit.slope < 2.0  # about a constant times N, not N^2
+
+
+def test_injection_wait_increases_with_load():
+    waits = {}
+    for frac in (0.25, 1.0):
+        cfg = HotPotatoConfig(n=8, duration=60.0, injector_fraction=frac)
+        _, result = run_engine(cfg)
+        waits[frac] = result.model_stats["avg_inject_wait"]
+    assert waits[1.0] > waits[0.25]
+
+
+def test_jitter_off_remains_deterministic_and_different():
+    base = dict(n=6, duration=40.0, injector_fraction=1.0)
+    _, a1 = run_engine(HotPotatoConfig(arrival_jitter=False, **base))
+    _, a2 = run_engine(HotPotatoConfig(arrival_jitter=False, **base))
+    assert a1.model_stats == a2.model_stats
+    _, b = run_engine(HotPotatoConfig(arrival_jitter=True, **base))
+    assert a1.model_stats != b.model_stats
+
+
+def test_delivered_by_priority_sums_to_delivered():
+    cfg = HotPotatoConfig(n=8, duration=60.0, injector_fraction=1.0)
+    _, result = run_engine(cfg)
+    ms = result.model_stats
+    assert sum(ms["delivered_by_priority"]) == ms["delivered"]
+
+
+def test_higher_states_appear_in_long_runs():
+    # The probabilistic upgrade chain produces Active (and occasionally
+    # higher) deliveries over a long, loaded run.
+    cfg = HotPotatoConfig(n=6, duration=150.0, injector_fraction=1.0)
+    _, result = run_engine(cfg)
+    ms = result.model_stats
+    assert ms["upgrades_sleeping"] > 0
+    assert ms["delivered_by_priority"][1] > 0

@@ -1,0 +1,49 @@
+"""Tests for the PHOLD reference model."""
+
+import pytest
+
+from repro.core.engine import SequentialEngine, run_sequential
+from repro.errors import ConfigurationError
+from repro.models.phold import JOB, PholdConfig, PholdModel
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        PholdConfig(n_lps=0)
+    with pytest.raises(ConfigurationError):
+        PholdConfig(jobs_per_lp=-1)
+    with pytest.raises(ConfigurationError):
+        PholdConfig(lookahead=0.0)
+    with pytest.raises(ConfigurationError):
+        PholdConfig(remote_fraction=1.5)
+
+
+def test_job_population_is_conserved():
+    cfg = PholdConfig(n_lps=16, jobs_per_lp=3)
+    engine = SequentialEngine(PholdModel(cfg), 20.0)
+    engine.run()
+    in_flight = sum(1 for ev in engine.pending if ev.kind == JOB)
+    assert in_flight == 16 * 3  # every job is always somewhere
+
+
+def test_handled_counts_accumulate():
+    cfg = PholdConfig(n_lps=8, jobs_per_lp=2)
+    result = run_sequential(PholdModel(cfg), 30.0)
+    ms = result.model_stats
+    assert ms["total_handled"] == result.run.committed
+    assert ms["total_handled"] == sum(ms["per_lp_handled"])
+    assert ms["min_handled"] >= 0
+
+
+def test_remote_fraction_zero_keeps_jobs_local():
+    cfg = PholdConfig(n_lps=4, jobs_per_lp=1, remote_fraction=0.0)
+    engine = SequentialEngine(PholdModel(cfg), 20.0)
+    engine.run()
+    for ev in engine.pending:
+        assert ev.dst == ev.origin  # jobs never left home
+
+
+def test_zero_jobs_is_quiet():
+    cfg = PholdConfig(n_lps=4, jobs_per_lp=0)
+    result = run_sequential(PholdModel(cfg), 10.0)
+    assert result.run.committed == 0

@@ -1,0 +1,68 @@
+"""Tests for the public package surface: imports, lazy attributes, errors."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    ModelError,
+    ReproError,
+    RollbackError,
+    SchedulingError,
+    TopologyError,
+)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports_exist():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_lazy_hotpotato_attributes():
+    assert repro.HotPotatoConfig is not None
+    assert repro.HotPotatoModel is not None
+    assert repro.HotPotatoSimulation is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.NoSuchThing
+
+
+def test_experiments_lazy_attributes():
+    import repro.experiments as exp
+
+    assert "fig3" in exp.EXPERIMENTS
+    assert callable(exp.run_experiment)
+    with pytest.raises(AttributeError):
+        exp.nope
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ConfigurationError, SchedulingError, RollbackError, TopologyError, ModelError],
+)
+def test_error_hierarchy(exc):
+    assert issubclass(exc, ReproError)
+    assert issubclass(ReproError, Exception)
+
+
+def test_errors_catchable_as_base():
+    with pytest.raises(ReproError):
+        raise SchedulingError("x")
+
+
+def test_console_script_entry_point_importable():
+    from repro.experiments.runner import main
+
+    assert callable(main)
+
+
+def test_models_package():
+    from repro.models import PholdConfig, PholdLP, PholdModel
+
+    assert PholdConfig and PholdLP and PholdModel

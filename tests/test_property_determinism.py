@@ -1,0 +1,78 @@
+"""Property-based engine-equivalence: the crown invariant (DESIGN.md 2).
+
+Hypothesis drives the optimistic engine through random configurations
+(PEs, KPs, batch sizes, windows, mappings, strategies, transports) and the
+committed results must always equal the sequential oracle's — on both the
+PHOLD and the hot-potato workloads.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+from repro.models.phold import PholdConfig, PholdModel
+
+END = 20.0
+PHOLD_CFG = PholdConfig(n_lps=24, jobs_per_lp=2, remote_fraction=0.6)
+HP_CFG = HotPotatoConfig(n=4, duration=END, injector_fraction=1.0)
+
+
+@pytest.fixture(scope="module")
+def phold_oracle():
+    return run_sequential(PholdModel(PHOLD_CFG), END).model_stats
+
+
+@pytest.fixture(scope="module")
+def hp_oracle():
+    return run_sequential(HotPotatoModel(HP_CFG), END).model_stats
+
+
+@st.composite
+def engine_configs(draw):
+    n_pes = draw(st.integers(min_value=1, max_value=6))
+    # Keep n_kps a multiple of n_pes and within the LP population.
+    kp_mult = draw(st.integers(min_value=1, max_value=max(1, 16 // n_pes)))
+    n_kps = n_pes * kp_mult
+    use_window = draw(st.booleans())
+    return EngineConfig(
+        end_time=END,
+        n_pes=n_pes,
+        n_kps=n_kps,
+        batch_size=draw(st.integers(min_value=1, max_value=512)),
+        window=draw(st.sampled_from([0.3, 1.0, 4.0])) if use_window else None,
+        gvt_interval=draw(st.integers(min_value=1, max_value=5)),
+        mapping=draw(st.sampled_from(["striped", "random"])),
+        rollback=draw(st.sampled_from(["reverse", "copy"])),
+        transport=draw(st.sampled_from(["immediate", "mailbox"])),
+        gvt=draw(st.sampled_from(["synchronous", "mattern"])),
+        cancellation=draw(st.sampled_from(["aggressive", "lazy"])),
+        seed=0x5EED,
+    )
+
+
+@given(cfg=engine_configs())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_phold_matches_oracle_under_any_configuration(cfg, phold_oracle):
+    result = run_optimistic(PholdModel(PHOLD_CFG), cfg)
+    assert result.model_stats == phold_oracle
+    assert result.run.committed == result.run.processed - result.run.events_rolled_back
+
+
+@given(cfg=engine_configs())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_hotpotato_matches_oracle_under_any_configuration(cfg, hp_oracle):
+    result = run_optimistic(HotPotatoModel(HP_CFG), cfg)
+    assert result.model_stats == hp_oracle

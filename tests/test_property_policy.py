@@ -1,0 +1,113 @@
+"""Property-based tests for routing policies over random situations."""
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.baselines.policies import (
+    DimensionOrderPolicy,
+    GreedyPolicy,
+    RandomDeflectionPolicy,
+)
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.packet import Priority
+from repro.hotpotato.policy import BuschHotPotatoPolicy
+from repro.net import TorusTopology
+from repro.rng.streams import ReversibleStream
+
+POLICIES = (
+    BuschHotPotatoPolicy(),
+    GreedyPolicy(),
+    DimensionOrderPolicy(),
+    RandomDeflectionPolicy(),
+)
+
+CFG = HotPotatoConfig(n=8)
+TOPO = TorusTopology(8)
+
+
+@st.composite
+def situations(draw):
+    node = draw(st.integers(min_value=0, max_value=63))
+    dest = draw(st.integers(min_value=0, max_value=63))
+    assume(dest != node)
+    free = tuple(draw(st.booleans()) for _ in range(4))
+    assume(any(free))  # bufferless invariant: at least one free link
+    priority = Priority(draw(st.integers(min_value=0, max_value=3)))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return node, dest, free, priority, seed
+
+
+@given(situations())
+def test_chosen_direction_is_always_free(sit):
+    node, dest, free, priority, seed = sit
+    for policy in POLICIES:
+        out = policy.route(
+            TOPO, node, dest, priority, free, ReversibleStream(seed), CFG
+        )
+        assert free[out.direction], f"{policy.name} chose a busy link"
+
+
+@given(situations())
+def test_deflected_flag_matches_goodness(sit):
+    node, dest, free, priority, seed = sit
+    good = set(TOPO.good_dirs(node, dest))
+    for policy in POLICIES:
+        out = policy.route(
+            TOPO, node, dest, priority, free, ReversibleStream(seed), CFG
+        )
+        assert out.deflected == (out.direction not in good)
+
+
+@given(situations())
+def test_good_link_taken_whenever_one_is_free(sit):
+    node, dest, free, priority, seed = sit
+    good_free = [d for d in TOPO.good_dirs(node, dest) if free[d]]
+    for policy in POLICIES:
+        out = policy.route(
+            TOPO, node, dest, priority, free, ReversibleStream(seed), CFG
+        )
+        if good_free:
+            assert not out.deflected, (
+                f"{policy.name} deflected although a good link was free"
+            )
+
+
+@given(situations())
+def test_priority_transitions_are_legal(sit):
+    node, dest, free, priority, seed = sit
+    out = BuschHotPotatoPolicy().route(
+        TOPO, node, dest, priority, free, ReversibleStream(seed), CFG
+    )
+    new = out.new_priority
+    if priority == Priority.SLEEPING:
+        assert new in (Priority.SLEEPING, Priority.ACTIVE)
+    elif priority == Priority.ACTIVE:
+        assert new in (Priority.ACTIVE, Priority.EXCITED)
+        if new == Priority.EXCITED:
+            assert out.deflected
+    elif priority == Priority.EXCITED:
+        assert new in (Priority.ACTIVE, Priority.RUNNING)
+    else:  # RUNNING
+        assert new in (Priority.ACTIVE, Priority.RUNNING)
+        if new == Priority.ACTIVE:
+            assert out.demoted
+
+
+@given(situations())
+def test_baseline_policies_never_change_priority(sit):
+    node, dest, free, priority, seed = sit
+    for policy in POLICIES[1:]:
+        out = policy.route(
+            TOPO, node, dest, priority, free, ReversibleStream(seed), CFG
+        )
+        assert out.new_priority == Priority.ACTIVE
+        assert not out.upgraded and not out.demoted
+
+
+@given(situations())
+def test_rng_draw_counts_bounded(sit):
+    node, dest, free, priority, seed = sit
+    for policy in POLICIES:
+        stream = ReversibleStream(seed)
+        policy.route(TOPO, node, dest, priority, free, stream, CFG)
+        assert stream.count <= 1  # at most one draw per decision

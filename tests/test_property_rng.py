@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) for the reversible RNG.
+
+These are the invariants the whole Time Warp correctness story leans on:
+reversing k draws restores the stream exactly, and jumping is equivalent
+to stepping.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rng.lcg import MASK64, lcg_jump, lcg_next, lcg_prev
+from repro.rng.streams import ReversibleStream, derive_seed
+
+seeds = st.integers(min_value=0, max_value=MASK64)
+small_counts = st.integers(min_value=0, max_value=200)
+
+
+@given(state=seeds)
+def test_prev_inverts_next(state):
+    assert lcg_prev(lcg_next(state)) == state
+
+
+@given(state=seeds, k=st.integers(min_value=-300, max_value=300))
+def test_jump_matches_stepping(state, k):
+    expected = state
+    step = lcg_next if k >= 0 else lcg_prev
+    for _ in range(abs(k)):
+        expected = step(expected)
+    assert lcg_jump(state, k) == expected
+
+
+@given(seed=seeds, n=small_counts, k=small_counts)
+def test_reverse_k_of_n_draws_replays_identically(seed, n, k):
+    k = min(k, n)
+    s = ReversibleStream(seed)
+    draws = [s.unif() for _ in range(n)]
+    s.reverse(k)
+    assert s.count == n - k
+    assert [s.unif() for _ in range(k)] == draws[n - k :]
+
+
+@given(seed=seeds, n=small_counts)
+def test_checkpoint_restore_roundtrip(seed, n):
+    s = ReversibleStream(seed)
+    for _ in range(n):
+        s.unif()
+    ckpt = s.checkpoint()
+    tail = [s.unif() for _ in range(10)]
+    s.restore(ckpt)
+    assert s.count == n
+    assert [s.unif() for _ in range(10)] == tail
+
+
+@given(seed=seeds, a=small_counts, b=small_counts)
+def test_seek_is_position_independent(seed, a, b):
+    s1 = ReversibleStream(seed)
+    s1.seek(a)
+    s1.seek(b)
+    s2 = ReversibleStream(seed)
+    s2.seek(b)
+    assert s1.checkpoint() == s2.checkpoint()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**64 - 1),
+    lo=st.integers(min_value=-1000, max_value=1000),
+    span=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=200)
+def test_integer_always_within_bounds(seed, lo, span):
+    s = ReversibleStream(seed)
+    hi = lo + span
+    for _ in range(20):
+        assert lo <= s.integer(lo, hi) <= hi

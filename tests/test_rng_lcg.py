@@ -1,0 +1,89 @@
+"""Unit tests for the invertible LCG core."""
+
+import pytest
+
+from repro.rng.lcg import (
+    INCREMENT,
+    MASK64,
+    MULTIPLIER,
+    MULTIPLIER_INV,
+    affine_pow,
+    lcg_jump,
+    lcg_next,
+    lcg_output,
+    lcg_prev,
+    splitmix64,
+)
+
+
+def test_multiplier_inverse_is_modular_inverse():
+    assert (MULTIPLIER * MULTIPLIER_INV) & MASK64 == 1
+
+
+def test_next_prev_roundtrip():
+    state = 0xDEADBEEF
+    assert lcg_prev(lcg_next(state)) == state
+    assert lcg_next(lcg_prev(state)) == state
+
+
+def test_next_matches_affine_definition():
+    state = 12345
+    assert lcg_next(state) == (MULTIPLIER * state + INCREMENT) & MASK64
+
+
+def test_output_in_unit_interval():
+    state = 7
+    for _ in range(1000):
+        state = lcg_next(state)
+        u = lcg_output(state)
+        assert 0.0 <= u < 1.0
+
+
+def test_output_uses_top_bits():
+    # Two states differing only in low 11 bits produce the same output.
+    s1 = 0xABCDEF0123456789
+    s2 = s1 ^ 0x3FF
+    assert lcg_output(s1) == lcg_output(s2)
+
+
+def test_affine_pow_zero_is_identity():
+    a, c = affine_pow(0)
+    assert (a, c) == (1, 0)
+
+
+def test_affine_pow_one_is_single_step():
+    a, c = affine_pow(1)
+    assert (a, c) == (MULTIPLIER, INCREMENT)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 7, 64, 1000])
+def test_jump_forward_matches_iteration(k):
+    state = 99
+    expected = state
+    for _ in range(k):
+        expected = lcg_next(expected)
+    assert lcg_jump(state, k) == expected
+
+
+@pytest.mark.parametrize("k", [1, 5, 100])
+def test_jump_backward_matches_iteration(k):
+    state = 424242
+    expected = state
+    for _ in range(k):
+        expected = lcg_prev(expected)
+    assert lcg_jump(state, -k) == expected
+
+
+def test_jump_composes():
+    state = 31337
+    assert lcg_jump(lcg_jump(state, 17), -17) == state
+    assert lcg_jump(lcg_jump(state, 40), 2) == lcg_jump(state, 42)
+
+
+def test_splitmix_differs_for_consecutive_inputs():
+    outs = {splitmix64(i) for i in range(1000)}
+    assert len(outs) == 1000
+
+
+def test_splitmix_stays_in_64_bits():
+    assert splitmix64(MASK64) <= MASK64

@@ -1,0 +1,131 @@
+"""Unit tests for reversible per-LP RNG streams."""
+
+import math
+
+import pytest
+
+from repro.rng.streams import ReversibleStream, derive_seed
+
+
+def make(seed=123, sid=0):
+    return ReversibleStream(derive_seed(seed, sid), sid)
+
+
+def test_deterministic_given_seed():
+    a, b = make(), make()
+    assert [a.unif() for _ in range(50)] == [b.unif() for _ in range(50)]
+
+
+def test_different_streams_differ():
+    a = make(sid=0)
+    b = make(sid=1)
+    assert [a.unif() for _ in range(10)] != [b.unif() for _ in range(10)]
+
+
+def test_reverse_single_draw():
+    s = make()
+    before = s.checkpoint()
+    first = s.unif()
+    s.reverse()
+    assert s.checkpoint() == before
+    assert s.unif() == first  # replays identically
+
+
+def test_reverse_many():
+    s = make()
+    draws = [s.unif() for _ in range(20)]
+    s.reverse(20)
+    assert s.count == 0
+    assert [s.unif() for _ in range(20)] == draws
+
+
+def test_reverse_too_many_raises():
+    s = make()
+    s.unif()
+    with pytest.raises(ValueError):
+        s.reverse(2)
+
+
+def test_reverse_negative_raises():
+    s = make()
+    with pytest.raises(ValueError):
+        s.reverse(-1)
+
+
+def test_count_tracks_all_distributions():
+    s = make()
+    s.unif()
+    s.integer(0, 9)
+    s.exponential(2.0)
+    s.bernoulli(0.5)
+    assert s.count == 4  # every draw consumes exactly one uniform
+
+
+def test_integer_bounds_inclusive():
+    s = make()
+    values = {s.integer(3, 5) for _ in range(200)}
+    assert values == {3, 4, 5}
+
+
+def test_integer_single_value():
+    s = make()
+    assert s.integer(7, 7) == 7
+
+
+def test_integer_empty_range_raises():
+    s = make()
+    with pytest.raises(ValueError):
+        s.integer(5, 4)
+
+
+def test_exponential_positive_and_mean_plausible():
+    s = make()
+    n = 4000
+    xs = [s.exponential(3.0) for _ in range(n)]
+    assert all(x > 0 for x in xs)
+    mean = sum(xs) / n
+    assert math.isclose(mean, 3.0, rel_tol=0.15)
+
+
+def test_exponential_requires_positive_mean():
+    s = make()
+    with pytest.raises(ValueError):
+        s.exponential(0.0)
+
+
+def test_bernoulli_extremes():
+    s = make()
+    assert not any(s.bernoulli(0.0) for _ in range(100))
+    assert all(s.bernoulli(1.0) for _ in range(100))
+
+
+def test_checkpoint_restore():
+    s = make()
+    s.unif()
+    ckpt = s.checkpoint()
+    later = [s.unif() for _ in range(5)]
+    s.restore(ckpt)
+    assert [s.unif() for _ in range(5)] == later
+
+
+def test_seek_forward_and_backward():
+    s = make()
+    draws = [s.unif() for _ in range(10)]
+    s.seek(3)
+    assert s.count == 3
+    assert s.unif() == draws[3]
+    s.seek(9)  # forward jump from count 4
+    assert s.unif() == draws[9]
+    s.seek(0)  # all the way back
+    assert s.unif() == draws[0]
+
+
+def test_seek_negative_raises():
+    s = make()
+    with pytest.raises(ValueError):
+        s.seek(-1)
+
+
+def test_derive_seed_spreads_ids():
+    seeds = {derive_seed(42, i) for i in range(10000)}
+    assert len(seeds) == 10000

@@ -1,0 +1,31 @@
+"""Unit tests for virtual-time keys."""
+
+from repro.vt import EventKey, KEY_EPOCH, KEY_HORIZON, TIME_EPOCH, TIME_HORIZON
+
+
+def test_key_orders_by_timestamp_first():
+    assert EventKey(1.0, 99, 99) < EventKey(2.0, 0, 0)
+
+
+def test_key_ties_break_by_origin_then_seq():
+    assert EventKey(1.0, 1, 5) < EventKey(1.0, 2, 0)
+    assert EventKey(1.0, 1, 5) < EventKey(1.0, 1, 6)
+
+
+def test_key_equality():
+    assert EventKey(1.5, 3, 7) == EventKey(1.5, 3, 7)
+
+
+def test_epoch_and_horizon_bracket_all_keys():
+    k = EventKey(123.456, 10, 20)
+    assert KEY_EPOCH < k < KEY_HORIZON
+
+
+def test_time_constants():
+    assert TIME_EPOCH == 0.0
+    assert TIME_HORIZON == float("inf")
+
+
+def test_key_str_is_readable():
+    text = str(EventKey(2.5, 3, 4))
+    assert "2.5" in text and "3" in text and "4" in text
