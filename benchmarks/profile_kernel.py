@@ -1,10 +1,17 @@
 """Profile the kernel hot path (not a benchmark — run directly).
 
 Per the optimisation workflow (measure before optimising), this script
-profiles a representative optimistic hot-potato run and prints the top
+profiles a representative hot-potato run on any engine and prints the top
 functions by cumulative time::
 
-    python benchmarks/profile_kernel.py [--sort tottime] [--lines 25]
+    python benchmarks/profile_kernel.py [--engine optimistic] [--seed 1]
+                                        [--sort tottime] [--lines 25]
+                                        [--dump before.pstats]
+
+``--dump`` writes the raw profile to a ``pstats`` file so before/after
+profiles of an optimisation PR can be diffed offline
+(``pstats.Stats('before.pstats').sort_stats('tottime')``); ``--seed``
+pins the run so the two profiles execute identical event sequences.
 
 Historical findings captured as comments where they drove code decisions:
 
@@ -22,6 +29,8 @@ import cProfile
 import pstats
 
 from repro.core.config import EngineConfig
+from repro.core.conservative import ConservativeConfig, run_conservative
+from repro.core.engine import run_sequential
 from repro.core.optimistic import run_optimistic
 from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.model import HotPotatoModel
@@ -29,28 +38,52 @@ from repro.hotpotato.model import HotPotatoModel
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        default="optimistic",
+        choices=("sequential", "optimistic", "conservative"),
+        help="engine to profile",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument("--sort", default="cumulative", help="pstats sort key")
     parser.add_argument("--lines", type=int, default=25, help="rows to print")
     parser.add_argument("--n", type=int, default=8, help="network dimension")
     parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument(
+        "--dump",
+        metavar="FILE",
+        help="also write the raw profile to FILE for offline diffing",
+    )
     args = parser.parse_args()
 
     cfg = HotPotatoConfig(n=args.n, duration=args.duration, injector_fraction=1.0)
-    ecfg = EngineConfig(
-        end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64
-    )
+    model = HotPotatoModel(cfg)
 
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_optimistic(HotPotatoModel(cfg), ecfg)
+    if args.engine == "sequential":
+        result = run_sequential(model, cfg.duration, seed=args.seed)
+    elif args.engine == "conservative":
+        ccfg = ConservativeConfig(
+            end_time=cfg.duration, n_pes=4, sync="yawns", seed=args.seed
+        )
+        result = run_conservative(model, ccfg)
+    else:
+        ecfg = EngineConfig(
+            end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64, seed=args.seed
+        )
+        result = run_optimistic(model, ecfg)
     profiler.disable()
 
     print(
-        f"{result.run.processed:,} events processed "
+        f"{args.engine}: {result.run.processed:,} events processed "
         f"({result.run.events_rolled_back:,} rolled back)\n"
     )
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.lines)
+    if args.dump:
+        stats.dump_stats(args.dump)
+        print(f"profile written to {args.dump}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,38 @@
+"""Tracked wall-clock performance harness (``python -m repro.bench``).
+
+The repo's figures come from *virtual* (cost-model) time; this package
+measures the other axis — real committed-events/second of the Python hot
+path — and makes the number durable: every full run writes a
+``BENCH_<n>.json`` trajectory file next to the previous one and fails when
+throughput regresses beyond a threshold.  The suite is fixed (engines ×
+workloads × seeds) so consecutive files are directly comparable on the
+same machine.
+
+Usage::
+
+    python -m repro.bench                # full suite, writes BENCH_<n>.json
+    python -m repro.bench --smoke        # tiny CI suite, no file written
+    python -m repro.bench --repeats 5    # more repeats per suite
+
+See ``docs/KERNEL.md`` ("Performance & benchmarking") for how the numbers
+relate to the hot-path design.
+"""
+
+from repro.bench.harness import (
+    BenchResult,
+    compare,
+    load_previous,
+    run_suite,
+    run_suites,
+)
+from repro.bench.suites import SUITES, Suite
+
+__all__ = [
+    "BenchResult",
+    "SUITES",
+    "Suite",
+    "compare",
+    "load_previous",
+    "run_suite",
+    "run_suites",
+]

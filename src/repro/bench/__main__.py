@@ -1,0 +1,115 @@
+"""CLI entry point: ``python -m repro.bench``.
+
+Full mode runs the fixed suite, writes the next ``BENCH_<n>.json`` and
+exits non-zero when any suite regressed past the threshold against the
+previous trajectory file.  ``--smoke`` runs a sub-second version of the
+matrix with no file output — a CI liveness check that also asserts the
+optimistic engine commits exactly what the sequential oracle does on the
+smoke workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.harness import (
+    DEFAULT_THRESHOLD,
+    compare,
+    load_previous,
+    next_path,
+    run_suites,
+    write_trajectory,
+)
+from repro.bench.suites import SUITES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny suite, no trajectory file; includes a determinism check",
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=Path("."),
+        help="directory holding BENCH_<n>.json files (default: cwd)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed runs per suite (best kept)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="regression gate: fail below this fraction of the previous rate",
+    )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        metavar="NAME",
+        help=f"run only the named suite(s); choices: {[s.name for s in SUITES]}",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="measure and compare but do not write a trajectory file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        print("repro.bench --smoke (liveness + determinism, not a benchmark)")
+        results = run_suites(repeats=1, smoke=True, only=args.suites)
+        by_name = {r.name: r for r in results}
+        seq = by_name.get("seq-hotpotato")
+        opt = by_name.get("opt-hotpotato")
+        if seq is not None and opt is not None and seq.committed != opt.committed:
+            print(
+                f"FAIL: optimistic committed {opt.committed} != "
+                f"sequential {seq.committed} on the smoke workload"
+            )
+            return 1
+        print("smoke ok")
+        return 0
+
+    directory = args.dir
+    directory.mkdir(parents=True, exist_ok=True)
+    previous, prev_path = load_previous(directory)
+    label = "none (first trajectory point)" if prev_path is None else prev_path.name
+    print(f"repro.bench: {args.repeats} repeats/suite, baseline {label}")
+    results = run_suites(repeats=args.repeats, only=args.suites)
+
+    comparison: dict = {}
+    regressions: list[str] = []
+    if previous is not None:
+        comparison, regressions = compare(results, previous, args.threshold)
+        for name, row in comparison.items():
+            print(f"  {name:<16} {row['speedup']:>6.2f}x vs {prev_path.name}")
+
+    if not args.no_write:
+        out = next_path(directory)
+        write_trajectory(
+            out,
+            results,
+            comparison,
+            prev_path.name if prev_path is not None else None,
+            args.threshold,
+        )
+        print(f"wrote {out}")
+
+    if regressions:
+        print("PERFORMANCE REGRESSION:")
+        for msg in regressions:
+            print(f"  {msg}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

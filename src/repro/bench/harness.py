@@ -1,0 +1,228 @@
+"""Benchmark runner, trajectory files and regression comparison.
+
+A full run produces one ``BENCH_<n>.json`` in the target directory, where
+``n`` is one more than the highest existing index (the seed repo starts
+the trajectory at ``BENCH_0.json``).  The file records, per suite, the
+best wall-clock committed-events/second over the repeats plus the
+simulation counters that make the number interpretable (rollback ratio,
+peak live events, seed).  When a previous trajectory file exists, the new
+results are compared against it and any suite whose throughput falls
+below ``threshold × previous`` is reported as a regression (non-zero exit
+from the CLI).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import re
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.suites import SUITES, Suite
+
+__all__ = [
+    "BenchResult",
+    "run_suite",
+    "run_suites",
+    "load_previous",
+    "compare",
+    "write_trajectory",
+]
+
+#: Trajectory file pattern: BENCH_0.json, BENCH_1.json, ...
+_BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Default regression gate: fail when a suite drops below 80% of the
+#: previous trajectory's committed-events/sec (wall-clock noise on shared
+#: machines makes a tighter default gate flaky).
+DEFAULT_THRESHOLD = 0.8
+
+
+@dataclass
+class BenchResult:
+    """Measured outcome of one suite."""
+
+    name: str
+    engine: str
+    workload: str
+    seed: int
+    repeats: int
+    committed: int
+    processed: int
+    events_rolled_back: int
+    rollback_ratio: float
+    peak_pending: int
+    peak_processed: int
+    pool_hits: int
+    pool_allocs: int
+    best_seconds: float
+    mean_seconds: float
+    committed_per_sec: float
+    wall_seconds: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """Flat JSON-ready dict (wall-clock samples rounded to microseconds)."""
+        d = dict(self.__dict__)
+        d["wall_seconds"] = [round(s, 6) for s in self.wall_seconds]
+        return d
+
+
+def run_suite(suite: Suite, repeats: int = 3, smoke: bool = False) -> BenchResult:
+    """Run one suite ``repeats`` times and keep the best wall clock.
+
+    The *best* run defines throughput (minimum interference from the OS);
+    the mean is recorded so noisy environments are visible in the file.
+    Garbage from earlier suites/repeats is collected *outside* the timed
+    region (events sit in reference cycles via their prebuilt heap entry,
+    so dead kernels are reclaimed only by the cycle collector — without
+    this, later suites pay earlier suites' collection debt).
+    """
+    walls: list[float] = []
+    result = None
+    for _ in range(max(1, repeats)):
+        gc.collect()
+        t0 = time.perf_counter()
+        result = suite.run(smoke)
+        walls.append(time.perf_counter() - t0)
+        del result.lps[:]  # drop the LP population before the next repeat
+    assert result is not None
+    run = result.run
+    best = min(walls)
+    committed = run.committed
+    return BenchResult(
+        name=suite.name,
+        engine=suite.engine,
+        workload=suite.workload,
+        seed=suite.seed,
+        repeats=len(walls),
+        committed=committed,
+        processed=run.processed,
+        events_rolled_back=run.events_rolled_back,
+        rollback_ratio=(
+            run.events_rolled_back / run.processed if run.processed else 0.0
+        ),
+        peak_pending=run.peak_pending,
+        peak_processed=run.peak_processed,
+        pool_hits=getattr(run, "pool_hits", 0),
+        pool_allocs=getattr(run, "pool_allocs", 0),
+        best_seconds=best,
+        mean_seconds=sum(walls) / len(walls),
+        committed_per_sec=committed / best if best > 0 else 0.0,
+        wall_seconds=walls,
+    )
+
+
+def run_suites(
+    repeats: int = 3,
+    smoke: bool = False,
+    only: list[str] | None = None,
+    report=print,
+) -> list[BenchResult]:
+    """Run the (optionally filtered) suite matrix, reporting as it goes."""
+    selected = [s for s in SUITES if only is None or s.name in only]
+    if only is not None:
+        unknown = set(only) - {s.name for s in SUITES}
+        if unknown:
+            raise SystemExit(
+                f"unknown suite(s) {sorted(unknown)}; "
+                f"choose from {[s.name for s in SUITES]}"
+            )
+    results = []
+    for suite in selected:
+        res = run_suite(suite, repeats=repeats, smoke=smoke)
+        report(
+            f"  {res.name:<16} {res.committed_per_sec:>12,.0f} ev/s  "
+            f"({res.committed:,} committed, best {res.best_seconds:.3f}s "
+            f"of {res.repeats}, rb {res.rollback_ratio:.1%})"
+        )
+        results.append(res)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Trajectory files.
+# ----------------------------------------------------------------------
+def _indexed(directory: Path) -> list[tuple[int, Path]]:
+    found = []
+    for p in directory.iterdir():
+        m = _BENCH_RE.match(p.name)
+        if m:
+            found.append((int(m.group(1)), p))
+    return sorted(found)
+
+
+def load_previous(directory: Path) -> tuple[dict | None, Path | None]:
+    """Load the highest-index BENCH_<n>.json, if any."""
+    found = _indexed(directory)
+    if not found:
+        return None, None
+    _, path = found[-1]
+    with path.open() as f:
+        return json.load(f), path
+
+
+def next_path(directory: Path) -> Path:
+    """Path of the next trajectory file (one past the highest index)."""
+    found = _indexed(directory)
+    n = found[-1][0] + 1 if found else 0
+    return directory / f"BENCH_{n}.json"
+
+
+def compare(
+    results: list[BenchResult],
+    previous: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[dict, list[str]]:
+    """Compare against a previous trajectory file.
+
+    Returns the per-suite comparison dict (stored in the new file) and a
+    list of human-readable regression messages (empty = pass).
+    """
+    prev_suites = previous.get("suites", {})
+    comparison: dict = {}
+    regressions: list[str] = []
+    for res in results:
+        prev = prev_suites.get(res.name)
+        if prev is None:
+            continue
+        prev_rate = prev.get("committed_per_sec", 0.0)
+        speedup = res.committed_per_sec / prev_rate if prev_rate else float("inf")
+        comparison[res.name] = {
+            "previous_committed_per_sec": prev_rate,
+            "committed_per_sec": res.committed_per_sec,
+            "speedup": round(speedup, 4),
+        }
+        if prev_rate and speedup < threshold:
+            regressions.append(
+                f"{res.name}: {res.committed_per_sec:,.0f} ev/s is "
+                f"{speedup:.2f}x the previous {prev_rate:,.0f} ev/s "
+                f"(threshold {threshold:.2f}x)"
+            )
+    return comparison, regressions
+
+
+def write_trajectory(
+    path: Path,
+    results: list[BenchResult],
+    comparison: dict,
+    baseline_name: str | None,
+    threshold: float,
+) -> None:
+    """Write one BENCH_<n>.json trajectory file."""
+    doc = {
+        "schema": 1,
+        "label": path.stem,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "threshold": threshold,
+        "baseline": baseline_name,
+        "suites": {r.name: r.as_dict() for r in results},
+        "comparison": comparison,
+    }
+    with path.open("w") as f:
+        json.dump(doc, f, indent=2, sort_keys=False)
+        f.write("\n")

@@ -1,0 +1,112 @@
+"""The fixed benchmark suite: engines × workloads with pinned seeds.
+
+Every suite builds its model and engine from scratch on each run (so no
+state leaks between repeats) and returns the engine's
+:class:`~repro.core.result.RunResult`.  Workload sizes are chosen so one
+repeat of the full matrix takes a few seconds; ``smoke=True`` shrinks
+everything to CI-smoke scale (< 1 s total) and is used by the harness's
+cross-engine determinism check rather than for throughput numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.config import EngineConfig
+from repro.core.conservative import ConservativeConfig, run_conservative
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.core.result import RunResult
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+from repro.models.phold import PholdConfig, PholdModel
+
+__all__ = ["Suite", "SUITES"]
+
+#: Global seed shared by every suite (per-LP streams derive from it).
+BENCH_SEED = 0xB5EED
+
+
+@dataclass(frozen=True)
+class Suite:
+    """One (engine, workload) cell of the benchmark matrix."""
+
+    name: str
+    engine: str
+    workload: str
+    seed: int
+    run: Callable[[bool], RunResult]
+
+
+def _phold_cfg(smoke: bool) -> tuple[PholdConfig, float]:
+    if smoke:
+        return PholdConfig(n_lps=32, jobs_per_lp=2), 10.0
+    return PholdConfig(n_lps=256, jobs_per_lp=8), 30.0
+
+
+def _hotpotato_cfg(smoke: bool) -> HotPotatoConfig:
+    if smoke:
+        return HotPotatoConfig(n=4, duration=10.0, injector_fraction=1.0)
+    return HotPotatoConfig(n=8, duration=60.0, injector_fraction=1.0)
+
+
+# ----------------------------------------------------------------------
+# Suite bodies.
+# ----------------------------------------------------------------------
+def _seq_phold(smoke: bool) -> RunResult:
+    cfg, end = _phold_cfg(smoke)
+    return run_sequential(PholdModel(cfg), end, seed=BENCH_SEED)
+
+
+def _seq_hotpotato(smoke: bool) -> RunResult:
+    cfg = _hotpotato_cfg(smoke)
+    return run_sequential(HotPotatoModel(cfg), cfg.duration, seed=BENCH_SEED)
+
+
+def _cons_phold(smoke: bool) -> RunResult:
+    cfg, end = _phold_cfg(smoke)
+    ccfg = ConservativeConfig(
+        end_time=end, n_pes=4, sync="yawns", seed=BENCH_SEED
+    )
+    return run_conservative(PholdModel(cfg), ccfg)
+
+
+def _cons_hotpotato(smoke: bool) -> RunResult:
+    cfg = _hotpotato_cfg(smoke)
+    ccfg = ConservativeConfig(
+        end_time=cfg.duration, n_pes=4, sync="yawns", seed=BENCH_SEED
+    )
+    return run_conservative(HotPotatoModel(cfg), ccfg)
+
+
+def _opt_phold(smoke: bool) -> RunResult:
+    cfg, end = _phold_cfg(smoke)
+    ecfg = EngineConfig(
+        end_time=end, n_pes=4, n_kps=16, batch_size=32, seed=BENCH_SEED
+    )
+    return run_optimistic(PholdModel(cfg), ecfg)
+
+
+def _opt_hotpotato(smoke: bool) -> RunResult:
+    cfg = _hotpotato_cfg(smoke)
+    ecfg = EngineConfig(
+        end_time=cfg.duration,
+        n_pes=4,
+        n_kps=16,
+        batch_size=64,
+        seed=BENCH_SEED,
+    )
+    return run_optimistic(HotPotatoModel(cfg), ecfg)
+
+
+#: The fixed matrix, in reporting order.  ``opt-hotpotato`` is the
+#: headline suite tracked by the PR acceptance criteria.
+SUITES: tuple[Suite, ...] = (
+    Suite("seq-phold", "sequential", "phold", BENCH_SEED, _seq_phold),
+    Suite("seq-hotpotato", "sequential", "hotpotato", BENCH_SEED, _seq_hotpotato),
+    Suite("cons-phold", "conservative", "phold", BENCH_SEED, _cons_phold),
+    Suite("cons-hotpotato", "conservative", "hotpotato", BENCH_SEED, _cons_hotpotato),
+    Suite("opt-phold", "optimistic", "phold", BENCH_SEED, _opt_phold),
+    Suite("opt-hotpotato", "optimistic", "hotpotato", BENCH_SEED, _opt_hotpotato),
+)

@@ -67,6 +67,12 @@ class EngineConfig:
         Pending-event structure per PE: ``"heap"`` (binary heap) or
         ``"splay"`` (ROSS's splay tree).  Identical ordering and results;
         a pure performance choice.
+    pool:
+        Recycle fossil-collected events through a per-kernel free list
+        (:class:`~repro.core.event.EventPool`) instead of re-allocating.
+        Observationally invisible — results are bit-identical with it on
+        or off (the determinism suite asserts this); a pure performance
+        choice, on by default.
     seed:
         Global seed from which every LP RNG stream is derived.
     cost:
@@ -86,6 +92,7 @@ class EngineConfig:
     cancellation: str = "aggressive"
     adaptive: bool = False
     queue: str = "heap"
+    pool: bool = True
     seed: int = 0x5EED
     cost: CostModel = field(default_factory=CostModel)
 

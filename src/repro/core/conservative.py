@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.costmodel import CostModel
+from repro.core.event import Event, EventPool
 from repro.core.lp import LogicalProcess, Model
 from repro.core.mapping import build_mapping
 from repro.core.queue import make_pending_queue
@@ -75,6 +76,7 @@ class ConservativeConfig:
     sync: str = "yawns"
     mapping: str = "block"
     queue: str = "heap"
+    pool: bool = True
     seed: int = 0x5EED
     null_ratio_limit: float = 100.0
     cost: CostModel = field(default_factory=CostModel)
@@ -163,12 +165,17 @@ class ConservativeKernel:
             _ConsPE(p, config.n_pes, config.queue) for p in range(config.n_pes)
         ]
         self.pe_of_lp = [mapping.lp_to_pe(lp.id) for lp in self.lps]
+        #: Conservative execution commits every event as it runs, so the
+        #: same commit-time recycling as the sequential engine applies.
+        self.pool = EventPool() if config.pool else None
+        alloc = self.pool.acquire if self.pool is not None else Event
         for lp in self.lps:
             self.pes[self.pe_of_lp[lp.id]].lp_count += 1
             lp.bind(
                 ReversibleStream(derive_seed(config.seed, lp.id), lp.id),
                 self._emit,
             )
+            lp._alloc = alloc
         # Counters.
         self.null_messages = 0
         self.real_messages = 0
@@ -227,19 +234,21 @@ class ConservativeKernel:
         """Run every pending event strictly below ``horizon``."""
         done = 0
         cost = self._event_costs[pe.id]
-        pending = pe.pending
+        pop_below = pe.pending.pop_below
         lps = self.lps
+        release = self.pool.release if self.pool is not None else None
         while True:
-            ev = pending.peek()
-            if ev is None or ev.key.ts >= horizon:
+            ev = pop_below(horizon)
+            if ev is None:
                 break
-            pending.pop()
             lp = lps[ev.dst]
             lp._now = ev.key.ts
             lp.forward(ev)
             lp.commit(ev)
             done += 1
-            pe.busy += cost
+            if release is not None:
+                release(ev)
+        pe.busy += done * cost
         pe.processed += done
         return done
 
@@ -328,6 +337,9 @@ class ConservativeKernel:
         stats.local_sends = self.local_sends
         stats.remote_sends = self.real_messages + self.null_messages
         stats.gvt_rounds = self.rounds
+        if self.pool is not None:
+            stats.pool_hits = self.pool.hits
+            stats.pool_allocs = self.pool.allocs
         stats.makespan_seconds = self.cost.seconds(self.makespan_units)
         stats.total_busy_seconds = self.cost.seconds(
             sum(pe.busy for pe in self.pes)

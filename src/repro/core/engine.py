@@ -20,7 +20,7 @@ sequential simulator has none.
 from __future__ import annotations
 
 from repro.core.costmodel import CostModel
-from repro.core.event import Event
+from repro.core.event import Event, EventPool
 from repro.core.lp import LogicalProcess, Model
 from repro.core.queue import PendingQueue
 from repro.core.result import RunResult
@@ -41,6 +41,7 @@ class SequentialEngine:
         *,
         seed: int = 0x5EED,
         cost: CostModel | None = None,
+        pool: bool = True,
     ) -> None:
         if end_time <= 0:
             raise ConfigurationError(f"end_time must be positive, got {end_time}")
@@ -48,6 +49,10 @@ class SequentialEngine:
         self.end_time = end_time
         self.seed = seed
         self.cost = cost if cost is not None else CostModel()
+        #: Event recycling: a committed event is dead the moment its
+        #: ``commit`` hook returns (sequential execution never rolls back),
+        #: so it goes straight back to the free list.
+        self.pool = EventPool() if pool else None
 
         self.lps: list[LogicalProcess] = model.build()
         if not self.lps:
@@ -63,11 +68,13 @@ class SequentialEngine:
         #: Optional event tracer (see repro.core.trace); in a sequential
         #: run every executed event commits immediately.
         self.tracer = None
+        alloc = self.pool.acquire if self.pool is not None else Event
         for lp in self.lps:
             lp.bind(
                 ReversibleStream(derive_seed(seed, lp.id), lp.id),
                 self._emit,
             )
+            lp._alloc = alloc
 
     def attach_tracer(self, tracer) -> "SequentialEngine":
         """Attach a :class:`repro.core.trace.Tracer`; returns self."""
@@ -85,27 +92,33 @@ class SequentialEngine:
             lp.on_init()
 
         lps = self.lps
-        pending = self.pending
+        pop_below = self.pending.pop_below
         end = self.end_time
+        tracer = self.tracer
+        release = self.pool.release if self.pool is not None else None
         processed = 0
-        while pending:
-            ev = pending.peek()
-            if ev is None or ev.key.ts >= end:
+        while True:
+            ev = pop_below(end)
+            if ev is None:
                 break
-            pending.pop()
             lp = lps[ev.dst]
             lp._now = ev.key.ts
             lp.forward(ev)
             lp.commit(ev)
             processed += 1
-            if self.tracer is not None:
-                self.tracer.on_exec(ev)
-                self.tracer.on_commit(ev)
+            if tracer is not None:
+                tracer.on_exec(ev)
+                tracer.on_commit(ev)
+            if release is not None:
+                release(ev)
 
         stats = RunStats(engine="sequential", n_pes=1, n_kps=1)
         stats.processed = processed
         stats.committed = processed
         stats.local_sends = self.sends
+        if self.pool is not None:
+            stats.pool_hits = self.pool.hits
+            stats.pool_allocs = self.pool.allocs
         n_lps = len(lps)
         busy_units = processed * self.cost.event_cost(n_lps) + (
             self.sends * self.cost.local_send
@@ -126,6 +139,7 @@ def run_sequential(
     *,
     seed: int = 0x5EED,
     cost: CostModel | None = None,
+    pool: bool = True,
 ) -> RunResult:
     """Convenience wrapper: build a sequential engine and run it."""
-    return SequentialEngine(model, end_time, seed=seed, cost=cost).run()
+    return SequentialEngine(model, end_time, seed=seed, cost=cost, pool=pool).run()

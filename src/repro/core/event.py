@@ -18,15 +18,35 @@ An event carries:
   handler needs (ROSS models write ``M->Saved_*`` fields the same way), and
 * kernel journaling used by rollback: the events it sent, the RNG draws it
   made, and the sender sequence number to restore.
+
+Hot-path layout: every event owns one prebuilt *heap entry*
+``(ts, origin, seq, serial, event)`` used verbatim by the pending queues,
+so pushing an event allocates nothing.  ``serial`` is a process-wide
+monotone stamp that breaks ties between distinct events sharing a key (a
+cancelled original and its rollback re-send) without ever comparing Event
+objects; re-pushing the *same* event reuses the same entry.
+
+Events are recycled: :class:`EventPool` keeps a free list refilled by
+fossil collection (see ``TimeWarpKernel.fossil_collect``), so steady-state
+execution constructs no new Event objects at all.  ``Event.__slots__``
+makes the reset cheap; pooling is observationally invisible because
+:meth:`Event.renew` restores every field to its freshly-constructed state
+(the determinism suite asserts this).
 """
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Any
 
 from repro.vt.time import EventKey
 
-__all__ = ["Event"]
+__all__ = ["Event", "EventPool"]
+
+#: Process-wide entry serial; only its *relative order* matters, and only
+#: between two live entries with identical EventKeys, so sharing one
+#: counter across kernels cannot affect results.
+_next_serial = count().__next__
 
 
 class Event:
@@ -51,6 +71,7 @@ class Event:
         "cancelled",
         "in_pending",
         "color",
+        "entry",
     )
 
     def __init__(
@@ -84,6 +105,8 @@ class Event:
         self.in_pending: bool = False
         #: GVT epoch stamp (Mattern-style coloring; see repro.core.gvt).
         self.color: int = 0
+        #: Flat pending-queue entry (see module docstring).
+        self.entry = (key[0], key[1], key[2], _next_serial(), self)
 
     # Convenience accessors -------------------------------------------------
     @property
@@ -102,7 +125,114 @@ class Event:
         self.rng_draws = 0
         self.snapshot = None
 
+    def renew(
+        self,
+        key: EventKey,
+        dst: int,
+        kind: str,
+        data: dict[str, Any] | None,
+    ) -> "Event":
+        """Reinitialise a recycled event — equivalent to ``__init__``.
+
+        Only called via :meth:`EventPool.acquire`, whose ``release``
+        already cleared ``saved``/``sent``/``lazy_sent``/``snapshot`` and
+        only ever pools non-cancelled, non-pending events — so those six
+        fields are known to be at construction state and are not touched
+        here.  Everything else is reset, including a fresh entry serial,
+        so a pooled event is indistinguishable from a new one.
+        """
+        self.key = key
+        self.dst = dst
+        self.kind = kind
+        self.data = data if data is not None else {}
+        self.rng_draws = 0
+        self.prev_send_seq = 0
+        self.processed = False
+        self.color = 0
+        self.entry = (key[0], key[1], key[2], _next_serial(), self)
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "P" if self.processed else "-"
         flags += "C" if self.cancelled else "-"
         return f"Event({self.kind} {self.key} ->lp{self.dst} [{flags}])"
+
+
+class EventPool:
+    """Per-kernel free list of recycled events.
+
+    ``acquire`` matches the :class:`Event` constructor signature so an
+    LP's allocator can be either the class or a bound pool method.  Only
+    the kernel may ``release`` events, and only ones nothing can reference
+    any more — in practice events being dropped by fossil collection,
+    whose parents were fossil-collected no later (a child's timestamp
+    strictly exceeds its parent's, so both sit below GVT together).
+    """
+
+    __slots__ = ("_free", "max_free", "hits", "allocs")
+
+    def __init__(self, max_free: int = 1 << 20) -> None:
+        self._free: list[Event] = []
+        #: Cap on retained free events (a backstop against a pathological
+        #: burst permanently pinning memory; 2^20 events ≈ a few hundred
+        #: MB worst case, far above any steady-state working set).
+        self.max_free = max_free
+        #: Acquires served from the free list.
+        self.hits = 0
+        #: Acquires that had to construct a new Event.
+        self.allocs = 0
+
+    def acquire(
+        self,
+        key: EventKey,
+        dst: int,
+        kind: str,
+        data: dict[str, Any] | None = None,
+    ) -> Event:
+        """Return a ready-to-use event (recycled when possible).
+
+        The recycle branch is :meth:`Event.renew` inlined — this runs once
+        per send in steady state, and the extra call frame is measurable.
+        """
+        free = self._free
+        if free:
+            self.hits += 1
+            ev = free.pop()
+            ev.key = key
+            ev.dst = dst
+            ev.kind = kind
+            ev.data = data if data is not None else {}
+            ev.rng_draws = 0
+            ev.prev_send_seq = 0
+            ev.processed = False
+            ev.color = 0
+            ev.entry = (key[0], key[1], key[2], _next_serial(), ev)
+            return ev
+        self.allocs += 1
+        return Event(key, dst, kind, data)
+
+    def release(self, event: Event) -> None:
+        """Return a dead event to the free list.
+
+        The caller guarantees no live reference to it remains, and that it
+        is neither cancelled nor sitting in a pending queue (commit-time
+        recycling satisfies both).  Payload, journal and snapshot
+        references are dropped eagerly so parked events never keep model
+        data alive; :meth:`Event.renew` relies on exactly this reset.
+        """
+        if len(self._free) < self.max_free:
+            event.data = None  # type: ignore[assignment]
+            event.snapshot = None
+            event.lazy_sent = None
+            event.saved.clear()
+            event.sent.clear()
+            self._free.append(event)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquires served without allocation."""
+        total = self.hits + self.allocs
+        return self.hits / total if total else 0.0

@@ -39,6 +39,9 @@ class SynchronousGVT:
     """Barrier GVT: exact minimum over pending queues and the transport."""
 
     name = "synchronous"
+    #: This manager's send/receive hooks are no-ops; the kernel skips the
+    #: two per-event calls entirely when this is False.
+    tracks_messages = False
 
     def __init__(self, n_pes: int) -> None:
         self.last = 0.0
@@ -73,6 +76,7 @@ class MatternGVT:
     """
 
     name = "mattern"
+    tracks_messages = True
 
     def __init__(self, n_pes: int) -> None:
         self.n_pes = n_pes

@@ -95,12 +95,27 @@ class KernelProcess:
             return 0
         lps = kernel.lps
         tracer = kernel.tracer
-        for ev in processed[:lo]:
-            lps[ev.dst].commit(ev)
-            if tracer is not None:
-                tracer.on_commit(ev)
-            ev.sent.clear()
-            ev.snapshot = None
+        pool = kernel.pool
+        if pool is None:
+            for ev in processed[:lo]:
+                lps[ev.dst].commit(ev)
+                if tracer is not None:
+                    tracer.on_commit(ev)
+                ev.sent.clear()
+                ev.snapshot = None
+        else:
+            # Recycle committed events.  Safe because a child's timestamp
+            # strictly exceeds its parent's: any parent whose ``sent`` list
+            # still references one of these events is itself below GVT and
+            # commits (clearing that list) in this same pass; cancelled
+            # events are never released.  The tracer copies fields on
+            # commit, so recycling composes with tracing too.
+            release = pool.release
+            for ev in processed[:lo]:
+                lps[ev.dst].commit(ev)
+                if tracer is not None:
+                    tracer.on_commit(ev)
+                release(ev)
         del processed[:lo]
         return lo
 

@@ -42,6 +42,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["LogicalProcess", "Model"]
 
+#: ``EventKey(...)`` via ``tuple.__new__`` directly — what the generated
+#: namedtuple ``__new__`` does, minus one Python-level call per send.
+_tuple_new = tuple.__new__
+
 
 class LogicalProcess:
     """Base class for all simulated components.
@@ -52,7 +56,17 @@ class LogicalProcess:
     cancellation on rollback.
     """
 
-    __slots__ = ("id", "rng", "send_seq", "state", "kp", "_emit", "_now")
+    __slots__ = (
+        "id",
+        "rng",
+        "send_seq",
+        "state",
+        "kp",
+        "send",
+        "_emit",
+        "_alloc",
+        "_now",
+    )
 
     def __init__(self, lp_id: int) -> None:
         self.id = lp_id
@@ -64,8 +78,16 @@ class LogicalProcess:
         self.state: Any = None
         #: Kernel process this LP belongs to (optimistic engine only).
         self.kp: Any = None
+        #: The send entry point model code calls (``self.send(...)``).  It
+        #: is instance data, not a method, so an engine can swap in a fused
+        #: fast path per LP; the default is the generic kernel-agnostic
+        #: implementation below.
+        self.send: Any = self._kernel_send
         # Kernel wiring (set by bind): emit callback and current-time getter.
         self._emit: Any = None
+        #: Event allocator; kernels with an event pool rebind this to the
+        #: pool's ``acquire`` (same signature as the Event constructor).
+        self._alloc: Any = Event
         self._now: float = 0.0
 
     # ------------------------------------------------------------------
@@ -84,7 +106,7 @@ class LogicalProcess:
         """Receive timestamp of the event currently being processed."""
         return self._now
 
-    def send(
+    def _kernel_send(
         self,
         ts: float,
         dst: int,
@@ -92,6 +114,11 @@ class LogicalProcess:
         data: dict[str, Any] | None = None,
     ) -> Event:
         """Schedule an event for LP ``dst`` at virtual time ``ts``.
+
+        This is the default implementation behind ``self.send``.  Engines
+        may replace ``lp.send`` with a fused equivalent (the Time Warp
+        kernel compiles one per LP); any replacement must preserve this
+        exact observable behaviour, including the error below.
 
         During event processing ``ts`` must be strictly greater than
         :attr:`now`; zero-delay sends would break the total event order
@@ -104,8 +131,9 @@ class LogicalProcess:
                 f"LP {self.id} tried to send {kind!r} at ts={ts} while "
                 f"processing ts={self._now}; sends must move strictly forward"
             )
-        ev = Event(EventKey(ts, self.id, self.send_seq), dst, kind, data)
-        self.send_seq += 1
+        seq = self.send_seq
+        self.send_seq = seq + 1
+        ev = self._alloc(_tuple_new(EventKey, (ts, self.id, seq)), dst, kind, data)
         self._emit(self, ev)
         return ev
 

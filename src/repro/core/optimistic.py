@@ -23,8 +23,10 @@ than ``e``'s and neither ``e`` nor its parent can be affected mid-flight.
 
 from __future__ import annotations
 
+from heapq import heappush
+
 from repro.core.config import EngineConfig
-from repro.core.event import Event
+from repro.core.event import Event, EventPool, _next_serial
 from repro.core.gvt import make_gvt_manager
 from repro.core.kp import KernelProcess
 from repro.core.lp import LogicalProcess, Model
@@ -35,11 +37,173 @@ from repro.core.rollback import make_strategy
 from repro.core.stats import RunStats
 from repro.core.throttle import Throttle
 from repro.core.transport import make_transport
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.rng.streams import ReversibleStream, derive_seed
-from repro.vt.time import TIME_HORIZON
+from repro.vt.time import TIME_HORIZON, EventKey
 
 __all__ = ["TimeWarpKernel", "run_optimistic"]
+
+_tuple_new = tuple.__new__
+
+
+def _compile_send(kernel: "TimeWarpKernel", lp, use_heap: bool):
+    """Build the fused per-LP send fast path.
+
+    This is ``LogicalProcess._kernel_send`` + ``EventPool.acquire`` +
+    ``TimeWarpKernel._emit`` collapsed into one closure: one frame per
+    send instead of three, with every piece of kernel state that is
+    constant for the run (and for this source LP) captured as a cell
+    variable instead of re-read through attribute chains.  Only compiled
+    for the immediate transport, where delivery can be inlined too.
+
+    Correctness contract: the operation sequence is *identical* to the
+    generic path — same validation, same RNG/sequence usage, same stats,
+    same straggler handling — so fused and generic runs are bit-identical
+    (the determinism suite compares them).
+    """
+    lp_id = lp.id
+    pe_of_lp = kernel.pe_of_lp
+    src_pe = pe_of_lp[lp_id]
+    src_stats = kernel._stats_by_pe[src_pe]
+    cost_local = kernel._cost_local
+    cost_remote = kernel._cost_remote
+    pool = kernel.pool
+    pool_free = pool._free if pool is not None else ()
+    gvt = kernel.gvt_manager
+    on_send = gvt.on_send if kernel._gvt_hooks else None
+    on_receive = gvt.on_receive if kernel._gvt_hooks else None
+    kp_of_lp = kernel._kp_of_lp
+    pe_by_lp = kernel._pe_by_lp
+    pending_by_lp = [pe.pending for pe in pe_by_lp]
+    processed_by_lp = [kp.processed for kp in kp_of_lp]
+    serial = _next_serial
+    straggler = kernel._straggler
+
+    def fast_send(ts, dst, kind, data=None):
+        if ts <= lp._now:
+            raise SchedulingError(
+                f"LP {lp_id} tried to send {kind!r} at ts={ts} while "
+                f"processing ts={lp._now}; sends must move strictly forward"
+            )
+        seq = lp.send_seq
+        lp.send_seq = seq + 1
+        key = _tuple_new(EventKey, (ts, lp_id, seq))
+        # Inlined EventPool.acquire.
+        if pool_free:
+            pool.hits += 1
+            ev = pool_free.pop()
+            ev.key = key
+            ev.dst = dst
+            ev.kind = kind
+            ev.data = data if data is not None else {}
+            ev.rng_draws = 0
+            ev.prev_send_seq = 0
+            ev.processed = False
+            ev.color = 0
+            entry = ev.entry = (ts, lp_id, seq, serial(), ev)
+        else:
+            if pool is not None:
+                pool.allocs += 1
+            ev = Event(key, dst, kind, data)
+            entry = ev.entry
+        # Inlined TimeWarpKernel._emit.
+        current = kernel._current_event
+        lazy = kernel._lazy_pool
+        if lazy is not None:
+            old = lazy.pop(key, None)
+            if old is not None:
+                if (
+                    not old.cancelled
+                    and old.dst == dst
+                    and old.kind == kind
+                    and old.data == ev.data
+                ):
+                    current.sent.append(old)
+                    kernel.lazy_reused += 1
+                    return ev
+                kernel._cancel(old)
+                kernel._drain_cancels()
+        dst_pe = pe_of_lp[dst]
+        if current is not None:
+            current.sent.append(ev)
+        if src_pe == dst_pe:
+            src_stats.local_sends += 1
+            units = cost_local
+        else:
+            src_stats.remote_sends += 1
+            units = cost_remote
+        src_stats.busy += units
+        src_stats.round_busy += units
+        if on_send is not None:
+            on_send(src_pe, ev)
+        if on_receive is not None:
+            on_receive(dst_pe, ev)
+        q = pending_by_lp[dst]
+        if use_heap:
+            # Inlined PendingQueue.push.
+            heappush(q._heap, entry)
+            ev.in_pending = True
+            q._live += 1
+        else:
+            q.push(ev)
+        processed = processed_by_lp[dst]
+        if processed and processed[-1].key > key:
+            straggler(pe_by_lp[dst], kp_of_lp[dst], ev)
+        return ev
+
+    return fast_send
+
+
+def _compile_execute(kernel: "TimeWarpKernel"):
+    """Build the fused event-execution fast path.
+
+    ``TimeWarpKernel.execute`` with run-constant state captured in cells;
+    only installed when no tracer is attached (the generic method keeps
+    the tracer hook).  Same operation sequence as the method.
+    """
+    lps = kernel.lps
+    snapshot_before = kernel._snapshot_before
+    processed_append_by_lp = [kp.processed.append for kp in kernel._kp_of_lp]
+    cancel = kernel._cancel
+    drain = kernel._drain_cancels
+
+    def fast_execute(pe, ev):
+        dst = ev.dst
+        lp = lps[dst]
+        pool = None
+        lz = ev.lazy_sent
+        if lz:
+            pool = {c.key: c for c in lz}
+            ev.lazy_sent = None
+        ev.sent.clear()
+        ev.snapshot = None
+        ev.prev_send_seq = lp.send_seq
+        if snapshot_before is not None:
+            snapshot_before(lp, ev)
+        rng = lp.rng
+        rng_before = rng._count
+        lp._now = ev.entry[0]
+        kernel._current_event = ev
+        kernel._lazy_pool = pool
+        try:
+            lp.forward(ev)
+        finally:
+            kernel._current_event = None
+            kernel._lazy_pool = None
+        if pool:
+            for child in pool.values():
+                cancel(child)
+            drain()
+        ev.rng_draws = rng._count - rng_before
+        ev.processed = True
+        processed_append_by_lp[dst](ev)
+        stats = pe.stats
+        stats.processed += 1
+        units = pe.event_cost
+        stats.busy += units
+        stats.round_busy += units
+
+    return fast_execute
 
 
 class TimeWarpKernel:
@@ -103,6 +267,28 @@ class TimeWarpKernel:
             self.pe_of_lp[ev.dst], ev
         )
 
+        # --- Hot-path capability flags & event pool --------------------------
+        #: Event recycling free list (None when cfg.pool is off).
+        self.pool = EventPool() if config.pool else None
+        #: Managers whose send/receive hooks are no-ops (the synchronous
+        #: barrier algorithm) skip the two per-message calls entirely.
+        self._gvt_hooks = getattr(self.gvt_manager, "tracks_messages", True)
+        #: The immediate transport is a plain function indirection; _emit
+        #: inlines its delivery when this is set.
+        self._direct = getattr(self.transport, "name", "") == "immediate"
+        #: ``strategy.before`` is a no-op under reverse computation; only
+        #: the copy strategy keeps its per-event call.
+        self._snapshot_before = (
+            self.strategy.before if self.strategy.name == "copy" else None
+        )
+        #: Per-LP destination caches: one flat index replaces the
+        #: lps[i].kp / pes[pe_of_lp[i]] double lookups on the send path.
+        self._kp_of_lp = [self.kps[self.mapping.lp_to_kp[lp.id]] for lp in self.lps]
+        self._pe_by_lp = [self.pes[p] for p in self.pe_of_lp]
+        self._stats_by_pe = [pe.stats for pe in self.pes]
+        self._cost_local = self.cost.local_send
+        self._cost_remote = self.cost.remote_send
+
         # --- Cost precomputation --------------------------------------------
         snapshot_cost = self.cost.snapshot if self.strategy.name == "copy" else 0.0
         bus = self.cost.bus_factor(config.n_pes, n_lps)
@@ -140,11 +326,13 @@ class TimeWarpKernel:
         self.peak_processed = 0
 
         # --- Bind LPs ---------------------------------------------------------
+        alloc = self.pool.acquire if self.pool is not None else Event
         for lp in self.lps:
             lp.bind(
                 ReversibleStream(derive_seed(config.seed, lp.id), lp.id),
                 self._emit,
             )
+            lp._alloc = alloc
 
     # ------------------------------------------------------------------
     # Message path.
@@ -173,19 +361,39 @@ class TimeWarpKernel:
                 # Same key, different content: the old message is wrong.
                 self._cancel(old)
                 self._drain_cancels()
-        src_pe = self.pe_of_lp[src_lp.id]
-        dst_pe = self.pe_of_lp[ev.dst]
+        pe_of_lp = self.pe_of_lp
+        src_pe = pe_of_lp[src_lp.id]
+        dst = ev.dst
+        dst_pe = pe_of_lp[dst]
         if current is not None:
             current.sent.append(ev)
-        pe = self.pes[src_pe]
+        stats = self._stats_by_pe[src_pe]
         if src_pe == dst_pe:
-            pe.stats.local_sends += 1
-            self._charge(pe, self.cost.local_send)
+            stats.local_sends += 1
+            units = self._cost_local
         else:
-            pe.stats.remote_sends += 1
-            self._charge(pe, self.cost.remote_send)
-        self.gvt_manager.on_send(src_pe, ev)
-        self.transport.deliver(ev, src_pe, dst_pe)
+            stats.remote_sends += 1
+            units = self._cost_remote
+        stats.busy += units
+        stats.round_busy += units
+        if self._gvt_hooks:
+            self.gvt_manager.on_send(src_pe, ev)
+        if not self._direct:
+            self.transport.deliver(ev, src_pe, dst_pe)
+            return
+        # Immediate transport: the inlined body of _receive.
+        kp = self._kp_of_lp[dst]
+        pe = self._pe_by_lp[dst]
+        if self._gvt_hooks:
+            self.gvt_manager.on_receive(pe.id, ev)
+        pe.pending.push(ev)
+        processed = kp.processed
+        if processed and processed[-1].key > ev.key:
+            pe.stats.stragglers += 1
+            self._charge(pe, self.cost.rollback_fixed)
+            undone = kp.rollback_until(ev.key, self, ev.dst)
+            self._charge(pe, undone * self.undo_cost)
+            self._drain_cancels()
 
     def _receive(self, ev: Event) -> None:
         """Deliver an event to its destination PE, rolling back if it is a
@@ -215,30 +423,39 @@ class TimeWarpKernel:
         if ev.lazy_sent:
             pool = {c.key: c for c in ev.lazy_sent}
             ev.lazy_sent = None
-        ev.reset_journal()
+        # Inlined reset_journal (rng_draws is overwritten below anyway).
+        ev.sent.clear()
+        ev.snapshot = None
         ev.prev_send_seq = lp.send_seq
-        self.strategy.before(lp, ev)
-        rng_before = lp.rng.count
+        snapshot_before = self._snapshot_before
+        if snapshot_before is not None:
+            snapshot_before(lp, ev)
+        rng = lp.rng
+        rng_before = rng._count  # .count property, sans descriptor call
         lp._now = ev.key.ts
-        prev_current = self._current_event
-        prev_pool = self._lazy_pool
+        # execute is never re-entered (rollbacks triggered mid-forward go
+        # through undo_event, not execute), so the outer context is always
+        # the executive's None/None — restore that directly.
         self._current_event = ev
         self._lazy_pool = pool
         try:
             lp.forward(ev)
         finally:
-            self._current_event = prev_current
-            self._lazy_pool = prev_pool
+            self._current_event = None
+            self._lazy_pool = None
         if pool:
             # Messages the re-execution did not regenerate are now orphans.
             for child in pool.values():
                 self._cancel(child)
             self._drain_cancels()
-        ev.rng_draws = lp.rng.count - rng_before
+        ev.rng_draws = rng._count - rng_before
         ev.processed = True
-        lp.kp.append_processed(ev)
-        pe.stats.processed += 1
-        self._charge(pe, pe.event_cost)
+        lp.kp.processed.append(ev)
+        stats = pe.stats
+        stats.processed += 1
+        units = pe.event_cost
+        stats.busy += units
+        stats.round_busy += units
         if self.tracer is not None:
             self.tracer.on_exec(ev)
 
@@ -318,6 +535,25 @@ class TimeWarpKernel:
         pe.stats.busy += units
         pe.stats.round_busy += units
 
+    def _straggler(self, pe: ProcessingElement, kp, ev: Event) -> None:
+        """Straggler arrival: charge and roll the destination KP back.
+
+        The rare branch of the fused send path (see :func:`_compile_send`);
+        identical to the straggler handling in :meth:`_emit`.
+        """
+        stats = pe.stats
+        stats.stragglers += 1
+        # Two separate charges, exactly as in _emit — float accumulation
+        # order is part of bit-identical reproducibility.
+        units = self.cost.rollback_fixed
+        stats.busy += units
+        stats.round_busy += units
+        undone = kp.rollback_until(ev.key, self, ev.dst)
+        units = undone * self.undo_cost
+        stats.busy += units
+        stats.round_busy += units
+        self._drain_cancels()
+
     # ------------------------------------------------------------------
     # GVT and fossil collection.
     # ------------------------------------------------------------------
@@ -343,8 +579,26 @@ class TimeWarpKernel:
     # ------------------------------------------------------------------
     # The executive.
     # ------------------------------------------------------------------
+    def _install_fast_paths(self) -> None:
+        """Swap in the compiled hot-path closures where the config allows.
+
+        Called once at the top of :meth:`run`, after any tracer has been
+        attached.  The fused send requires the immediate transport (other
+        transports route through :meth:`_emit`/:meth:`_receive` unchanged);
+        the fused execute additionally requires no tracer.  Both are pure
+        specialisations — observable behaviour is identical either way.
+        """
+        if not self._direct:
+            return
+        use_heap = self.cfg.queue == "heap"
+        for lp in self.lps:
+            lp.send = _compile_send(self, lp, use_heap)
+        if self.tracer is None:
+            self.execute = _compile_execute(self)
+
     def run(self) -> RunResult:
         """Execute the model to ``cfg.end_time`` and collect statistics."""
+        self._install_fast_paths()
         cfg = self.cfg
         end = cfg.end_time
         # Bootstrap: LPs schedule their initial events "at startup".
@@ -436,6 +690,9 @@ class TimeWarpKernel:
         stats.fossil_collected = self.fossil_collected
         stats.peak_pending = self.peak_pending
         stats.peak_processed = self.peak_processed
+        if self.pool is not None:
+            stats.pool_hits = self.pool.hits
+            stats.pool_allocs = self.pool.allocs
         stats.committed = self.fossil_collected
         stats.makespan_seconds = self.cost.seconds(self.makespan_units)
         stats.total_busy_seconds = self.cost.seconds(

@@ -52,13 +52,13 @@ class ProcessingElement:
         kernel and may roll back other PEs (or other KPs on this PE).
         """
         done = 0
-        pending = self.pending
+        pop_below = self.pending.pop_below
+        execute = kernel.execute
         while done < max_events:
-            ev = pending.peek()
-            if ev is None or ev.key.ts >= limit_ts:
+            ev = pop_below(limit_ts)
+            if ev is None:
                 break
-            pending.pop()
-            kernel.execute(self, ev)
+            execute(self, ev)
             done += 1
         return done
 

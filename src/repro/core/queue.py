@@ -6,11 +6,20 @@ shared-memory analog of anti-message annihilation) marks the event's
 This is O(1) per cancellation at the cost of dead entries in the heap —
 the classic lazy-deletion trade, appropriate here because cancelled events
 are a small fraction of traffic.
+
+Allocation-free layout: the heap stores each event's prebuilt
+``Event.entry`` tuple ``(ts, origin, seq, serial, event)`` directly, so a
+push allocates nothing and entry comparisons stay entirely in C (the
+unique ``serial`` stamp means two entries always differ before the Event
+slot is reached).  The serial breaks ties between a dead (cancelled)
+entry and a live event that legitimately reuses the same key after a
+rollback re-send — exactly the job the old per-push insertion counter
+did, without the per-push tuple.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 
 from repro.core.event import Event
 from repro.vt.time import EventKey
@@ -21,22 +30,17 @@ __all__ = ["PendingQueue"]
 class PendingQueue:
     """Min-heap of events ordered by :class:`~repro.vt.time.EventKey`."""
 
-    __slots__ = ("_heap", "_live", "_counter")
+    __slots__ = ("_heap", "_live")
 
     def __init__(self) -> None:
-        # Entries are (key, insertion_counter, event).  The counter breaks
-        # ties between a dead (cancelled) entry and a live event that
-        # legitimately reuses the same key after a rollback re-send, so
-        # Event objects are never compared.
-        self._heap: list[tuple[EventKey, int, Event]] = []
+        # Entries are Event.entry tuples; see module docstring.
+        self._heap: list[tuple] = []
         # Count of non-cancelled entries, so __len__ is O(1) and exact.
         self._live = 0
-        self._counter = 0
 
     def push(self, event: Event) -> None:
         """Insert an event (must not already be queued)."""
-        self._counter += 1
-        heapq.heappush(self._heap, (event.key, self._counter, event))
+        heappush(self._heap, event.entry)
         event.in_pending = True
         self._live += 1
 
@@ -50,14 +54,13 @@ class PendingQueue:
 
     def _drop_dead(self) -> None:
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            _, _, dead = heapq.heappop(heap)
-            dead.in_pending = False
+        while heap and heap[0][4].cancelled:
+            heappop(heap)[4].in_pending = False
 
     def peek(self) -> Event | None:
         """The minimum live event, or ``None`` when empty."""
         self._drop_dead()
-        return self._heap[0][2] if self._heap else None
+        return self._heap[0][4] if self._heap else None
 
     def peek_key(self) -> EventKey | None:
         """Key of the minimum live event, or ``None`` when empty."""
@@ -69,10 +72,32 @@ class PendingQueue:
         self._drop_dead()
         if not self._heap:
             raise IndexError("pop from empty PendingQueue")
-        _, _, ev = heapq.heappop(self._heap)
+        ev = heappop(self._heap)[4]
         ev.in_pending = False
         self._live -= 1
         return ev
+
+    def pop_below(self, limit_ts: float) -> Event | None:
+        """Pop the minimum live event iff its ts is below ``limit_ts``.
+
+        The engines' inner loops use this fused peek+pop: one dead-entry
+        sweep and one heap access per executed event instead of two.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            ev = entry[4]
+            if ev.cancelled:
+                heappop(heap)
+                ev.in_pending = False
+                continue
+            if entry[0] >= limit_ts:
+                return None
+            heappop(heap)
+            ev.in_pending = False
+            self._live -= 1
+            return ev
+        return None
 
     def __len__(self) -> int:
         return self._live
@@ -85,15 +110,15 @@ class PendingQueue:
 
         and invariant checks, not for scheduling.
         """
-        return (e for _, _, e in self._heap if not e.cancelled)
+        return (e[4] for e in self._heap if not e[4].cancelled)
 
 
 def make_pending_queue(name: str):
     """Instantiate a pending-queue structure by config name.
 
     ``"heap"`` is the binary-heap default; ``"splay"`` is the ROSS-style
-    splay tree (:class:`repro.core.splay.SplayPendingQueue`).  Both expose
-    the same interface and ordering, so results never depend on the choice.
+    splay tree (:class:`repro.core.splay.SplayPendingQueue`).  Both order
+    by the same flat entry tuples, so results never depend on the choice.
     """
     if name == "heap":
         return PendingQueue()

@@ -6,15 +6,16 @@ near future, and splay trees' amortised self-adjustment exploits that
 (Sleator & Tarjan's classic result; ROSS inherits the choice from GTW).
 
 This implementation provides the same interface as
-:class:`repro.core.queue.PendingQueue` — push / peek / pop / lazy
-cancellation — so the engine can swap structures via
-``EngineConfig(queue="splay")``.  Ordering ties between a dead (cancelled)
-entry and a live re-send reusing its key are broken by an insertion
-counter, exactly like the heap.
+:class:`repro.core.queue.PendingQueue` — push / peek / pop / pop_below /
+lazy cancellation — and orders nodes by the same prebuilt ``Event.entry``
+tuples ``(ts, origin, seq, serial, event)``, so the two structures yield
+*identical* pop sequences (a property test asserts this).  The unique
+``serial`` stamp breaks ordering ties between a dead (cancelled) entry
+and a live re-send reusing its key, and guarantees comparisons never
+reach the Event object itself.
 
-The tree is keyed by ``(EventKey, insertion_counter)`` and uses iterative
-*top-down splaying* (no recursion, no parent pointers), splaying on every
-insert and on min-extraction.
+The tree uses iterative *top-down splaying* (no recursion, no parent
+pointers), splaying on every insert and on min-extraction.
 """
 
 from __future__ import annotations
@@ -38,13 +39,12 @@ class _Node:
 class SplayPendingQueue:
     """Min-ordered event set backed by a top-down splay tree."""
 
-    __slots__ = ("_root", "_live", "_size", "_counter")
+    __slots__ = ("_root", "_live", "_size")
 
     def __init__(self) -> None:
         self._root: _Node | None = None
         self._live = 0
         self._size = 0
-        self._counter = 0
 
     # ------------------------------------------------------------------
     # Core splay operation (iterative top-down).
@@ -103,13 +103,12 @@ class SplayPendingQueue:
     # ------------------------------------------------------------------
     def push(self, event: Event) -> None:
         """Insert an event (must not already be queued)."""
-        self._counter += 1
-        key = (event.key, self._counter)
+        key = event.entry
         node = _Node(key, event)
         root = self._splay(self._root, key)
         if root is not None:
-            # Keys are unique (the counter strictly increases), so the
-            # splayed root is strictly smaller or larger.
+            # Keys are unique (the entry serial is), so the splayed root
+            # is strictly smaller or larger.
             if key < root.key:
                 node.right = root
                 node.left = root.left
@@ -161,6 +160,17 @@ class SplayPendingQueue:
         if node is None:
             raise IndexError("pop from empty SplayPendingQueue")
         self._root = node.right  # the min has no left child after splay
+        node.event.in_pending = False
+        self._live -= 1
+        self._size -= 1
+        return node.event
+
+    def pop_below(self, limit_ts: float) -> Event | None:
+        """Pop the minimum live event iff its ts is below ``limit_ts``."""
+        node = self._min_node()
+        if node is None or node.key[0] >= limit_ts:
+            return None
+        self._root = node.right
         node.event.in_pending = False
         self._live -= 1
         self._size -= 1

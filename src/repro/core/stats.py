@@ -12,9 +12,12 @@ from dataclasses import dataclass, field
 __all__ = ["PEStats", "KPStats", "RunStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class PEStats:
-    """Counters for one processing element."""
+    """Counters for one processing element (slotted: several of these
+
+    fields are updated on every event execution and send).
+    """
 
     #: Forward event executions, including re-executions after rollback.
     processed: int = 0
@@ -31,7 +34,7 @@ class PEStats:
     round_busy: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class KPStats:
     """Counters for one kernel process."""
 
@@ -72,6 +75,10 @@ class RunStats:
     remote_sends: int = 0
     gvt_rounds: int = 0
     fossil_collected: int = 0
+    #: Event-pool accounting: acquires served from the free list vs fresh
+    #: Event constructions (both zero when pooling is disabled).
+    pool_hits: int = 0
+    pool_allocs: int = 0
     #: Peak live events in pending queues / processed lists, sampled at
     #: GVT boundaries (memory-footprint proxies; fossil collection bounds
     #: the processed peak).
@@ -89,6 +96,12 @@ class RunStats:
     def efficiency_ratio(self) -> float:
         """Committed / processed — the fraction of work not wasted."""
         return self.committed / self.processed if self.processed else 1.0
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of event allocations served by recycling (0 when off)."""
+        total = self.pool_hits + self.pool_allocs
+        return self.pool_hits / total if total else 0.0
 
     def as_dict(self) -> dict:
         """Flat dict for table output."""
@@ -109,6 +122,9 @@ class RunStats:
             "remote_sends": self.remote_sends,
             "gvt_rounds": self.gvt_rounds,
             "fossil_collected": self.fossil_collected,
+            "pool_hits": self.pool_hits,
+            "pool_allocs": self.pool_allocs,
+            "pool_hit_rate": self.pool_hit_rate,
             "peak_pending": self.peak_pending,
             "peak_processed": self.peak_processed,
             "makespan_seconds": self.makespan_seconds,

@@ -23,7 +23,7 @@ Time Warp kernel can undo them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.packet import Priority
@@ -39,9 +39,12 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class RouteOutcome:
+class RouteOutcome(NamedTuple):
     """The routing decision for one packet at one router and step.
+
+    A NamedTuple rather than a frozen dataclass: one is constructed per
+    routed packet, and tuple construction skips the dataclass's
+    ``object.__setattr__`` per field while staying immutable.
 
     Attributes
     ----------
@@ -74,7 +77,7 @@ def first_free_good(
     topo: GridTopology, node: int, dest: int, free: tuple[bool, bool, bool, bool]
 ) -> Direction | None:
     """First free *good* link in the topology's deterministic order."""
-    for d in topo.good_dirs(node, dest):
+    for d in topo.route_info(node, dest)[0]:
         if free[d]:
             return d
     return None
@@ -152,7 +155,11 @@ class BuschHotPotatoPolicy(RoutingPolicy):
         cfg: HotPotatoConfig,
     ) -> RouteOutcome:
         """Sleeping/Active: any good link, else deflect."""
-        d = first_free_good(topo, node, dest, free)
+        d = None
+        for g in topo.route_info(node, dest)[0]:
+            if free[g]:
+                d = g
+                break
         deflected = d is None
         if deflected:
             d = first_free(free)
@@ -181,8 +188,7 @@ class BuschHotPotatoPolicy(RoutingPolicy):
         cfg: HotPotatoConfig,
     ) -> RouteOutcome:
         """Excited/Running: the one-bend path or demotion to Active."""
-        want = topo.homerun_dir(node, dest)
-        turning = topo.is_turning(node, dest)
+        good, want, turning, _ = topo.route_info(node, dest)
         assert want is not None, "home-run packet already at destination"
         if free[want]:
             # Excited promotes to Running on a successful home-run hop;
@@ -195,11 +201,11 @@ class BuschHotPotatoPolicy(RoutingPolicy):
         # (``demoted``).  The hop may still make progress over another good
         # link, in which case it is not a ``deflected`` hop in the
         # distance sense.
-        d = first_free_good(topo, node, dest, free)
-        if d is not None:
-            return RouteOutcome(
-                d, Priority.ACTIVE, False, demoted=True, turning=turning
-            )
+        for d in good:
+            if free[d]:
+                return RouteOutcome(
+                    d, Priority.ACTIVE, False, demoted=True, turning=turning
+                )
         d = first_free(free)
         assert d is not None, "bufferless invariant violated"
         return RouteOutcome(

@@ -187,10 +187,31 @@ class RouterLP(LogicalProcess):
         d = self.rng.integer(0, self.topo.num_nodes - 2)
         return d + 1 if d >= self.id else d
 
+    def _draw_dest_jitter(self) -> tuple[int, float]:
+        """Destination then jitter — the injection pair, batched.
+
+        Draw order and counts are identical to ``_draw_destination()``
+        followed by ``_draw_jitter()``; with jitter enabled the two RNG
+        steps collapse into one :meth:`ReversibleStream.integer2` call.
+        """
+        cfg = self.cfg
+        if cfg.arrival_jitter:
+            slots = cfg.jitter_slots
+            dest, j = self.rng.integer2(0, self.topo.num_nodes - 2, 1, slots)
+            if dest >= self.id:
+                dest += 1
+            return dest, j / (2 * slots)
+        return self._draw_destination(), FIXED_JITTER
+
     def _free_mask(self, step: int) -> tuple[bool, bool, bool, bool]:
         links = self.links
         ex = self.exists
-        return tuple(ex[d] and links[d] != step for d in DIRECTIONS)  # type: ignore[return-value]
+        return (
+            ex[0] and links[0] != step,
+            ex[1] and links[1] != step,
+            ex[2] and links[2] != step,
+            ex[3] and links[3] != step,
+        )
 
     def _send_arrive(self, direction: int, step: int, fields: dict[str, Any]) -> None:
         """Forward a packet over ``direction``, arriving next step."""
@@ -210,8 +231,7 @@ class RouterLP(LogicalProcess):
                     continue
                 if cfg.initial_fill < 1.0 and not self.rng.bernoulli(cfg.initial_fill):
                     continue
-                dest = self._draw_destination()
-                jitter = self._draw_jitter()
+                dest, jitter = self._draw_dest_jitter()
                 self.links[d] = 0
                 seeded.append(d)
                 self._send_arrive(
@@ -223,7 +243,7 @@ class RouterLP(LogicalProcess):
                         "priority": int(Priority.SLEEPING),
                         "inject_step": 0,
                         "jitter": jitter,
-                        "distance": self.topo.distance(self.id, dest),
+                        "distance": self.topo.route_info(self.id, dest)[3],
                         "src": self.id,
                     },
                 )
@@ -263,7 +283,7 @@ class RouterLP(LogicalProcess):
                 st.max_delivery_time = dt
             event.saved["absorb"] = prev_max
             return
-        rank = Priority(priority).route_rank
+        rank = 3 - priority  # Priority.route_rank without the enum call
         ts = (
             step
             + ROUTE_BASE
@@ -316,20 +336,23 @@ class RouterLP(LogicalProcess):
             self._send_arrive(d, step, fields)
             return
         event.saved.pop("overflow", None)
-        priority = Priority(data["priority"])
+        # Priorities travel as raw ints; IntEnum comparisons below work on
+        # them directly, sparing the Priority() construction per route.
+        priority = data["priority"]
         out = self.policy.route(
             self.topo, self.id, data["dest"], priority, free, self.rng, self.cfg
         )
         d = out.direction
         st = self.stats
+        off_turn = priority == Priority.RUNNING and out.demoted and not out.turning
         event.saved["route"] = (
             int(d),
             self.links[d],
             out.deflected,
             out.upgraded,
             out.demoted,
-            priority == Priority.RUNNING and out.demoted and not out.turning,
-            int(priority),
+            off_turn,
+            priority,
         )
         self.links[d] = step
         st.routes += 1
@@ -344,12 +367,14 @@ class RouterLP(LogicalProcess):
                 st.promotions_running += 1
         if out.demoted:
             st.demotions += 1
-        if priority == Priority.RUNNING and out.demoted and not out.turning:
+        if off_turn:
             st.running_deflections_off_turn += 1
         fields = dict(data)
         fields["step"] = step + 1
         fields["priority"] = int(out.new_priority)
-        self._send_arrive(d, step, fields)
+        # _send_arrive inlined (hottest send site; the free mask already
+        # guaranteed the link exists).
+        self.send(step + 1 + fields["jitter"], self.neighbors[d], ARRIVE, fields)
 
     def _rc_route(self, event: Event) -> None:
         d, prev_claim, deflected, upgraded, demoted, off_turn, priority = event.saved[
@@ -395,8 +420,7 @@ class RouterLP(LogicalProcess):
             self.stats.inject_blocked += 1
             event.saved["inject"] = ()
             return
-        dest = self._draw_destination()
-        jitter = self._draw_jitter()
+        dest, jitter = self._draw_dest_jitter()
         d = first_free_good(self.topo, self.id, dest, free)
         if d is None:
             d = first_free(free)
@@ -420,7 +444,7 @@ class RouterLP(LogicalProcess):
                 "priority": int(Priority.SLEEPING),
                 "inject_step": step,
                 "jitter": jitter,
-                "distance": self.topo.distance(self.id, dest),
+                "distance": self.topo.route_info(self.id, dest)[3],
                 "src": self.id,
             },
         )

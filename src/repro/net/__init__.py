@@ -57,3 +57,8 @@ class GridTopology(Protocol):
 
     def is_turning(self, src: int, dst: int) -> bool:
         """True at the home-run path's row-to-column bend."""
+
+    def route_info(
+        self, src: int, dst: int
+    ) -> tuple[tuple[Direction, ...], Direction | None, bool, int]:
+        """Cached ``(good_dirs, homerun_dir, is_turning, distance)``."""

@@ -32,6 +32,7 @@ class MeshTopology:
         self.rows = rows
         self.cols = cols
         self.num_nodes = rows * cols
+        self._route_cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     def coords(self, node: int) -> tuple[int, int]:
@@ -123,6 +124,25 @@ class MeshTopology:
         sr, sc = self.coords(src)
         dr, dc = self.coords(dst)
         return sc == dc and sr != dr
+
+    def route_info(
+        self, src: int, dst: int
+    ) -> tuple[tuple[Direction, ...], Direction | None, bool, int]:
+        """Cached ``(good_dirs, homerun_dir, is_turning, distance)``
+
+        (see :meth:`repro.net.torus.TorusTopology.route_info`).
+        """
+        key = src * self.num_nodes + dst
+        info = self._route_cache.get(key)
+        if info is None:
+            info = (
+                self.good_dirs(src, dst),
+                self.homerun_dir(src, dst),
+                self.is_turning(src, dst),
+                self.distance(src, dst),
+            )
+            self._route_cache[key] = info
+        return info
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

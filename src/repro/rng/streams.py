@@ -18,9 +18,11 @@ from __future__ import annotations
 import math
 
 from repro.rng.lcg import (
+    INCREMENT,
+    MASK64,
+    MULTIPLIER,
+    _INV_2_53,
     lcg_jump,
-    lcg_next,
-    lcg_output,
     lcg_prev,
     splitmix64,
 )
@@ -70,10 +72,14 @@ class ReversibleStream:
     # Draws — each consumes exactly one underlying uniform.
     # ------------------------------------------------------------------
     def unif(self) -> float:
-        """Uniform float in ``[0, 1)`` (ROSS ``tw_rand_unif``)."""
-        self._state = lcg_next(self._state)
+        """Uniform float in ``[0, 1)`` (ROSS ``tw_rand_unif``).
+
+        The LCG step and output map are inlined here (and in the other
+        draw methods): this is the single hottest call in every model.
+        """
+        self._state = state = (MULTIPLIER * self._state + INCREMENT) & MASK64
         self._count += 1
-        return lcg_output(self._state)
+        return (state >> 11) * _INV_2_53
 
     def integer(self, low: int, high: int) -> int:
         """Uniform integer in the **inclusive** range ``[low, high]``
@@ -82,8 +88,30 @@ class ReversibleStream:
         """
         if high < low:
             raise ValueError(f"empty integer range [{low}, {high}]")
-        span = high - low + 1
-        return low + int(self.unif() * span)
+        self._state = state = (MULTIPLIER * self._state + INCREMENT) & MASK64
+        self._count += 1
+        return low + int((state >> 11) * _INV_2_53 * (high - low + 1))
+
+    def integer2(
+        self, low1: int, high1: int, low2: int, high2: int
+    ) -> tuple[int, int]:
+        """Two consecutive :meth:`integer` draws batched into one call.
+
+        Bit-identical to (and counted as) two single draws — the fast path
+        for hot model loops that always draw in pairs, e.g. the hot-potato
+        injector's destination-then-jitter sequence.
+        """
+        if high1 < low1 or high2 < low2:
+            raise ValueError(
+                f"empty integer range [{low1}, {high1}] or [{low2}, {high2}]"
+            )
+        s1 = (MULTIPLIER * self._state + INCREMENT) & MASK64
+        self._state = s2 = (MULTIPLIER * s1 + INCREMENT) & MASK64
+        self._count += 2
+        return (
+            low1 + int((s1 >> 11) * _INV_2_53 * (high1 - low1 + 1)),
+            low2 + int((s2 >> 11) * _INV_2_53 * (high2 - low2 + 1)),
+        )
 
     def exponential(self, mean: float) -> float:
         """Exponentially distributed float with the given mean
@@ -101,7 +129,9 @@ class ReversibleStream:
 
         upgrade chances 1/(24N) and 1/(16N).
         """
-        return self.unif() < p
+        self._state = state = (MULTIPLIER * self._state + INCREMENT) & MASK64
+        self._count += 1
+        return (state >> 11) * _INV_2_53 < p
 
     # ------------------------------------------------------------------
     # Reverse computation support.

@@ -1,0 +1,101 @@
+"""Determinism guard: event pooling must be observationally invisible.
+
+The free-list pool recycles committed events back through fossil
+collection, so a pooled run constructs almost no Event objects in steady
+state — but the committed results must be bit-identical to a run with
+pooling disabled, on every engine.  These tests are the PR-level guard
+for that property; the cross-engine determinism suite then extends it to
+sequential-vs-optimistic equality with pooling on by default.
+"""
+
+from repro.core.config import EngineConfig
+from repro.core.conservative import ConservativeConfig, run_conservative
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+
+SEED = 20010704
+
+
+def _cfg():
+    return HotPotatoConfig(n=4, duration=25.0, injector_fraction=1.0)
+
+
+def test_sequential_pooling_invisible():
+    on = run_sequential(HotPotatoModel(_cfg()), 25.0, seed=SEED, pool=True)
+    off = run_sequential(HotPotatoModel(_cfg()), 25.0, seed=SEED, pool=False)
+    assert on.model_stats == off.model_stats
+    assert on.run.processed == off.run.processed
+    assert on.run.committed == off.run.committed
+
+
+def test_optimistic_pooling_invisible():
+    results = []
+    for pool in (True, False):
+        cfg = _cfg()
+        ecfg = EngineConfig(
+            end_time=cfg.duration,
+            n_pes=4,
+            n_kps=8,
+            batch_size=16,
+            seed=SEED,
+            pool=pool,
+        )
+        results.append(run_optimistic(HotPotatoModel(cfg), ecfg))
+    on, off = results
+    assert on.model_stats == off.model_stats
+    assert on.run.processed == off.run.processed
+    assert on.run.committed == off.run.committed
+    assert on.run.stragglers == off.run.stragglers
+    assert on.run.events_rolled_back == off.run.events_rolled_back
+
+
+def test_conservative_pooling_invisible():
+    results = []
+    for pool in (True, False):
+        cfg = _cfg()
+        ccfg = ConservativeConfig(
+            end_time=cfg.duration, n_pes=4, sync="yawns", seed=SEED, pool=pool
+        )
+        results.append(run_conservative(HotPotatoModel(cfg), ccfg))
+    on, off = results
+    assert on.model_stats == off.model_stats
+    assert on.run.processed == off.run.processed
+
+
+def test_pool_counters_reported_and_meaningful():
+    cfg = _cfg()
+    ecfg = EngineConfig(
+        end_time=cfg.duration, n_pes=4, n_kps=8, batch_size=16, seed=SEED
+    )
+    on = run_optimistic(HotPotatoModel(cfg), ecfg)
+    # Pooling is on by default; fossil collection refills the free list,
+    # so a steady-state run mostly recycles.
+    assert on.run.pool_hits > 0
+    assert on.run.pool_allocs > 0
+    assert 0.5 < on.run.pool_hit_rate < 1.0
+    off = run_optimistic(
+        HotPotatoModel(cfg),
+        EngineConfig(
+            end_time=cfg.duration,
+            n_pes=4,
+            n_kps=8,
+            batch_size=16,
+            seed=SEED,
+            pool=False,
+        ),
+    )
+    assert off.run.pool_hits == 0 and off.run.pool_allocs == 0
+    assert off.run.pool_hit_rate == 0.0
+
+
+def test_optimistic_matches_sequential_with_pooling_default():
+    # The repo's determinism oracle, with the pooled fast path active.
+    cfg = _cfg()
+    seq = run_sequential(HotPotatoModel(cfg), cfg.duration, seed=SEED)
+    ecfg = EngineConfig(
+        end_time=cfg.duration, n_pes=4, n_kps=8, batch_size=16, seed=SEED
+    )
+    opt = run_optimistic(HotPotatoModel(cfg), ecfg)
+    assert opt.model_stats == seq.model_stats
