@@ -34,6 +34,7 @@ from repro.core.engine import run_sequential
 from repro.core.optimistic import run_optimistic
 from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.model import HotPotatoModel
+from repro.obs.capture import RunCapture
 
 
 def main() -> None:
@@ -54,26 +55,47 @@ def main() -> None:
         metavar="FILE",
         help="also write the raw profile to FILE for offline diffing",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="also record GVT-interval metrics to FILE — the same JSONL "
+        "telemetry format as the CLIs (inspect with python -m repro.obs)",
+    )
     args = parser.parse_args()
 
     cfg = HotPotatoConfig(n=args.n, duration=args.duration, injector_fraction=1.0)
     model = HotPotatoModel(cfg)
+    capture = RunCapture(
+        metrics_out=args.metrics_out,
+        meta={
+            "engine": args.engine,
+            "workload": "hotpotato",
+            "n": args.n,
+            "duration": args.duration,
+            "seed": args.seed,
+        },
+    )
 
     profiler = cProfile.Profile()
     profiler.enable()
     if args.engine == "sequential":
-        result = run_sequential(model, cfg.duration, seed=args.seed)
+        result = run_sequential(
+            model, cfg.duration, seed=args.seed, metrics=capture.metrics
+        )
     elif args.engine == "conservative":
         ccfg = ConservativeConfig(
             end_time=cfg.duration, n_pes=4, sync="yawns", seed=args.seed
         )
-        result = run_conservative(model, ccfg)
+        result = run_conservative(model, ccfg, metrics=capture.metrics)
     else:
         ecfg = EngineConfig(
             end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64, seed=args.seed
         )
-        result = run_optimistic(model, ecfg)
+        result = run_optimistic(model, ecfg, metrics=capture.metrics)
     profiler.disable()
+    capture.finalize(result)
+    if args.metrics_out:
+        print(f"telemetry written to {args.metrics_out}")
 
     print(
         f"{args.engine}: {result.run.processed:,} events processed "

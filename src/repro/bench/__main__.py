@@ -61,11 +61,22 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="measure and compare but do not write a trajectory file",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record per-suite GVT-interval metrics to DIR/<suite>.jsonl "
+        "via one extra untimed run each (inspect with python -m repro.obs)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
         print("repro.bench --smoke (liveness + determinism, not a benchmark)")
-        results = run_suites(repeats=1, smoke=True, only=args.suites)
+        results = run_suites(
+            repeats=1, smoke=True, only=args.suites,
+            telemetry_dir=args.telemetry_dir,
+        )
         by_name = {r.name: r for r in results}
         seq = by_name.get("seq-hotpotato")
         opt = by_name.get("opt-hotpotato")
@@ -83,7 +94,9 @@ def main(argv: list[str] | None = None) -> int:
     previous, prev_path = load_previous(directory)
     label = "none (first trajectory point)" if prev_path is None else prev_path.name
     print(f"repro.bench: {args.repeats} repeats/suite, baseline {label}")
-    results = run_suites(repeats=args.repeats, only=args.suites)
+    results = run_suites(
+        repeats=args.repeats, only=args.suites, telemetry_dir=args.telemetry_dir
+    )
 
     comparison: dict = {}
     regressions: list[str] = []

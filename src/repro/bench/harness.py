@@ -70,7 +70,12 @@ class BenchResult:
         return d
 
 
-def run_suite(suite: Suite, repeats: int = 3, smoke: bool = False) -> BenchResult:
+def run_suite(
+    suite: Suite,
+    repeats: int = 3,
+    smoke: bool = False,
+    telemetry_dir: Path | None = None,
+) -> BenchResult:
     """Run one suite ``repeats`` times and keep the best wall clock.
 
     The *best* run defines throughput (minimum interference from the OS);
@@ -79,6 +84,10 @@ def run_suite(suite: Suite, repeats: int = 3, smoke: bool = False) -> BenchResul
     region (events sit in reference cycles via their prebuilt heap entry,
     so dead kernels are reclaimed only by the cycle collector — without
     this, later suites pay earlier suites' collection debt).
+
+    With ``telemetry_dir``, one *extra untimed* run records GVT-interval
+    metrics to ``<dir>/<suite>.jsonl`` (see :mod:`repro.obs`) — untimed
+    so the throughput numbers measure the exact detached configuration.
     """
     walls: list[float] = []
     result = None
@@ -89,6 +98,23 @@ def run_suite(suite: Suite, repeats: int = 3, smoke: bool = False) -> BenchResul
         walls.append(time.perf_counter() - t0)
         del result.lps[:]  # drop the LP population before the next repeat
     assert result is not None
+    if telemetry_dir is not None:
+        from repro.obs.capture import RunCapture
+
+        telemetry_dir.mkdir(parents=True, exist_ok=True)
+        capture = RunCapture(
+            metrics_out=telemetry_dir / f"{suite.name}.jsonl",
+            meta={
+                "suite": suite.name,
+                "engine": suite.engine,
+                "workload": suite.workload,
+                "seed": suite.seed,
+                "smoke": smoke,
+            },
+        )
+        telemetry_result = suite.run(smoke, metrics=capture.metrics)
+        capture.finalize(telemetry_result)
+        del telemetry_result.lps[:]
     run = result.run
     best = min(walls)
     committed = run.committed
@@ -120,6 +146,7 @@ def run_suites(
     smoke: bool = False,
     only: list[str] | None = None,
     report=print,
+    telemetry_dir: Path | None = None,
 ) -> list[BenchResult]:
     """Run the (optionally filtered) suite matrix, reporting as it goes."""
     selected = [s for s in SUITES if only is None or s.name in only]
@@ -132,7 +159,9 @@ def run_suites(
             )
     results = []
     for suite in selected:
-        res = run_suite(suite, repeats=repeats, smoke=smoke)
+        res = run_suite(
+            suite, repeats=repeats, smoke=smoke, telemetry_dir=telemetry_dir
+        )
         report(
             f"  {res.name:<16} {res.committed_per_sec:>12,.0f} ev/s  "
             f"({res.committed:,} committed, best {res.best_seconds:.3f}s "

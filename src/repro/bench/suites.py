@@ -30,13 +30,20 @@ BENCH_SEED = 0xB5EED
 
 @dataclass(frozen=True)
 class Suite:
-    """One (engine, workload) cell of the benchmark matrix."""
+    """One (engine, workload) cell of the benchmark matrix.
+
+    ``run(smoke, metrics=None)`` builds the model and engine from scratch
+    and executes; the optional ``metrics`` recorder (see
+    :mod:`repro.obs.metrics`) enables per-cell telemetry capture — the
+    harness attaches it only on a dedicated untimed run, so the timed
+    repeats measure the exact detached configuration.
+    """
 
     name: str
     engine: str
     workload: str
     seed: int
-    run: Callable[[bool], RunResult]
+    run: Callable[..., RunResult]
 
 
 def _phold_cfg(smoke: bool) -> tuple[PholdConfig, float]:
@@ -54,41 +61,43 @@ def _hotpotato_cfg(smoke: bool) -> HotPotatoConfig:
 # ----------------------------------------------------------------------
 # Suite bodies.
 # ----------------------------------------------------------------------
-def _seq_phold(smoke: bool) -> RunResult:
+def _seq_phold(smoke: bool, metrics=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
-    return run_sequential(PholdModel(cfg), end, seed=BENCH_SEED)
+    return run_sequential(PholdModel(cfg), end, seed=BENCH_SEED, metrics=metrics)
 
 
-def _seq_hotpotato(smoke: bool) -> RunResult:
+def _seq_hotpotato(smoke: bool, metrics=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
-    return run_sequential(HotPotatoModel(cfg), cfg.duration, seed=BENCH_SEED)
+    return run_sequential(
+        HotPotatoModel(cfg), cfg.duration, seed=BENCH_SEED, metrics=metrics
+    )
 
 
-def _cons_phold(smoke: bool) -> RunResult:
+def _cons_phold(smoke: bool, metrics=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ccfg = ConservativeConfig(
         end_time=end, n_pes=4, sync="yawns", seed=BENCH_SEED
     )
-    return run_conservative(PholdModel(cfg), ccfg)
+    return run_conservative(PholdModel(cfg), ccfg, metrics=metrics)
 
 
-def _cons_hotpotato(smoke: bool) -> RunResult:
+def _cons_hotpotato(smoke: bool, metrics=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ccfg = ConservativeConfig(
         end_time=cfg.duration, n_pes=4, sync="yawns", seed=BENCH_SEED
     )
-    return run_conservative(HotPotatoModel(cfg), ccfg)
+    return run_conservative(HotPotatoModel(cfg), ccfg, metrics=metrics)
 
 
-def _opt_phold(smoke: bool) -> RunResult:
+def _opt_phold(smoke: bool, metrics=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ecfg = EngineConfig(
         end_time=end, n_pes=4, n_kps=16, batch_size=32, seed=BENCH_SEED
     )
-    return run_optimistic(PholdModel(cfg), ecfg)
+    return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics)
 
 
-def _opt_hotpotato(smoke: bool) -> RunResult:
+def _opt_hotpotato(smoke: bool, metrics=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ecfg = EngineConfig(
         end_time=cfg.duration,
@@ -97,7 +106,7 @@ def _opt_hotpotato(smoke: bool) -> RunResult:
         batch_size=64,
         seed=BENCH_SEED,
     )
-    return run_optimistic(HotPotatoModel(cfg), ecfg)
+    return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics)
 
 
 #: The fixed matrix, in reporting order.  ``opt-hotpotato`` is the

@@ -182,6 +182,10 @@ class ConservativeKernel:
         self.local_sends = 0
         self.rounds = 0
         self.makespan_units = 0.0
+        #: Optional metrics recorder (see repro.obs.metrics), sampled
+        #: once per scheduler round — the conservative analog of a GVT
+        #: round.  Costs nothing when detached.
+        self.metrics = None
         self._bootstrapping = True
         # Hard cap on scheduler rounds: clock creep advances at least one
         # lookahead per full round, so this bound is generous.
@@ -222,6 +226,31 @@ class ConservativeKernel:
             # not advance the receiver's channel clock; only explicit
             # clock+lookahead guarantees (null messages) may.
         self.pes[dst_pe].pending.push(ev)
+
+    # ------------------------------------------------------------------
+    def attach_metrics(self, recorder) -> "ConservativeKernel":
+        """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self."""
+        self.metrics = recorder
+        return self
+
+    def _sample_metrics(self, recorder) -> None:
+        """Feed the recorder one per-round sample (commit == execute)."""
+        pes = self.pes
+        processed = sum(pe.processed for pe in pes)
+        horizon = min(min(pe.next_ts() for pe in pes), self.cfg.end_time)
+        pool = self.pool
+        hit_rate = 0.0
+        if pool is not None:
+            total = pool.hits + pool.allocs
+            hit_rate = pool.hits / total if total else 0.0
+        recorder.sample(
+            gvt=horizon,
+            committed=processed,
+            processed=processed,
+            fossil_collected=processed,
+            pending=sum(len(pe.pending) for pe in pes),
+            pool_hit_rate=hit_rate,
+        )
 
     # ------------------------------------------------------------------
     def _bootstrap(self) -> None:
@@ -280,6 +309,8 @@ class ConservativeKernel:
                 round_busy = max(round_busy, round_cost)
             self.rounds += 1
             self.makespan_units += round_busy + overhead
+            if self.metrics is not None:
+                self._sample_metrics(self.metrics)
 
     def _run_null_messages(self) -> None:
         end = self.cfg.end_time
@@ -313,6 +344,8 @@ class ConservativeKernel:
             # peer they depend on; with all-pairs channels that is the max.
             self.makespan_units += round_busy + self.cost.sched_per_round
             self.rounds += 1
+            if self.metrics is not None:
+                self._sample_metrics(self.metrics)
             if all(pe.next_ts() >= end for pe in pes):
                 break
             processed = sum(pe.processed for pe in pes)
@@ -368,6 +401,14 @@ class ConservativeKernel:
         return self.null_messages / processed if processed else 0.0
 
 
-def run_conservative(model: Model, config: ConservativeConfig) -> RunResult:
-    """Convenience wrapper: build a conservative kernel and run it."""
-    return ConservativeKernel(model, config).run()
+def run_conservative(
+    model: Model,
+    config: ConservativeConfig,
+    *,
+    metrics=None,
+) -> RunResult:
+    """Convenience wrapper: build a conservative kernel, attach telemetry, run."""
+    kernel = ConservativeKernel(model, config)
+    if metrics is not None:
+        kernel.attach_metrics(metrics)
+    return kernel.run()

@@ -68,6 +68,11 @@ class SequentialEngine:
         #: Optional event tracer (see repro.core.trace); in a sequential
         #: run every executed event commits immediately.
         self.tracer = None
+        #: Optional metrics recorder (see repro.obs.metrics).  A
+        #: sequential run has no GVT rounds, so the recorder's
+        #: ``interval`` (in events) paces the samples; when detached the
+        #: run loop is the exact allocation-free loop from before.
+        self.metrics = None
         alloc = self.pool.acquire if self.pool is not None else Event
         for lp in self.lps:
             lp.bind(
@@ -80,6 +85,27 @@ class SequentialEngine:
         """Attach a :class:`repro.core.trace.Tracer`; returns self."""
         self.tracer = tracer
         return self
+
+    def attach_metrics(self, recorder) -> "SequentialEngine":
+        """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self."""
+        self.metrics = recorder
+        return self
+
+    def _sample_metrics(self, recorder, now: float, processed: int) -> None:
+        """Feed the recorder one sample (sequential: commit == execute)."""
+        pool = self.pool
+        hit_rate = 0.0
+        if pool is not None:
+            total = pool.hits + pool.allocs
+            hit_rate = pool.hits / total if total else 0.0
+        recorder.sample(
+            gvt=now,
+            committed=processed,
+            processed=processed,
+            fossil_collected=processed,
+            pending=len(self.pending),
+            pool_hit_rate=hit_rate,
+        )
 
     def _emit(self, src_lp: LogicalProcess, ev: Event) -> None:
         self.sends += 1
@@ -96,21 +122,46 @@ class SequentialEngine:
         end = self.end_time
         tracer = self.tracer
         release = self.pool.release if self.pool is not None else None
+        metrics = self.metrics
         processed = 0
-        while True:
-            ev = pop_below(end)
-            if ev is None:
-                break
-            lp = lps[ev.dst]
-            lp._now = ev.key.ts
-            lp.forward(ev)
-            lp.commit(ev)
-            processed += 1
-            if tracer is not None:
-                tracer.on_exec(ev)
-                tracer.on_commit(ev)
-            if release is not None:
-                release(ev)
+        if metrics is None:
+            while True:
+                ev = pop_below(end)
+                if ev is None:
+                    break
+                lp = lps[ev.dst]
+                lp._now = ev.key.ts
+                lp.forward(ev)
+                lp.commit(ev)
+                processed += 1
+                if tracer is not None:
+                    tracer.on_exec(ev)
+                    tracer.on_commit(ev)
+                if release is not None:
+                    release(ev)
+        else:
+            # Identical event-by-event behaviour, plus a metric sample
+            # every ``metrics.interval`` events and one at the barrier.
+            next_sample = metrics.interval
+            while True:
+                ev = pop_below(end)
+                if ev is None:
+                    break
+                lp = lps[ev.dst]
+                now = ev.key.ts
+                lp._now = now
+                lp.forward(ev)
+                lp.commit(ev)
+                processed += 1
+                if tracer is not None:
+                    tracer.on_exec(ev)
+                    tracer.on_commit(ev)
+                if release is not None:
+                    release(ev)
+                if processed >= next_sample:
+                    next_sample += metrics.interval
+                    self._sample_metrics(metrics, now, processed)
+            self._sample_metrics(metrics, end, processed)
 
         stats = RunStats(engine="sequential", n_pes=1, n_kps=1)
         stats.processed = processed
@@ -140,6 +191,13 @@ def run_sequential(
     seed: int = 0x5EED,
     cost: CostModel | None = None,
     pool: bool = True,
+    tracer=None,
+    metrics=None,
 ) -> RunResult:
-    """Convenience wrapper: build a sequential engine and run it."""
-    return SequentialEngine(model, end_time, seed=seed, cost=cost, pool=pool).run()
+    """Convenience wrapper: build a sequential engine, attach telemetry, run."""
+    engine = SequentialEngine(model, end_time, seed=seed, cost=cost, pool=pool)
+    if tracer is not None:
+        engine.attach_tracer(tracer)
+    if metrics is not None:
+        engine.attach_metrics(metrics)
+    return engine.run()

@@ -319,6 +319,11 @@ class TimeWarpKernel:
         self.gvt = 0.0
         #: Optional event tracer (see repro.core.trace).
         self.tracer = None
+        #: Optional GVT-interval metrics recorder (see repro.obs.metrics).
+        #: Consulted only at GVT boundaries — never on the per-event path —
+        #: so attaching one keeps the fused fast paths installed and costs
+        #: nothing when detached.
+        self.metrics = None
         #: Peak live-event counts, sampled at GVT boundaries (the memory
         #: footprint Time Warp is famous for; ROSS's fossil collection
         #: exists to bound exactly this).
@@ -562,6 +567,38 @@ class TimeWarpKernel:
         self.tracer = tracer
         return self
 
+    def attach_metrics(self, recorder) -> "TimeWarpKernel":
+        """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self.
+
+        The recorder is fed one sample per GVT round (plus a final sample
+        for the tail commit), so the per-event hot paths are unaffected.
+        """
+        self.metrics = recorder
+        return self
+
+    def _sample_metrics(self, recorder, gvt: float) -> None:
+        """Feed the recorder the current cumulative counters (O(PEs+KPs))."""
+        pes, kps = self.pes, self.kps
+        pool = self.pool
+        hit_rate = 0.0
+        if pool is not None:
+            total = pool.hits + pool.allocs
+            hit_rate = pool.hits / total if total else 0.0
+        recorder.sample(
+            gvt=gvt,
+            committed=self.fossil_collected,
+            processed=sum(pe.stats.processed for pe in pes),
+            rolled_back=sum(kp.stats.events_rolled_back for kp in kps),
+            rollbacks=sum(kp.stats.rollbacks for kp in kps),
+            stragglers=sum(pe.stats.stragglers for pe in pes),
+            fossil_collected=self.fossil_collected,
+            pending=sum(len(pe.pending) for pe in pes),
+            processed_depth=sum(len(kp.processed) for kp in kps),
+            throttle=self.throttle.factor if self.throttle is not None else 1.0,
+            pool_hit_rate=hit_rate,
+            kp_rolled_back=[kp.stats.events_rolled_back for kp in kps],
+        )
+
     def fossil_collect(self, gvt_ts: float) -> int:
         """Commit and free everything below ``gvt_ts`` across all KPs."""
         pending_now = sum(len(pe.pending) for pe in self.pes)
@@ -613,6 +650,7 @@ class TimeWarpKernel:
             self.cost.gvt_overhead(pe.lp_count, len(pe.kp_ids)) for pe in pes
         )
         throttle = self.throttle
+        metrics = self.metrics
         eff_batch = cfg.batch_size
         eff_window = cfg.window
         last_processed = 0
@@ -657,12 +695,19 @@ class TimeWarpKernel:
                         eff_window = throttle.scaled(
                             cfg.window, cfg.window / 64.0
                         )
+                if metrics is not None:
+                    # GVT estimates jump to the time horizon once the
+                    # queues drain; clamp so the time series stays on the
+                    # run's virtual-time axis.
+                    self._sample_metrics(metrics, min(self.gvt, end))
                 if self.gvt >= end:
                     break
             self.transport.flush()
 
         # Everything below the end barrier is final: commit it all.
         self.fossil_collect(TIME_HORIZON)
+        if metrics is not None:
+            self._sample_metrics(metrics, end)
         return self._build_result(rounds)
 
     # ------------------------------------------------------------------
@@ -708,6 +753,17 @@ class TimeWarpKernel:
         return RunResult(model_stats=model_stats, run=stats, lps=self.lps)
 
 
-def run_optimistic(model: Model, config: EngineConfig) -> RunResult:
-    """Convenience wrapper: build a kernel and run it."""
-    return TimeWarpKernel(model, config).run()
+def run_optimistic(
+    model: Model,
+    config: EngineConfig,
+    *,
+    tracer=None,
+    metrics=None,
+) -> RunResult:
+    """Convenience wrapper: build a kernel, attach telemetry, run it."""
+    kernel = TimeWarpKernel(model, config)
+    if tracer is not None:
+        kernel.attach_tracer(tracer)
+    if metrics is not None:
+        kernel.attach_metrics(metrics)
+    return kernel.run()

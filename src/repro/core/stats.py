@@ -118,6 +118,8 @@ class RunStats:
             "cancelled_direct": self.cancelled_direct,
             "cancelled_via_rollback": self.cancelled_via_rollback,
             "lazy_reused": self.lazy_reused,
+            "throttle_adjustments": self.throttle_adjustments,
+            "throttle_final_factor": self.throttle_final_factor,
             "local_sends": self.local_sends,
             "remote_sends": self.remote_sends,
             "gvt_rounds": self.gvt_rounds,
@@ -129,5 +131,6 @@ class RunStats:
             "peak_processed": self.peak_processed,
             "makespan_seconds": self.makespan_seconds,
             "event_rate": self.event_rate,
+            "total_busy_seconds": self.total_busy_seconds,
         }
         return d

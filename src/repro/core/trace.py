@@ -28,11 +28,20 @@ from typing import Iterable
 
 from repro.core.event import Event
 
-__all__ = ["TraceRecord", "Tracer", "EXEC", "UNDO", "COMMIT"]
+__all__ = ["TraceRecord", "Tracer", "EXEC", "UNDO", "COMMIT", "TRIMMED_COMMITS_MSG"]
 
 EXEC = "EXEC"
 UNDO = "UNDO"
 COMMIT = "COMMIT"
+
+#: Shared error text for a committed-sequence request that cannot be
+#: answered exactly because COMMIT records were dropped (a bounded
+#: in-memory tracer overflowed, or a recording is incomplete).
+TRIMMED_COMMITS_MSG = (
+    "committed_sequence() would be incomplete: COMMIT records were "
+    "trimmed; run with an unbounded Tracer or stream the full trace to "
+    "a file (repro.obs.StreamingTracer)"
+)
 
 
 @dataclass(frozen=True)
@@ -59,7 +68,21 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects trace records; optionally bounded to the most recent N."""
+    """Collects trace records; optionally bounded to the most recent N.
+
+    Bounded-window semantics (``limit=N``): :attr:`counts` stays exact
+    for the whole run, but :attr:`records` keeps only the most recent
+    ``N`` entries, so every query that walks the records —
+    :meth:`select`, :meth:`thrash_by_lp`, :meth:`format` — sees *only
+    that window*, not the full history.  :meth:`committed_sequence` is
+    the one query where a silently truncated answer would be actively
+    dangerous (a partial sequence can compare equal to a partial
+    sequence of a genuinely different run), so it raises
+    :class:`ValueError` if any COMMIT record was trimmed
+    (:attr:`trimmed_commits` > 0).  For full-fidelity traces of long
+    runs in bounded memory, stream to a file instead with
+    :class:`repro.obs.StreamingTracer`.
+    """
 
     def __init__(self, limit: int | None = None) -> None:
         if limit is not None and limit < 1:
@@ -67,6 +90,9 @@ class Tracer:
         self.limit = limit
         self.records: list[TraceRecord] = []
         self.counts = {EXEC: 0, UNDO: 0, COMMIT: 0}
+        #: Records dropped from the window so far, total and COMMIT-only.
+        self.trimmed = 0
+        self.trimmed_commits = 0
 
     # ------------------------------------------------------------------
     # Kernel-facing hooks.
@@ -87,7 +113,12 @@ class Tracer:
         self.counts[action] += 1
         self.records.append(TraceRecord.of(action, event))
         if self.limit is not None and len(self.records) > self.limit:
-            del self.records[: len(self.records) - self.limit]
+            excess = len(self.records) - self.limit
+            for r in self.records[:excess]:
+                if r.action == COMMIT:
+                    self.trimmed_commits += 1
+            self.trimmed += excess
+            del self.records[:excess]
 
     # ------------------------------------------------------------------
     # Queries.
@@ -101,8 +132,12 @@ class Tracer:
 
         Two runs of the same model are equivalent iff these sequences are
         equal — this is the event-level form of the report's
-        repeatability check.
+        repeatability check.  Raises :class:`ValueError` when a bounded
+        tracer has trimmed COMMIT records (the sequence would be silently
+        partial, which defeats the check); see the class docstring.
         """
+        if self.trimmed_commits:
+            raise ValueError(TRIMMED_COMMITS_MSG)
         commits = self.select(COMMIT)
         return sorted((r.ts, r.origin, r.seq, r.dst, r.kind) for r in commits)
 

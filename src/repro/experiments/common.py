@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.config import EngineConfig
 from repro.core.engine import run_sequential
@@ -11,7 +12,40 @@ from repro.core.result import RunResult
 from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.model import HotPotatoModel
 
-__all__ = ["SweepParams", "run_hotpotato_sequential", "run_hotpotato_parallel", "kp_count_for"]
+__all__ = [
+    "SweepParams",
+    "run_hotpotato_sequential",
+    "run_hotpotato_parallel",
+    "kp_count_for",
+    "set_telemetry_dir",
+]
+
+#: When set (see :func:`set_telemetry_dir`), every hot-potato run the
+#: experiment workhorses execute records its GVT-interval metrics to one
+#: JSONL file in this directory, named from the run parameters.
+_TELEMETRY_DIR: Path | None = None
+
+
+def set_telemetry_dir(directory: Path | str | None) -> None:
+    """Enable (or, with ``None``, disable) per-run telemetry capture.
+
+    Used by the experiments CLI's ``--telemetry-dir``; repeated runs with
+    identical parameters overwrite each other's file (the runs are
+    deterministic, so nothing is lost).
+    """
+    global _TELEMETRY_DIR
+    _TELEMETRY_DIR = None if directory is None else Path(directory)
+    if _TELEMETRY_DIR is not None:
+        _TELEMETRY_DIR.mkdir(parents=True, exist_ok=True)
+
+
+def _capture(tag: str, meta: dict):
+    """Build a RunCapture for one tagged run, or None when disabled."""
+    if _TELEMETRY_DIR is None:
+        return None
+    from repro.obs.capture import RunCapture
+
+    return RunCapture(metrics_out=_TELEMETRY_DIR / f"{tag}.jsonl", meta=meta)
 
 #: Injection loads used by Figs 3 and 4 ("% Injecting Routers").
 DEFAULT_LOADS: tuple[float, ...] = (0.25, 0.50, 0.75, 1.00)
@@ -83,7 +117,20 @@ def run_hotpotato_sequential(
 ) -> RunResult:
     """One sequential hot-potato run (the Fig 3/4 workhorse)."""
     cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=load)
-    return run_sequential(HotPotatoModel(cfg), duration, seed=seed)
+    capture = _capture(
+        f"seq_n{n}_load{load:g}_d{duration:g}_s{seed}",
+        {"engine": "sequential", "n": n, "load": load, "duration": duration,
+         "seed": seed},
+    )
+    result = run_sequential(
+        HotPotatoModel(cfg),
+        duration,
+        seed=seed,
+        metrics=capture.metrics if capture is not None else None,
+    )
+    if capture is not None:
+        capture.finalize(result)
+    return result
 
 
 def run_hotpotato_parallel(
@@ -115,4 +162,16 @@ def run_hotpotato_parallel(
         seed=seed,
         **overrides,
     )
-    return run_optimistic(HotPotatoModel(cfg), ecfg)
+    capture = _capture(
+        f"opt_n{n}_load{load:g}_d{duration:g}_pe{n_pes}_kp{n_kps}_s{seed}",
+        {"engine": "optimistic", "n": n, "load": load, "duration": duration,
+         "n_pes": n_pes, "n_kps": n_kps, "seed": seed},
+    )
+    result = run_optimistic(
+        HotPotatoModel(cfg),
+        ecfg,
+        metrics=capture.metrics if capture is not None else None,
+    )
+    if capture is not None:
+        capture.finalize(result)
+    return result

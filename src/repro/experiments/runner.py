@@ -19,7 +19,7 @@ import pathlib
 import sys
 import time
 
-from repro.experiments.common import SweepParams
+from repro.experiments.common import SweepParams, set_telemetry_dir
 from repro.experiments.figures import EXPERIMENTS, experiment_ids, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -102,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each table as CSV into this directory",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="record per-run GVT-interval metrics to DIR/<run>.jsonl "
+        "(inspect with python -m repro.obs)",
+    )
     return parser
 
 
@@ -125,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
+    set_telemetry_dir(args.telemetry_dir)
     for exp_id in ids:
         start = time.perf_counter()
         table = run_experiment(exp_id, params)

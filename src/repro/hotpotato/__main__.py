@@ -10,6 +10,8 @@ Examples::
     python -m repro.hotpotato --n 8 --duration 200
     python -m repro.hotpotato --n 16 --processors 4 --kps 64 --probability-i 50
     python -m repro.hotpotato --n 8 --no-absorb-sleeping --validate
+    python -m repro.hotpotato --n 8 --processors 4 --metrics-out run.jsonl \
+        --trace-out run.jsonl        # then: python -m repro.obs timeline run.jsonl
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import sys
 
 from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.simulation import HotPotatoSimulation
+from repro.obs.capture import RunCapture
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the other engine and check the results are identical",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="record GVT-interval metric samples to this JSONL file "
+        "(inspect with python -m repro.obs)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="record the full event-lifecycle trace to this JSONL file; "
+        "may equal --metrics-out to combine both streams in one recording",
+    )
     return parser
 
 
@@ -78,12 +93,33 @@ def main(argv: list[str] | None = None) -> int:
         torus=not args.mesh,
     )
     sim = HotPotatoSimulation(cfg, seed=args.seed)
+    engine = "sequential" if args.processors <= 1 else "optimistic"
+    capture = RunCapture(
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+        meta={
+            "engine": engine,
+            "workload": "hotpotato",
+            "n": args.n,
+            "duration": args.duration,
+            "probability_i": args.probability_i,
+            "seed": args.seed,
+            "processors": args.processors,
+        },
+    )
     if args.processors <= 1:
-        result = sim.run()
+        result = sim.run(tracer=capture.tracer, metrics=capture.metrics)
     else:
         result = sim.run_parallel(
-            n_pes=args.processors, n_kps=args.kps, batch_size=args.batch
+            n_pes=args.processors,
+            n_kps=args.kps,
+            batch_size=args.batch,
+            tracer=capture.tracer,
+            metrics=capture.metrics,
         )
+    capture.finalize(result)
+    for out in {args.metrics_out, args.trace_out} - {None}:
+        print(f"telemetry written to {out}")
 
     ms = result.model_stats
     run = result.run

@@ -42,9 +42,15 @@ class HotPotatoSimulation:
         # A fresh model per run: LP state is single-use.
         return HotPotatoModel(self.cfg, self.policy)
 
-    def run(self) -> RunResult:
-        """Run on the sequential oracle engine."""
-        return run_sequential(self._model(), self.cfg.duration, seed=self.seed)
+    def run(self, *, tracer=None, metrics=None) -> RunResult:
+        """Run on the sequential oracle engine (optionally instrumented)."""
+        return run_sequential(
+            self._model(),
+            self.cfg.duration,
+            seed=self.seed,
+            tracer=tracer,
+            metrics=metrics,
+        )
 
     def run_parallel(
         self,
@@ -53,6 +59,8 @@ class HotPotatoSimulation:
         *,
         batch_size: int = 16,
         engine_config: EngineConfig | None = None,
+        tracer=None,
+        metrics=None,
         **overrides: Any,
     ) -> RunResult:
         """Run on the Time Warp engine.
@@ -73,7 +81,7 @@ class HotPotatoSimulation:
                 seed=self.seed,
                 **overrides,
             )
-        return run_optimistic(self._model(), ecfg)
+        return run_optimistic(self._model(), ecfg, tracer=tracer, metrics=metrics)
 
     def validate_determinism(self, n_pes: int = 4, n_kps: int = 16) -> bool:
         """The report's Attachment-3 check: parallel results == sequential."""

@@ -1,0 +1,54 @@
+"""Kernel observability: GVT-interval metrics, flight recorder, forensics.
+
+The report's evaluation (§4.2) is written in kernel observables — event
+rate, rollbacks, KP containment — but end-of-run aggregates cannot show
+*how* a run evolved.  This package adds the missing time dimension:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRecorder` sampling kernel
+  state once per GVT round (zero overhead when detached; the fused hot
+  paths stay installed when attached),
+* :mod:`repro.obs.recorder` — a schema-versioned streaming JSONL flight
+  recorder (:class:`JsonlSink`, :class:`StreamingTracer`) and its loader
+  (:func:`load_recording`), which reconstructs the committed-sequence
+  determinism check across processes,
+* :mod:`repro.obs.forensics` — rollback hot spots, rollback-chain
+  reconstruction and recording-vs-recording diff,
+* :mod:`repro.obs.capture` — :class:`RunCapture`, the one-call wiring
+  used by the CLIs' ``--metrics-out`` / ``--trace-out`` flags,
+* ``python -m repro.obs`` — the forensics CLI (``summary``,
+  ``timeline``, ``thrash``, ``diff``).
+
+See ``docs/OBSERVABILITY.md`` for metric definitions and the file
+schema.
+"""
+
+from repro.obs.capture import RunCapture
+from repro.obs.forensics import (
+    RollbackChain,
+    chain_summary,
+    diff_recordings,
+    rollback_chains,
+)
+from repro.obs.metrics import MetricSample, MetricsRecorder
+from repro.obs.recorder import (
+    SCHEMA_VERSION,
+    JsonlSink,
+    RunRecording,
+    StreamingTracer,
+    load_recording,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JsonlSink",
+    "StreamingTracer",
+    "RunRecording",
+    "load_recording",
+    "MetricSample",
+    "MetricsRecorder",
+    "RunCapture",
+    "RollbackChain",
+    "rollback_chains",
+    "chain_summary",
+    "diff_recordings",
+]

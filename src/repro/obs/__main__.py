@@ -1,0 +1,246 @@
+"""``python -m repro.obs`` — forensics over recorded runs, no rerun needed.
+
+Subcommands::
+
+    python -m repro.obs summary  RUN.jsonl          # header + full RunStats
+    python -m repro.obs timeline RUN.jsonl          # ASCII metric sparklines
+    python -m repro.obs thrash   RUN.jsonl          # rollback hot spots/chains
+    python -m repro.obs diff     A.jsonl B.jsonl    # determinism comparison
+
+``diff`` exits 0 when the two recordings are equivalent (committed
+sequences equal — the report's Attachment-3 check, across processes) and
+1 when they diverge; engine-dependent stat differences are reported but
+do not fail the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.asciichart import plot
+from repro.core.trace import COMMIT, EXEC, UNDO
+from repro.obs.forensics import chain_summary, diff_recordings, rollback_chains
+from repro.obs.recorder import RunRecording, load_recording
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and compare recorded simulation runs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="header, trace counts and full RunStats")
+    p.add_argument("file", type=Path)
+
+    p = sub.add_parser("timeline", help="GVT-interval metric sparklines")
+    p.add_argument("file", type=Path)
+    p.add_argument(
+        "--metric",
+        action="append",
+        dest="metrics",
+        choices=sorted(TIMELINE_METRICS),
+        help="chart only the named metric group(s); default: all with data",
+    )
+    p.add_argument("--height", type=int, default=8, help="chart height (rows)")
+    p.add_argument("--width", type=int, default=64, help="chart width (cols)")
+
+    p = sub.add_parser("thrash", help="rollback hot spots and chain forensics")
+    p.add_argument("file", type=Path)
+    p.add_argument("--top", type=int, default=10, help="rows per hot-spot table")
+
+    p = sub.add_parser("diff", help="compare two recordings for equivalence")
+    p.add_argument("a", type=Path)
+    p.add_argument("b", type=Path)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on engine-dependent stat differences",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# summary
+# ----------------------------------------------------------------------
+def _print_kv_table(pairs: list[tuple[str, object]], indent: str = "  ") -> None:
+    width = max((len(k) for k, _ in pairs), default=0)
+    for key, value in pairs:
+        if isinstance(value, float):
+            text = f"{value:,.6g}"
+        elif isinstance(value, int) and not isinstance(value, bool):
+            text = f"{value:,}"
+        else:
+            text = str(value)
+        print(f"{indent}{key:<{width}} : {text}")
+
+
+def cmd_summary(rec: RunRecording) -> int:
+    """Print the recording's header, trace counts and final RunStats."""
+    print(f"recording: {rec.path}")
+    header = [(k, v) for k, v in rec.header.items() if k != "schema"]
+    _print_kv_table([("schema", rec.header.get("schema"))] + header)
+    print(
+        f"  trace records: {len(rec.records):,} "
+        f"(EXEC {rec.counts[EXEC]:,}, UNDO {rec.counts[UNDO]:,}, "
+        f"COMMIT {rec.counts[COMMIT]:,}); metric samples: {len(rec.metrics):,}"
+    )
+    if rec.stats is None:
+        print("  no stats line (run did not finalize)")
+        return 0
+    print("run stats:")
+    _print_kv_table(sorted(rec.stats.items()))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# timeline
+# ----------------------------------------------------------------------
+#: Chart groups: title -> list of (series name, sample attribute).
+TIMELINE_METRICS = {
+    "rate": [("committed/interval", "committed"), ("processed/interval", "processed")],
+    "rollbacks": [
+        ("rolled_back/interval", "rolled_back"),
+        ("stragglers/interval", "stragglers"),
+    ],
+    "depth": [("pending", "pending"), ("processed_depth", "processed_depth")],
+    "throttle": [("throttle factor", "throttle")],
+}
+
+
+def cmd_timeline(
+    rec: RunRecording,
+    metrics: list[str] | None,
+    height: int,
+    width: int,
+) -> int:
+    """Render the metric time series as ASCII charts over GVT."""
+    samples = rec.metrics
+    if not samples:
+        print(
+            f"{rec.path}: no metric samples; re-record with --metrics-out "
+            "to enable timelines"
+        )
+        return 1
+    xs = [s.gvt for s in samples]
+    chosen = metrics if metrics else list(TIMELINE_METRICS)
+    drawn = 0
+    for group in chosen:
+        series = {}
+        for name, attr in TIMELINE_METRICS[group]:
+            ys = [float(getattr(s, attr)) for s in samples]
+            if any(ys) or group == "throttle":
+                series[name] = list(zip(xs, ys))
+        if not series:
+            continue  # nothing ever moved (e.g. rollbacks on sequential)
+        print(plot(series, height=height, width=width, title=f"[{group}] vs GVT"))
+        print()
+        drawn += 1
+    if not drawn:
+        print("no nonzero series to chart")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# thrash
+# ----------------------------------------------------------------------
+def cmd_thrash(rec: RunRecording, top: int) -> int:
+    """Print rollback hot spots (per LP, per KP) and chain forensics."""
+    by_lp = rec.thrash_by_lp()
+    by_kp = rec.thrash_by_kp()
+    if not by_lp and not by_kp:
+        print(
+            f"{rec.path}: no rollback activity recorded (sequential/"
+            "conservative run, rollback-free run, or metrics+trace not captured)"
+        )
+        return 0
+    if by_lp:
+        total = sum(by_lp.values())
+        print(f"events undone per LP (total {total:,}, {len(by_lp)} LPs):")
+        rows = sorted(by_lp.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        _print_kv_table([(f"lp{lp}", n) for lp, n in rows])
+    if by_kp:
+        total = sum(by_kp.values())
+        print(f"events rolled back per KP (total {total:,}, {len(by_kp)} KPs):")
+        rows = sorted(by_kp.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        _print_kv_table([(f"kp{kp}", n) for kp, n in rows])
+    chains = rollback_chains(rec)
+    if chains:
+        summary = chain_summary(chains)
+        print(
+            f"rollback chains: {summary['chains']:,} episodes, "
+            f"{summary['events_undone']:,} events undone, "
+            f"max length {summary['max_length']}, "
+            f"mean {summary['mean_length']:.2f}, "
+            f"{summary['multi_lp_chains']:,} touched multiple LPs "
+            "(false-rollback spillover)"
+        )
+        worst = sorted(chains, key=lambda c: -c.length)[: min(top, 5)]
+        for c in worst:
+            print(
+                f"  len {c.length:>4}  lps {c.lp_spread:>3}  "
+                f"ts [{c.min_ts:.6f}, {c.max_ts:.6f}]  "
+                f"resumed at lp{c.resumed_lp}"
+            )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def cmd_diff(a: RunRecording, b: RunRecording, strict: bool) -> int:
+    """Compare two recordings; exit 0 iff they are equivalent."""
+    report = diff_recordings(a, b)
+    mism = report["field_mismatches"]
+    for name in mism["invariant"]:
+        va, vb = report["fields"][name]
+        print(f"INVARIANT DIFF  {name}: {va!r} != {vb!r}")
+    for name in mism["engine_dependent"]:
+        va, vb = report["fields"][name]
+        print(f"engine-dependent {name}: {va!r} vs {vb!r}")
+    seq = report["sequences"]
+    if seq == "unavailable":
+        print(
+            "committed sequences: unavailable (a recording lacks trace "
+            "records); falling back to invariant stats comparison"
+        )
+    elif seq == "equal":
+        n = len(a.select(COMMIT))
+        print(f"committed sequences: EQUAL ({n:,} events)")
+    else:
+        idx, ta, tb = report["first_divergence"]
+        print(f"committed sequences: DIFFERENT at index {idx}:")
+        print(f"  {a.path}: {ta}")
+        print(f"  {b.path}: {tb}")
+    equivalent = report["equivalent"]
+    if strict and mism["engine_dependent"]:
+        equivalent = False
+    print("verdict:", "EQUIVALENT" if equivalent else "DIVERGENT")
+    return 0 if equivalent else 1
+
+
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "diff":
+            return cmd_diff(
+                load_recording(args.a), load_recording(args.b), args.strict
+            )
+        rec = load_recording(args.file)
+        if args.command == "summary":
+            return cmd_summary(rec)
+        if args.command == "timeline":
+            return cmd_timeline(rec, args.metrics, args.height, args.width)
+        return cmd_thrash(rec, args.top)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

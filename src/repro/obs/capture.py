@@ -1,0 +1,101 @@
+"""Capture plumbing: attach telemetry to a run and finalise the files.
+
+The CLIs (``repro.hotpotato``, ``repro.bench``, ``repro.experiments``,
+``benchmarks/profile_kernel.py``) all need the same four steps — open
+sink(s), build a :class:`~repro.obs.metrics.MetricsRecorder` and/or
+:class:`~repro.obs.recorder.StreamingTracer`, attach them to an engine,
+and write the final stats line when the run ends.  :class:`RunCapture`
+packages those steps; metrics and trace may go to separate files or
+share one (pass the same path twice — record types are tagged, so one
+file holds both streams).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.result import RunResult
+from repro.obs.metrics import MetricsRecorder
+from repro.obs.recorder import JsonlSink, StreamingTracer
+
+__all__ = ["RunCapture"]
+
+
+class RunCapture:
+    """Telemetry capture for one run: sinks + recorder + tracer.
+
+    Parameters
+    ----------
+    metrics_out:
+        Path for GVT-interval metric samples, or ``None`` to skip
+        metrics (fast paths stay installed either way — metrics sample
+        only at GVT boundaries).
+    trace_out:
+        Path for the full event-lifecycle trace, or ``None`` to skip
+        tracing (tracing disables the optimistic kernel's fused execute
+        path for the run, as any tracer does).
+    meta:
+        Free-form run metadata for the header line (engine, workload,
+        seed, CLI arguments ...).
+    interval:
+        Sequential-engine sampling period, in events (see
+        :class:`~repro.obs.metrics.MetricsRecorder`).
+    """
+
+    def __init__(
+        self,
+        metrics_out: str | Path | None = None,
+        trace_out: str | Path | None = None,
+        *,
+        meta: Mapping | None = None,
+        interval: int = 1024,
+    ) -> None:
+        self.meta = dict(meta) if meta else {}
+        self._sinks: list[JsonlSink] = []
+        metrics_sink = trace_sink = None
+        if metrics_out is not None:
+            metrics_sink = JsonlSink(metrics_out)
+            self._sinks.append(metrics_sink)
+        if trace_out is not None:
+            if metrics_sink is not None and Path(trace_out) == Path(metrics_out):
+                trace_sink = metrics_sink
+            else:
+                trace_sink = JsonlSink(trace_out)
+                self._sinks.append(trace_sink)
+        for sink in self._sinks:
+            sink.write_header(self.meta)
+        self.metrics = (
+            MetricsRecorder(metrics_sink, keep=False, interval=interval)
+            if metrics_sink is not None
+            else None
+        )
+        self.tracer = StreamingTracer(trace_sink) if trace_sink is not None else None
+
+    @property
+    def active(self) -> bool:
+        """True when at least one output was requested."""
+        return bool(self._sinks)
+
+    def attach(self, engine) -> None:
+        """Attach the recorder/tracer to any of the three engines."""
+        if self.metrics is not None:
+            engine.attach_metrics(self.metrics)
+        if self.tracer is not None:
+            engine.attach_tracer(self.tracer)
+
+    def finalize(self, result: RunResult | None = None) -> None:
+        """Write the final stats line(s) and close owned files."""
+        if result is not None:
+            stats = result.run.as_dict()
+            for sink in self._sinks:
+                sink.write_stats(stats)
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "RunCapture":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for sink in self._sinks:
+            sink.close()

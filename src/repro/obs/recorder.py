@@ -1,0 +1,295 @@
+"""The streaming flight recorder: schema-versioned JSONL in, forensics out.
+
+One recording file is a sequence of JSON lines, each tagged with a type:
+
+* ``{"t": "header", "schema": 1, "engine": ..., ...}`` — written first;
+  carries the schema version and free-form run metadata.
+* ``{"t": "trace", "a": "EXEC"|"UNDO"|"COMMIT", "ts": ..., "origin":
+  ..., "seq": ..., "dst": ..., "kind": ...}`` — one event lifecycle
+  transition (see :class:`~repro.core.trace.TraceRecord`).
+* ``{"t": "metric", ...}`` — one GVT-interval
+  :class:`~repro.obs.metrics.MetricSample`.
+* ``{"t": "stats", ...}`` — the final
+  :class:`~repro.core.stats.RunStats`, written once at run end.
+
+Writers (:class:`JsonlSink`, :class:`StreamingTracer`) are
+**write-through**: nothing accumulates in memory, so a recording can
+outlive any in-memory :class:`~repro.core.trace.Tracer` limit.  The
+loader (:func:`load_recording`) reconstructs the run — including the
+``committed_sequence()`` the determinism check compares — from the file
+alone, so the report's strongest repeatability check works *across
+processes*: record a sequential run in one process, an optimistic run in
+another, and diff the files.
+
+Floats survive the round trip exactly (``json`` emits shortest-repr
+floats and parses them back bit-identically), so sequence comparison on
+reloaded recordings is as strict as the in-memory check.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Mapping
+
+from repro.core.trace import COMMIT, EXEC, TRIMMED_COMMITS_MSG, UNDO, TraceRecord
+from repro.obs.metrics import MetricSample
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JsonlSink",
+    "StreamingTracer",
+    "RunRecording",
+    "load_recording",
+]
+
+#: Bump when a line type gains/loses/renames fields; the loader refuses
+#: files from a future schema rather than misreading them.
+SCHEMA_VERSION = 1
+
+_COMPACT = {"separators": (",", ":"), "sort_keys": True}
+
+
+class JsonlSink:
+    """Write-through JSONL writer for one recording file.
+
+    Accepts a path (opened/closed by the sink) or an open text stream
+    (left open — the caller owns it).  Usable as a context manager.  The
+    header line is written on first use; pass run metadata early via
+    :meth:`write_header` to make it informative.
+    """
+
+    def __init__(self, target: str | Path | IO[str]) -> None:
+        if isinstance(target, (str, Path)):
+            self.path: Path | None = Path(target)
+            self._fh: IO[str] = self.path.open("w")
+            self._owns = True
+        else:
+            self.path = None
+            self._fh = target
+            self._owns = False
+        self._header_written = False
+        self.lines = 0
+
+    # ------------------------------------------------------------------
+    def write_header(self, meta: Mapping | None = None) -> None:
+        """Write the schema header (once; later calls are ignored)."""
+        if self._header_written:
+            return
+        doc = {"t": "header", "schema": SCHEMA_VERSION}
+        if meta:
+            doc.update(meta)
+        self._write(doc)
+        self._header_written = True
+
+    def write_trace(self, action: str, record: TraceRecord) -> None:
+        """Write one event lifecycle transition."""
+        self.write_header()
+        self._write(
+            {
+                "t": "trace",
+                "a": action,
+                "ts": record.ts,
+                "origin": record.origin,
+                "seq": record.seq,
+                "dst": record.dst,
+                "kind": record.kind,
+            }
+        )
+
+    def write_metric(self, sample: MetricSample) -> None:
+        """Write one GVT-interval metric sample."""
+        self.write_header()
+        doc = {"t": "metric"}
+        doc.update(sample.as_dict())
+        self._write(doc)
+
+    def write_stats(self, stats_dict: Mapping) -> None:
+        """Write the final RunStats dict (call once, at run end)."""
+        self.write_header()
+        doc = {"t": "stats"}
+        doc.update(stats_dict)
+        self._write(doc)
+
+    def _write(self, doc: dict) -> None:
+        self._fh.write(json.dumps(doc, **_COMPACT))
+        self._fh.write("\n")
+        self.lines += 1
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Flush and (for path-opened sinks) close the file."""
+        self.write_header()  # even an empty recording is a valid file
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class StreamingTracer:
+    """Tracer-compatible hook set that streams records to a sink.
+
+    Drop-in for :class:`~repro.core.trace.Tracer` on the kernel side
+    (``attach_tracer`` accepts either): same ``on_exec`` / ``on_undo`` /
+    ``on_commit`` hooks, but each record goes straight to the JSONL sink
+    and only the action counts stay in memory — a full-fidelity trace of
+    an arbitrarily long run in O(1) space.  Queries live on the loader's
+    :class:`RunRecording`, not here.
+    """
+
+    def __init__(self, sink: JsonlSink) -> None:
+        self.sink = sink
+        self.counts = {EXEC: 0, UNDO: 0, COMMIT: 0}
+
+    def on_exec(self, event) -> None:
+        """Record a forward execution."""
+        self.counts[EXEC] += 1
+        self.sink.write_trace(EXEC, TraceRecord.of(EXEC, event))
+
+    def on_undo(self, event) -> None:
+        """Record a rollback of a processed event."""
+        self.counts[UNDO] += 1
+        self.sink.write_trace(UNDO, TraceRecord.of(UNDO, event))
+
+    def on_commit(self, event) -> None:
+        """Record an event becoming irreversible (below GVT)."""
+        self.counts[COMMIT] += 1
+        self.sink.write_trace(COMMIT, TraceRecord.of(COMMIT, event))
+
+
+class RunRecording:
+    """One loaded recording: header, trace, metrics, final stats.
+
+    Offers the same forensic queries as an in-memory
+    :class:`~repro.core.trace.Tracer` — plus the metric time series —
+    reconstructed entirely from the file.
+    """
+
+    def __init__(
+        self,
+        header: dict,
+        records: list[TraceRecord],
+        metrics: list[MetricSample],
+        stats: dict | None,
+        path: Path | None = None,
+    ) -> None:
+        self.header = header
+        self.records = records
+        self.metrics = metrics
+        self.stats = stats
+        self.path = path
+        self.counts = {EXEC: 0, UNDO: 0, COMMIT: 0}
+        for r in records:
+            self.counts[r.action] += 1
+
+    # ------------------------------------------------------------------
+    # Tracer-equivalent queries.
+    # ------------------------------------------------------------------
+    def select(self, action: str) -> list[TraceRecord]:
+        """All trace records of one action, in recording order."""
+        return [r for r in self.records if r.action == action]
+
+    def committed_sequence(self) -> list[tuple]:
+        """Committed events as comparable tuples, sorted by event key.
+
+        The cross-process form of the report's determinism check: two
+        recordings are equivalent iff these sequences are equal.  Raises
+        :class:`ValueError` when the recording carries no trace lines
+        (metrics-only files cannot support the check) or when the
+        recorded stats say more events committed than the trace holds.
+        """
+        commits = self.select(COMMIT)
+        if not commits and self.counts[EXEC] == 0:
+            raise ValueError(
+                f"recording {self.path or '<stream>'} has no trace records; "
+                "re-record with --trace-out to enable sequence comparison"
+            )
+        if self.stats is not None and self.stats.get("committed", 0) > len(commits):
+            raise ValueError(TRIMMED_COMMITS_MSG)
+        return sorted((r.ts, r.origin, r.seq, r.dst, r.kind) for r in commits)
+
+    def thrash_by_lp(self) -> dict[int, int]:
+        """UNDO count per destination LP — who rolls back the most."""
+        out: dict[int, int] = {}
+        for r in self.records:
+            if r.action == UNDO:
+                out[r.dst] = out.get(r.dst, 0) + 1
+        return out
+
+    def thrash_by_kp(self) -> dict[int, int]:
+        """Total events rolled back per KP, summed over metric samples."""
+        out: dict[int, int] = {}
+        for s in self.metrics:
+            for kp_id, n in s.kp_rolled_back.items():
+                out[kp_id] = out.get(kp_id, 0) + n
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
+    header: dict = {}
+    records: list[TraceRecord] = []
+    metrics: list[MetricSample] = []
+    stats: dict | None = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path or '<stream>'}:{lineno}: not valid JSON ({exc})"
+            ) from None
+        kind = doc.get("t")
+        if not header and kind != "header":
+            raise ValueError(
+                f"{path or '<stream>'}:{lineno}: missing header line "
+                "(recordings must start with a header)"
+            )
+        if kind == "header":
+            schema = doc.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise ValueError(
+                    f"{path or '<stream>'}: schema {schema!r} is not the "
+                    f"supported version {SCHEMA_VERSION}"
+                )
+            header = {k: v for k, v in doc.items() if k != "t"}
+        elif kind == "trace":
+            records.append(
+                TraceRecord(
+                    action=doc["a"],
+                    ts=doc["ts"],
+                    origin=doc["origin"],
+                    seq=doc["seq"],
+                    dst=doc["dst"],
+                    kind=doc["kind"],
+                )
+            )
+        elif kind == "metric":
+            metrics.append(MetricSample.from_dict(doc))
+        elif kind == "stats":
+            stats = {k: v for k, v in doc.items() if k != "t"}
+        else:
+            raise ValueError(
+                f"{path or '<stream>'}:{lineno}: unknown line type {kind!r}"
+            )
+    if not header:
+        raise ValueError(f"{path or '<stream>'}: missing header line")
+    return RunRecording(header, records, metrics, stats, path)
+
+
+def load_recording(source: str | Path | IO[str]) -> RunRecording:
+    """Load one JSONL recording from a path or open text stream."""
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        with path.open() as fh:
+            return _parse_lines(fh, path)
+    return _parse_lines(source, None)

@@ -77,6 +77,24 @@ def test_limit_validation():
         Tracer(limit=0)
 
 
+def test_trimmed_commits_refuse_sequence_check():
+    # A bounded tracer that dropped COMMIT records cannot vouch for the
+    # full committed sequence; it must refuse rather than silently compare
+    # a partial window.
+    tracer = Tracer(limit=5)
+    engine = SequentialEngine(PholdModel(PHOLD), END).attach_tracer(tracer)
+    engine.run()
+    assert tracer.trimmed_commits > 0
+    with pytest.raises(ValueError, match="trimmed"):
+        tracer.committed_sequence()
+
+
+def test_unbounded_tracer_never_trims():
+    tracer, _ = run_seq_traced(PholdModel(PHOLD))
+    assert tracer.trimmed == tracer.trimmed_commits == 0
+    tracer.committed_sequence()  # no exception
+
+
 def test_record_formatting():
     tracer, _ = run_seq_traced(PholdModel(PHOLD))
     text = tracer.format(last=3)

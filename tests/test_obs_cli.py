@@ -1,0 +1,121 @@
+"""Tests for the ``python -m repro.obs`` forensics CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from tests.test_obs_recorder import record_run
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One seeded sequential and one seeded optimistic recording."""
+    root = tmp_path_factory.mktemp("obs_cli")
+    seq = root / "seq.jsonl"
+    opt = root / "opt.jsonl"
+    record_run(seq, parallel=False, seed=7)
+    record_run(opt, parallel=True, seed=7)
+    return seq, opt
+
+
+def test_summary(recorded, capsys):
+    _, opt = recorded
+    assert main(["summary", str(opt)]) == 0
+    out = capsys.readouterr().out
+    assert "engine" in out and "optimistic" in out
+    assert "trace records" in out and "run stats" in out
+    assert "throttle_final_factor" in out  # satellite: as_dict carries it
+
+
+def test_timeline_renders_charts(recorded, capsys):
+    _, opt = recorded
+    assert main(["timeline", str(opt)]) == 0
+    out = capsys.readouterr().out
+    assert "[rate] vs GVT" in out
+    assert "committed/interval" in out  # series legend rendered
+    assert " | " in out or " |" in out  # chart y-axis rendered
+
+
+def test_timeline_metric_filter(recorded, capsys):
+    _, opt = recorded
+    assert main(["timeline", str(opt), "--metric", "throttle"]) == 0
+    out = capsys.readouterr().out
+    assert "[throttle] vs GVT" in out
+    assert "[rate]" not in out
+
+
+def test_timeline_without_metrics_fails(tmp_path, capsys):
+    path = tmp_path / "trace_only.jsonl"
+    record_run(path, parallel=True, metrics=False)
+    assert main(["timeline", str(path)]) == 1
+    assert "no metric samples" in capsys.readouterr().out
+
+
+def test_thrash_reports_hot_spots(recorded, capsys):
+    _, opt = recorded
+    assert main(["thrash", str(opt)]) == 0
+    out = capsys.readouterr().out
+    assert "events undone per LP" in out
+    assert "events rolled back per KP" in out
+    assert "rollback chains" in out
+
+
+def test_thrash_on_sequential_run(recorded, capsys):
+    seq, _ = recorded
+    assert main(["thrash", str(seq)]) == 0
+    assert "no rollback activity" in capsys.readouterr().out
+
+
+def test_diff_equivalent_runs_exit_zero(recorded, capsys):
+    seq, opt = recorded
+    assert main(["diff", str(seq), str(opt)]) == 0
+    out = capsys.readouterr().out
+    assert "committed sequences: EQUAL" in out
+    assert "verdict: EQUIVALENT" in out
+
+
+def test_diff_strict_fails_on_engine_dependent(recorded, capsys):
+    seq, opt = recorded
+    assert main(["diff", str(seq), str(opt), "--strict"]) == 1
+    assert "verdict: DIVERGENT" in capsys.readouterr().out
+
+
+def test_diff_different_seeds_exit_nonzero(recorded, tmp_path, capsys):
+    _, opt = recorded
+    other = tmp_path / "other_seed.jsonl"
+    record_run(other, parallel=True, seed=8)
+    assert main(["diff", str(opt), str(other)]) == 1
+    out = capsys.readouterr().out
+    assert "committed sequences: DIFFERENT" in out
+    assert "verdict: DIVERGENT" in out
+
+
+def test_diff_perturbed_file_exit_nonzero(recorded, tmp_path, capsys):
+    """Flipping one committed timestamp in the file must fail the diff."""
+    _, opt = recorded
+    perturbed = tmp_path / "perturbed.jsonl"
+    lines = opt.read_text().splitlines()
+    out_lines, flipped = [], False
+    for line in lines:
+        doc = json.loads(line)
+        if not flipped and doc.get("t") == "trace" and doc["a"] == "COMMIT":
+            doc["ts"] += 0.5
+            line = json.dumps(doc)
+            flipped = True
+        out_lines.append(line)
+    perturbed.write_text("\n".join(out_lines) + "\n")
+    assert main(["diff", str(opt), str(perturbed)]) == 1
+    assert "DIFFERENT" in capsys.readouterr().out
+
+
+def test_missing_file_exits_two(tmp_path, capsys):
+    assert main(["summary", str(tmp_path / "nope.jsonl")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_corrupt_file_exits_two(tmp_path, capsys):
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text("definitely not json\n")
+    assert main(["summary", str(path)]) == 2
+    assert "error:" in capsys.readouterr().err

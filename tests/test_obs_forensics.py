@@ -1,0 +1,105 @@
+"""Tests for rollback-chain reconstruction and recording diffs."""
+
+from repro.core.trace import COMMIT, EXEC, UNDO, TraceRecord
+from repro.obs.forensics import chain_summary, diff_recordings, rollback_chains
+from repro.obs.metrics import MetricSample
+from repro.obs.recorder import RunRecording
+
+
+def rec_of(actions, stats=None, metrics=()):
+    """Build a RunRecording from (action, ts, dst) triples."""
+    records = [
+        TraceRecord(action=a, ts=ts, origin=0, seq=i, dst=dst, kind="K")
+        for i, (a, ts, dst) in enumerate(actions)
+    ]
+    return RunRecording({"schema": 1}, records, list(metrics), stats)
+
+
+def test_chains_reconstructed_from_consecutive_undos():
+    rec = rec_of(
+        [
+            (EXEC, 1.0, 0),
+            (EXEC, 2.0, 1),
+            (UNDO, 2.0, 1),   # chain 1: two events, two LPs
+            (UNDO, 1.5, 0),
+            (EXEC, 1.2, 0),   # resumption front
+            (EXEC, 3.0, 1),
+            (UNDO, 3.0, 1),   # chain 2: one event, trace ends inside
+        ]
+    )
+    chains = rollback_chains(rec)
+    assert len(chains) == 2
+    first, second = chains
+    assert (first.length, first.lp_spread) == (2, 2)
+    assert (first.min_ts, first.max_ts) == (1.5, 2.0)
+    assert first.resumed_lp == 0
+    assert (second.length, second.resumed_lp) == (1, -1)
+
+    summary = chain_summary(chains)
+    assert summary["chains"] == 2
+    assert summary["events_undone"] == 3
+    assert summary["max_length"] == 2
+    assert summary["multi_lp_chains"] == 1
+
+
+def test_chain_summary_empty():
+    assert chain_summary([])["chains"] == 0
+
+
+def test_diff_equal_sequences_is_equivalent():
+    actions = [(EXEC, 1.0, 0), (COMMIT, 1.0, 0)]
+    a = rec_of(actions, stats={"engine": "sequential", "committed": 1})
+    b = rec_of(actions, stats={"engine": "optimistic", "committed": 1})
+    report = diff_recordings(a, b)
+    assert report["sequences"] == "equal"
+    assert report["equivalent"]
+    # engine differs but is engine-dependent, not an invariant mismatch
+    assert report["field_mismatches"]["invariant"] == []
+    assert "engine" in report["field_mismatches"]["engine_dependent"]
+
+
+def test_diff_finds_first_divergence():
+    a = rec_of([(COMMIT, 1.0, 0), (COMMIT, 2.0, 0)], stats={"committed": 2})
+    b = rec_of([(COMMIT, 1.0, 0), (COMMIT, 2.5, 0)], stats={"committed": 2})
+    report = diff_recordings(a, b)
+    assert report["sequences"] == "different"
+    assert not report["equivalent"]
+    idx, ta, tb = report["first_divergence"]
+    assert idx == 1 and ta[0] == 2.0 and tb[0] == 2.5
+
+
+def test_diff_without_traces_falls_back_to_invariants():
+    sample = MetricSample(
+        round=0, gvt=1.0, committed=5, processed=5, rolled_back=0,
+        rollbacks=0, stragglers=0, fossil_collected=5, pending=0,
+        processed_depth=0, throttle=1.0, pool_hit_rate=0.0,
+    )
+    a = rec_of([], stats={"committed": 5, "engine": "sequential"},
+               metrics=[sample])
+    b = rec_of([], stats={"committed": 5, "engine": "optimistic"},
+               metrics=[sample])
+    report = diff_recordings(a, b)
+    assert report["sequences"] == "unavailable"
+    assert report["equivalent"]
+    c = rec_of([], stats={"committed": 6, "engine": "optimistic"},
+               metrics=[sample])
+    report = diff_recordings(a, c)
+    assert not report["equivalent"]
+    assert report["field_mismatches"]["invariant"] == ["committed"]
+
+
+def test_thrash_by_kp_sums_metric_deltas():
+    s1 = MetricSample(
+        round=0, gvt=1.0, committed=0, processed=0, rolled_back=3,
+        rollbacks=1, stragglers=1, fossil_collected=0, pending=0,
+        processed_depth=0, throttle=1.0, pool_hit_rate=0.0,
+        kp_rolled_back={0: 2, 3: 1},
+    )
+    s2 = MetricSample(
+        round=1, gvt=2.0, committed=0, processed=0, rolled_back=2,
+        rollbacks=1, stragglers=1, fossil_collected=0, pending=0,
+        processed_depth=0, throttle=1.0, pool_hit_rate=0.0,
+        kp_rolled_back={3: 2},
+    )
+    rec = rec_of([], metrics=[s1, s2])
+    assert rec.thrash_by_kp() == {0: 2, 3: 3}
