@@ -24,6 +24,74 @@ from repro.bench.harness import (
 )
 from repro.bench.suites import SUITES
 
+#: Faults-off guard gate: an attached-but-empty fault driver may not cost
+#: more than this multiple of the undecorated run.  Generous on purpose —
+#: the smoke workload is sub-second, so timer noise dominates any real
+#: per-round cost; the point is to catch a hook accidentally moved onto
+#: the per-event path (which shows up as far more than 1.6x).
+FAULT_OVERHEAD_LIMIT = 1.6
+
+
+def _fault_hooks_overhead_ok() -> bool:
+    """Assert the fault hooks cost nothing measurable when no plan is set.
+
+    Runs the opt-hotpotato smoke workload twice (best of 3 each): once
+    plain, once with an *empty* FaultPlan's EngineFaults attached.  The
+    empty driver exercises every ``faults is not None`` check the engines
+    gained — per scheduler round, never per event — without wrapping the
+    transport, so the two runs must commit identically and take
+    indistinguishable time.
+    """
+    import time
+
+    from repro.bench.suites import _opt_hotpotato
+    from repro.core.config import EngineConfig
+    from repro.core.optimistic import run_optimistic
+    from repro.bench.suites import BENCH_SEED, _hotpotato_cfg
+    from repro.faults import EngineFaults, FaultPlan
+    from repro.hotpotato.model import HotPotatoModel
+
+    def best(runner) -> tuple[float, int]:
+        elapsed, committed = float("inf"), -1
+        for _ in range(3):
+            start = time.perf_counter()
+            result = runner()
+            elapsed = min(elapsed, time.perf_counter() - start)
+            committed = result.run.committed
+        return elapsed, committed
+
+    def faulted():
+        cfg = _hotpotato_cfg(True)
+        ecfg = EngineConfig(
+            end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64,
+            seed=BENCH_SEED,
+        )
+        return run_optimistic(
+            HotPotatoModel(cfg), ecfg, faults=EngineFaults(FaultPlan())
+        )
+
+    plain_s, plain_committed = best(lambda: _opt_hotpotato(True))
+    hooked_s, hooked_committed = best(faulted)
+    ratio = hooked_s / plain_s if plain_s else 1.0
+    print(
+        f"fault-hook overhead: plain {plain_s * 1e3:.1f}ms, "
+        f"empty-plan {hooked_s * 1e3:.1f}ms ({ratio:.2f}x)"
+    )
+    if hooked_committed != plain_committed:
+        print(
+            f"FAIL: empty fault plan changed committed count "
+            f"({hooked_committed} != {plain_committed})"
+        )
+        return False
+    if ratio > FAULT_OVERHEAD_LIMIT:
+        print(
+            f"FAIL: attached-but-empty fault driver costs {ratio:.2f}x "
+            f"(limit {FAULT_OVERHEAD_LIMIT}x) — a hook has crept onto a "
+            "hot path"
+        )
+        return False
+    return True
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
@@ -85,6 +153,8 @@ def main(argv: list[str] | None = None) -> int:
                 f"FAIL: optimistic committed {opt.committed} != "
                 f"sequential {seq.committed} on the smoke workload"
             )
+            return 1
+        if not _fault_hooks_overhead_ok():
             return 1
         print("smoke ok")
         return 0

@@ -186,6 +186,13 @@ class ConservativeKernel:
         #: once per scheduler round — the conservative analog of a GVT
         #: round.  Costs nothing when detached.
         self.metrics = None
+        #: Optional repro.faults.EngineFaults driver.  Conservative
+        #: execution has no transport layer to wrap, so only PE stalls
+        #: apply here: a stalled PE simply sits out scheduler rounds.
+        #: Deferral is harmless — events execute at the same virtual
+        #: times in the same per-PE order, so committed results are
+        #: unchanged (the stall only costs wall-clock rounds).
+        self.faults = None
         self._bootstrapping = True
         # Hard cap on scheduler rounds: clock creep advances at least one
         # lookahead per full round, so this bound is generous.
@@ -231,6 +238,12 @@ class ConservativeKernel:
     def attach_metrics(self, recorder) -> "ConservativeKernel":
         """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self."""
         self.metrics = recorder
+        return self
+
+    def attach_faults(self, driver) -> "ConservativeKernel":
+        """Attach a :class:`repro.faults.EngineFaults` driver; returns self."""
+        self.faults = driver
+        driver.install(self)
         return self
 
     def _sample_metrics(self, recorder) -> None:
@@ -294,6 +307,7 @@ class ConservativeKernel:
     def _run_yawns(self) -> None:
         end = self.cfg.end_time
         pes = self.pes
+        faults = self.faults
         overhead = self.cost.gvt_per_pe  # one barrier reduction per round
         while True:
             lbts = min(pe.next_ts() for pe in pes) + self.lookahead
@@ -302,6 +316,11 @@ class ConservativeKernel:
                 break
             round_busy = 0.0
             for pe in pes:
+                if faults is not None and faults.stalled(pe.id, self.rounds):
+                    # A stalled PE sits the round out; its pending events
+                    # keep LBTS honest, so peers never outrun it and the
+                    # deferred work runs (identically) once the stall ends.
+                    continue
                 pe.busy, before = 0.0, pe.busy
                 self._execute_below(pe, horizon)
                 round_cost = pe.busy
@@ -316,11 +335,19 @@ class ConservativeKernel:
         end = self.cfg.end_time
         pes = self.pes
         n_pes = self.cfg.n_pes
+        faults = self.faults
         limit = self.cfg.null_ratio_limit
         while True:
             progressed = False
             round_busy = 0.0
             for pe in pes:
+                if faults is not None and faults.stalled(pe.id, self.rounds):
+                    # Stalled PEs neither execute nor promise: a paused
+                    # processor sends nothing, including null messages.
+                    # Peers block on its (frozen) channel clock and catch
+                    # up when the window ends; windows are finite so the
+                    # round-cap guard below is never at risk in practice.
+                    continue
                 pe.busy, before = 0.0, pe.busy
                 horizon = min(pe.safe_horizon(n_pes), end)
                 if self._execute_below(pe, horizon):
@@ -385,6 +412,8 @@ class ConservativeKernel:
             if stats.makespan_seconds
             else 0.0
         )
+        if self.faults is not None:
+            stats.pe_stall_rounds = self.faults.stall_rounds
         result = RunResult(
             model_stats=self.model.collect_stats(self.lps),
             run=stats,
@@ -406,9 +435,12 @@ def run_conservative(
     config: ConservativeConfig,
     *,
     metrics=None,
+    faults=None,
 ) -> RunResult:
     """Convenience wrapper: build a conservative kernel, attach telemetry, run."""
     kernel = ConservativeKernel(model, config)
     if metrics is not None:
         kernel.attach_metrics(metrics)
+    if faults is not None:
+        kernel.attach_faults(faults)
     return kernel.run()

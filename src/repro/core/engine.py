@@ -91,6 +91,16 @@ class SequentialEngine:
         self.metrics = recorder
         return self
 
+    def attach_faults(self, driver) -> "SequentialEngine":
+        """Accept a :class:`repro.faults.EngineFaults` driver; returns self.
+
+        Engine faults (transport perturbation, PE stalls) have nothing to
+        act on here — one heap, no transport, no PEs — so this is a
+        documented no-op kept for API symmetry with the parallel engines.
+        Model faults reach the sequential engine through the model itself.
+        """
+        return self
+
     def _sample_metrics(self, recorder, now: float, processed: int) -> None:
         """Feed the recorder one sample (sequential: commit == execute)."""
         pool = self.pool

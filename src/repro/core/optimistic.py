@@ -324,6 +324,10 @@ class TimeWarpKernel:
         #: so attaching one keeps the fused fast paths installed and costs
         #: nothing when detached.
         self.metrics = None
+        #: Optional fault driver (see repro.faults.injector.EngineFaults).
+        #: Consulted once per PE per round when attached; when None (the
+        #: default) the run loop and fast paths are exactly as before.
+        self.faults = None
         #: Peak live-event counts, sampled at GVT boundaries (the memory
         #: footprint Time Warp is famous for; ROSS's fossil collection
         #: exists to bound exactly this).
@@ -576,6 +580,17 @@ class TimeWarpKernel:
         self.metrics = recorder
         return self
 
+    def attach_faults(self, driver) -> "TimeWarpKernel":
+        """Attach a :class:`repro.faults.injector.EngineFaults`; returns self.
+
+        Installing may wrap the transport (clearing ``_direct``, so the
+        fused fast paths are not compiled around the wrapper) and compile
+        PE-stall windows; must happen before :meth:`run`.
+        """
+        self.faults = driver
+        driver.install(self)
+        return self
+
     def _sample_metrics(self, recorder, gvt: float) -> None:
         """Feed the recorder the current cumulative counters (O(PEs+KPs))."""
         pes, kps = self.pes, self.kps
@@ -651,6 +666,7 @@ class TimeWarpKernel:
         )
         throttle = self.throttle
         metrics = self.metrics
+        faults = self.faults
         eff_batch = cfg.batch_size
         eff_window = cfg.window
         last_processed = 0
@@ -666,6 +682,13 @@ class TimeWarpKernel:
             for pe in pes:
                 pe.stats.round_busy = 0.0
             for pe in pes:
+                if faults is not None and faults.stalled(pe.id, rounds):
+                    # Straggler injection: this PE executes nothing this
+                    # round.  Safe at any point — Time Warp absorbs the
+                    # reordering, and GVT cannot pass the stalled PE's
+                    # pending events — and stall windows are finite, so
+                    # the run still terminates.
+                    continue
                 if pe.process_batch(self, eff_batch, limit):
                     any_work = True
             rounds += 1
@@ -746,6 +769,13 @@ class TimeWarpKernel:
         stats.per_pe_busy_seconds = [
             self.cost.seconds(pe.stats.busy) for pe in self.pes
         ]
+        if self.faults is not None:
+            ft = self.faults.transport
+            if ft is not None:
+                stats.transport_dropped = ft.dropped
+                stats.transport_duplicated = ft.duplicated
+                stats.transport_delayed = ft.delayed
+            stats.pe_stall_rounds = self.faults.stall_rounds
         stats.event_rate = (
             stats.committed / stats.makespan_seconds if stats.makespan_seconds else 0.0
         )
@@ -759,6 +789,7 @@ def run_optimistic(
     *,
     tracer=None,
     metrics=None,
+    faults=None,
 ) -> RunResult:
     """Convenience wrapper: build a kernel, attach telemetry, run it."""
     kernel = TimeWarpKernel(model, config)
@@ -766,4 +797,6 @@ def run_optimistic(
         kernel.attach_tracer(tracer)
     if metrics is not None:
         kernel.attach_metrics(metrics)
+    if faults is not None:
+        kernel.attach_faults(faults)
     return kernel.run()

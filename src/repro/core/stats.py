@@ -90,6 +90,13 @@ class RunStats:
     event_rate: float = 0.0
     #: Sum of per-PE busy time (for utilisation analysis).
     total_busy_seconds: float = 0.0
+    #: Fault-injection activity (all zero when no plan is attached; see
+    #: repro.faults).  Transport counters come from the FaultyTransport
+    #: wrapper, stall rounds from the EngineFaults driver.
+    transport_dropped: int = 0
+    transport_duplicated: int = 0
+    transport_delayed: int = 0
+    pe_stall_rounds: int = 0
     per_pe_busy_seconds: list[float] = field(default_factory=list)
 
     @property
@@ -132,5 +139,9 @@ class RunStats:
             "makespan_seconds": self.makespan_seconds,
             "event_rate": self.event_rate,
             "total_busy_seconds": self.total_busy_seconds,
+            "transport_dropped": self.transport_dropped,
+            "transport_duplicated": self.transport_duplicated,
+            "transport_delayed": self.transport_delayed,
+            "pe_stall_rounds": self.pe_stall_rounds,
         }
         return d

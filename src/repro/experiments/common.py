@@ -73,12 +73,22 @@ class SweepParams:
     #: single-seed methodology; more adds Student-t confidence intervals).
     replications: int = 1
     seed: int = 0x5EED
+    #: Link-failure fractions swept by the resilience experiment (0.0 is
+    #: the unfaulted baseline row).
+    fault_rates: tuple[float, ...] = (0.0, 0.05, 0.10, 0.20)
+    #: Explicit FaultPlan JSON file; when set, the resilience experiment
+    #: runs that single plan instead of sweeping ``fault_rates``.
+    fault_plan: str | None = None
+    #: Seed for rate-generated fault plans (None = repro.faults default).
+    fault_seed: int | None = None
 
     def __post_init__(self) -> None:
         if not self.sizes:
             raise ValueError("at least one network size required")
         if self.replications < 1:
             raise ValueError("replications must be >= 1")
+        if any(not 0.0 <= r <= 1.0 for r in self.fault_rates):
+            raise ValueError("fault_rates must be fractions in [0, 1]")
 
     def seeds(self) -> tuple[int, ...]:
         """The independent seeds used for replicated data points."""

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig6_efficiency,
     fig7_kp_rollbacks,
     fig8_kp_eventrate,
+    resilience,
     static_analysis,
     topology_compare,
     warmup,
@@ -80,6 +81,10 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[SweepParams], Table]]] = {
     "abl-sync": (
         "Ablation: Time Warp vs conservative (YAWNS / null-message)",
         ablation_sync.run,
+    ),
+    "resilience": (
+        "Resilience: delivery degradation under injected link/router faults",
+        resilience.run,
     ),
     "static": (
         "Static (one-shot) analysis: drain a full network, Das et al. [2]",

@@ -110,6 +110,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-run GVT-interval metrics to DIR/<run>.jsonl "
         "(inspect with python -m repro.obs)",
     )
+    parser.add_argument(
+        "--fault-rates",
+        type=_float_tuple,
+        default=(0.0, 0.05, 0.10, 0.20),
+        help="link-failure fractions for the resilience sweep "
+        "(default: 0,0.05,0.1,0.2)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        help="run the resilience experiment against this FaultPlan JSON "
+        "instead of sweeping --fault-rates",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for rate-generated fault plans (default: repro.faults default)",
+    )
     return parser
 
 
@@ -130,6 +150,9 @@ def main(argv: list[str] | None = None) -> int:
         batch_size=args.batch,
         replications=args.replications,
         seed=args.seed,
+        fault_rates=args.fault_rates,
+        fault_plan=args.fault_plan,
+        fault_seed=args.fault_seed,
     )
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)

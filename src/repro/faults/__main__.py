@@ -1,0 +1,228 @@
+"""Fault-plan authoring CLI: generate, validate and inspect plans.
+
+Examples
+--------
+Generate a plan for an 8×8 torus — 10% of links fail (healing 20 steps
+later), plus mild transport chaos — and write it to a file::
+
+    python -m repro.faults generate --n 8 --duration 60 \\
+        --link-rate 0.1 --heal-after 20 --drop 0.01 --delay 0.02 \\
+        --seed 7 -o plan.json
+
+Validate a plan against a topology size::
+
+    python -m repro.faults validate plan.json --n 8
+
+Pretty-print what a plan will do::
+
+    python -m repro.faults show plan.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.faults.plan import (
+    CRASH,
+    LINK_DOWN,
+    LINK_UP,
+    RECOVER,
+    FaultPlanError,
+    PEStall,
+    generate_plan,
+    load_plan,
+)
+from repro.net import Direction, MeshTopology, TorusTopology
+
+
+def _parse_stall(text: str) -> PEStall:
+    try:
+        pe, start, rounds = (int(part) for part in text.split(":"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"stall must be PE:START_ROUND:ROUNDS, got {text!r}"
+        ) from None
+    return PEStall(pe=pe, start_round=start, rounds=rounds)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Author, validate and inspect deterministic fault plans.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser(
+        "generate", help="expand failure rates into a concrete timed plan"
+    )
+    gen.add_argument("--n", type=int, default=8, help="grid size (N×N)")
+    gen.add_argument(
+        "--mesh", action="store_true", help="use a mesh instead of a torus"
+    )
+    gen.add_argument(
+        "--duration", type=float, default=60.0, help="run duration in steps"
+    )
+    gen.add_argument(
+        "--link-rate", type=float, default=0.0,
+        help="per-link failure probability",
+    )
+    gen.add_argument(
+        "--heal-after", type=int, default=None,
+        help="steps until a failed link heals (default: permanent)",
+    )
+    gen.add_argument(
+        "--router-rate", type=float, default=0.0,
+        help="per-router crash probability",
+    )
+    gen.add_argument(
+        "--recover-after", type=int, default=None,
+        help="steps until a crashed router recovers (default: permanent)",
+    )
+    gen.add_argument(
+        "--drop", type=float, default=0.0,
+        help="cross-PE message drop (retransmit) probability",
+    )
+    gen.add_argument(
+        "--dup", type=float, default=0.0,
+        help="cross-PE message duplication probability",
+    )
+    gen.add_argument(
+        "--delay", type=float, default=0.0,
+        help="cross-PE message delay probability",
+    )
+    gen.add_argument(
+        "--delay-rounds", type=int, default=3,
+        help="scheduler rounds a delayed message is held",
+    )
+    gen.add_argument(
+        "--stall", type=_parse_stall, action="append", default=[],
+        metavar="PE:START:ROUNDS", help="stall a PE for a round window",
+    )
+    gen.add_argument("--seed", type=lambda s: int(s, 0), default=0xFA117)
+    gen.add_argument(
+        "-o", "--output", default=None,
+        help="write the plan here (default: stdout)",
+    )
+
+    val = sub.add_parser("validate", help="check a plan file for consistency")
+    val.add_argument("plan", help="plan JSON file")
+    val.add_argument(
+        "--n", type=int, default=None,
+        help="grid size to range-check node ids against",
+    )
+    val.add_argument(
+        "--mesh", action="store_true",
+        help="also compile against an N×N mesh (checks link existence)",
+    )
+
+    show = sub.add_parser("show", help="pretty-print what a plan will do")
+    show.add_argument("plan", help="plan JSON file")
+    return parser
+
+
+_KIND_LABEL = {
+    LINK_DOWN: "link down",
+    LINK_UP: "link up",
+    CRASH: "router crash",
+    RECOVER: "router recover",
+}
+
+
+def _cmd_generate(args) -> int:
+    topo = (MeshTopology if args.mesh else TorusTopology)(args.n)
+    plan = generate_plan(
+        topo,
+        duration=args.duration,
+        link_fail_rate=args.link_rate,
+        heal_after=args.heal_after,
+        router_crash_rate=args.router_rate,
+        recover_after=args.recover_after,
+        drop_rate=args.drop,
+        dup_rate=args.dup,
+        delay_rate=args.delay,
+        delay_rounds=args.delay_rounds,
+        stalls=args.stall,
+        seed=args.seed,
+    )
+    if args.output:
+        plan.dump(args.output)
+        n_links = sum(1 for e in plan.events if e.kind in (LINK_DOWN,))
+        print(
+            f"wrote {args.output}: {len(plan.events)} fault events "
+            f"({n_links} link failures), seed {plan.seed:#x}"
+        )
+    else:
+        sys.stdout.write(plan.to_json())
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    try:
+        plan = load_plan(args.plan)
+        num_nodes = args.n * args.n if args.n else None
+        plan.validate(num_nodes=num_nodes)
+        if args.n:
+            from repro.faults.views import compile_node_views, static_failed_links
+
+            topo_cls = MeshTopology if args.mesh else TorusTopology
+            static = static_failed_links(plan)
+            topo = topo_cls(args.n, failed_links=static)
+            compile_node_views(plan, topo)
+    except (FaultPlanError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(plan.events)} fault events, "
+        f"rates drop={plan.drop_rate} dup={plan.dup_rate} "
+        f"delay={plan.delay_rate}, {len(plan.stalls)} stall windows"
+    )
+    return 0
+
+
+def _cmd_show(args) -> int:
+    try:
+        plan = load_plan(args.plan)
+        plan.validate()
+    except (FaultPlanError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"fault plan {args.plan} (seed {plan.seed:#x})")
+    if plan.events:
+        print(f"  {len(plan.events)} timed fault events:")
+        for ev in sorted(plan.events, key=lambda e: (e.step, e.node)):
+            where = f"router {ev.node}"
+            if ev.direction >= 0:
+                where += f" {Direction(ev.direction).name}"
+            print(f"    step {ev.step:>5}: {_KIND_LABEL[ev.kind]:<14} {where}")
+    else:
+        print("  no timed fault events")
+    if plan.has_transport_faults:
+        print(
+            f"  transport: drop={plan.drop_rate} dup={plan.dup_rate} "
+            f"delay={plan.delay_rate} (held {plan.delay_rounds} rounds)"
+        )
+    else:
+        print("  transport: no faults")
+    if plan.stalls:
+        for st in plan.stalls:
+            print(
+                f"  stall: PE {st.pe} skips rounds "
+                f"[{st.start_round}, {st.start_round + st.rounds})"
+            )
+    else:
+        print("  stalls: none")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    return _cmd_show(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

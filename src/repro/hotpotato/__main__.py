@@ -12,6 +12,8 @@ Examples::
     python -m repro.hotpotato --n 8 --no-absorb-sleeping --validate
     python -m repro.hotpotato --n 8 --processors 4 --metrics-out run.jsonl \
         --trace-out run.jsonl        # then: python -m repro.obs timeline run.jsonl
+    python -m repro.hotpotato --n 8 --fault-rate 10 --validate
+    python -m repro.hotpotato --n 8 --fault-plan plan.json --processors 4
 """
 
 from __future__ import annotations
@@ -77,13 +79,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the full event-lifecycle trace to this JSONL file; "
         "may equal --metrics-out to combine both streams in one recording",
     )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        help="inject faults from this JSON FaultPlan "
+        "(author one with python -m repro.faults generate)",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="quick fault mode: fail this percent of links permanently "
+        "(generated deterministically from --fault-seed; ignored when "
+        "--fault-plan is given)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for --fault-rate plan generation (default: repro.faults default)",
+    )
     return parser
+
+
+def _resolve_fault_plan(args, cfg: HotPotatoConfig):
+    """Build the FaultPlan the flags ask for, or None."""
+    if args.fault_plan:
+        from repro.faults import load_plan
+
+        return load_plan(args.fault_plan)
+    if args.fault_rate:
+        from repro.faults import DEFAULT_FAULT_SEED, generate_plan
+        from repro.net import MeshTopology, TorusTopology
+
+        topo_cls = TorusTopology if cfg.torus else MeshTopology
+        return generate_plan(
+            topo_cls(cfg.n),
+            duration=cfg.duration,
+            link_fail_rate=args.fault_rate / 100.0,
+            seed=args.fault_seed if args.fault_seed is not None else DEFAULT_FAULT_SEED,
+        )
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if not 0.0 <= args.probability_i <= 100.0:
         print("--probability-i must be within [0, 100]")
+        return 2
+    if not 0.0 <= args.fault_rate <= 100.0:
+        print("--fault-rate must be within [0, 100]")
         return 2
     cfg = HotPotatoConfig(
         n=args.n,
@@ -92,7 +138,12 @@ def main(argv: list[str] | None = None) -> int:
         absorb_sleeping=not args.no_absorb_sleeping,
         torus=not args.mesh,
     )
-    sim = HotPotatoSimulation(cfg, seed=args.seed)
+    try:
+        fault_plan = _resolve_fault_plan(args, cfg)
+    except Exception as exc:  # bad plan file / invalid plan
+        print(f"fault plan error: {exc}", file=sys.stderr)
+        return 2
+    sim = HotPotatoSimulation(cfg, seed=args.seed, fault_plan=fault_plan)
     engine = "sequential" if args.processors <= 1 else "optimistic"
     capture = RunCapture(
         metrics_out=args.metrics_out,
@@ -106,6 +157,7 @@ def main(argv: list[str] | None = None) -> int:
             "seed": args.seed,
             "processors": args.processors,
         },
+        fault_plan=fault_plan,
     )
     if args.processors <= 1:
         result = sim.run(tracer=capture.tracer, metrics=capture.metrics)
@@ -137,6 +189,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  avg wait to inject : {ms['avg_inject_wait']:.3f} steps")
     print(f"  max wait to inject : {ms['max_inject_wait']} steps")
     print(f"  deflection rate    : {100 * ms['deflection_rate']:.2f}%")
+    if fault_plan is not None:
+        print(f"  fault events       : {ms.get('fault_events', 0):,} "
+              f"({ms.get('failed_links', 0)} links statically failed)")
+        print(f"  dropped at faults  : {ms.get('fault_dropped', 0):,} "
+              f"(crash {ms.get('fault_dropped_crash', 0):,}, "
+              f"no-link {ms.get('fault_dropped_no_link', 0):,})")
+        print(f"  fault deflections  : {ms.get('fault_deflections', 0):,}")
+        if fault_plan.has_transport_faults or fault_plan.has_stalls:
+            print(f"  transport faults   : {run.transport_dropped:,} dropped, "
+                  f"{run.transport_duplicated:,} duplicated, "
+                  f"{run.transport_delayed:,} delayed; "
+                  f"{run.pe_stall_rounds:,} PE stall rounds")
 
     if args.validate:
         other = (

@@ -50,12 +50,29 @@ class HotPotatoModel(Model):
         self,
         cfg: HotPotatoConfig | None = None,
         policy: RoutingPolicy | None = None,
+        fault_plan=None,
     ) -> None:
         self.cfg = cfg if cfg is not None else HotPotatoConfig()
         self.policy = policy if policy is not None else BuschHotPotatoPolicy()
-        self.topo: GridTopology = (
-            TorusTopology(self.cfg.n) if self.cfg.torus else MeshTopology(self.cfg.n)
-        )
+        #: Optional repro.faults.FaultPlan; its *model* faults (link and
+        #: router schedules) are compiled here so every engine — including
+        #: the sequential oracle — sees the identical fault timeline.
+        self.fault_plan = fault_plan
+        failed: tuple = ()
+        self._fault_views: dict = {}
+        if fault_plan is not None and fault_plan.has_model_faults:
+            from repro.faults.views import compile_node_views, static_failed_links
+
+            fault_plan.validate(num_nodes=self.cfg.num_routers)
+            # Links dead from step 0 that never heal are boot-time
+            # knowledge: bake them into the topology so route_info plans
+            # around them; everything time-varying stays in the per-node
+            # views and is handled by local deflection.
+            failed = static_failed_links(fault_plan)
+        topo_cls = TorusTopology if self.cfg.torus else MeshTopology
+        self.topo: GridTopology = topo_cls(self.cfg.n, failed_links=failed)
+        if fault_plan is not None and fault_plan.has_model_faults:
+            self._fault_views = compile_node_views(fault_plan, self.topo)
         #: Grid shape consumed by the block LP/KP/PE mapping.
         self.grid = (self.cfg.n, self.cfg.n)
         #: Declared lookahead for conservative execution (see router.py).
@@ -68,14 +85,24 @@ class HotPotatoModel(Model):
 
     def build(self) -> list[LogicalProcess]:
         log = self.delivery_log if self.cfg.delivery_log else None
-        return [
+        lps = [
             RouterLP(i, self.cfg, self.topo, self.policy, self.injectors[i], log)
             for i in range(self.cfg.num_routers)
         ]
+        views = self._fault_views
+        if views:
+            for i, faults in views.items():
+                lps[i].faults = faults
+        return lps
 
     def collect_stats(self, lps: list[LogicalProcess]) -> dict[str, Any]:
         stats = aggregate_router_stats(lps)
         stats["policy"] = self.policy.name
         stats["n"] = self.cfg.n
         stats["injectors"] = sum(self.injectors)
+        if self.fault_plan is not None:
+            # Physical links statically failed (each is masked at both
+            # endpoints, hence the halving).
+            stats["failed_links"] = len(self.topo.failed_links) // 2
+            stats["fault_events"] = len(self.fault_plan.events)
         return stats

@@ -19,6 +19,16 @@ The hot-potato rules implemented by :class:`BuschHotPotatoPolicy`:
 
 All probability draws go through the LP's reversible RNG stream, so the
 Time Warp kernel can undo them.
+
+Fault injection (:mod:`repro.faults`) never reaches this layer directly:
+the router intersects the contention free-mask with its
+:class:`~repro.faults.NodeFaults` link mask *before* calling the policy,
+so policies only ever see links that are both uncontended and alive — and
+are never called with an all-``False`` mask (the router drops the packet
+and counts it first).  A fault-masked good direction shows up here simply
+as "not free", which the deflection rules already handle; that is the
+whole fault-tolerance story at this layer, and why the policies needed no
+changes to support it.
 """
 
 from __future__ import annotations

@@ -86,6 +86,7 @@ class RouterLP(LogicalProcess):
         "head_gen_step",
         "stats",
         "delivery_log",
+        "faults",
     )
 
     def __init__(
@@ -116,6 +117,14 @@ class RouterLP(LogicalProcess):
         #: generated per step from step 0.
         self.head_gen_step = 0
         self.stats = RouterStats()
+        #: Compiled fault view (repro.faults.views.NodeFaults) or None.
+        #: The model attaches one only to routers its fault plan touches,
+        #: so the ``faults is None`` fast paths below are the common case
+        #: and a faults-off run executes exactly the pre-fault code.
+        #: Fault decisions are pure functions of ``(plan, step)``, which
+        #: keeps them identical across engines and across Time Warp
+        #: re-executions of the same event.
+        self.faults = None
 
     # ------------------------------------------------------------------
     # Startup.
@@ -225,9 +234,13 @@ class RouterLP(LogicalProcess):
     def _init_fill(self, event: Event) -> None:
         cfg = self.cfg
         seeded: list[int] = []
-        if cfg.initial_fill > 0.0:
+        flt = self.faults
+        alive = flt is None or not flt.crashed(0)
+        if cfg.initial_fill > 0.0 and alive:
             for d in DIRECTIONS:
                 if not self.exists[d]:
+                    continue
+                if flt is not None and not flt.usable(d, 0):
                     continue
                 if cfg.initial_fill < 1.0 and not self.rng.bernoulli(cfg.initial_fill):
                     continue
@@ -266,6 +279,15 @@ class RouterLP(LogicalProcess):
     def _arrive(self, event: Event) -> None:
         data = event.data
         step: int = data["step"]
+        flt = self.faults
+        if flt is not None and flt.crashed(step):
+            # The router is dead this step: the packet is lost (even at
+            # its destination — nobody is home to absorb it).  The crash
+            # predicate depends only on the step, so every re-execution
+            # of this event takes this same branch.
+            self.stats.fault_dropped_crash += 1
+            event.saved["fdrop"] = True
+            return
         priority = data["priority"]
         if data["dest"] == self.id and (
             priority != Priority.SLEEPING or self.cfg.absorb_sleeping
@@ -296,6 +318,9 @@ class RouterLP(LogicalProcess):
         event.saved.pop("absorb", None)
 
     def _rc_arrive(self, event: Event) -> None:
+        if self.faults is not None and event.saved.pop("fdrop", None):
+            self.stats.fault_dropped_crash -= 1
+            return
         prev_max = event.saved.pop("absorb", None)
         if prev_max is None:
             return  # only sent a ROUTE event; the kernel cancels it
@@ -315,6 +340,23 @@ class RouterLP(LogicalProcess):
         data = event.data
         step: int = data["step"]
         free = self._free_mask(step)
+        flt = self.faults
+        base = free
+        if flt is not None:
+            free = flt.mask(free, step)
+            if not any(free):
+                # Every surviving output link is faulted (or claimed):
+                # a bufferless router cannot hold the packet, so it is
+                # lost.  In a committed timeline this occurs exactly when
+                # faults locally exceed the healthy-grid invariant of
+                # "arrivals <= free links"; transient contention-only
+                # versions of this state (lazy cancellation) take the
+                # same branch and are always rolled back.
+                st = self.stats
+                st.fault_dropped_no_link += 1
+                event.saved["fdrop"] = True
+                return
+            event.saved.pop("fdrop", None)
         if not any(free):
             # More packets than output links.  In a committed timeline this
             # is impossible (the bufferless invariant); it CAN be observed
@@ -369,6 +411,13 @@ class RouterLP(LogicalProcess):
             st.demotions += 1
         if off_turn:
             st.running_deflections_off_turn += 1
+        if flt is not None and out.deflected:
+            # Attribute the deflection to the faults when some good
+            # direction was contention-free but fault-masked.
+            good = self.topo.route_info(self.id, data["dest"])[0]
+            if any(base[g] and not free[g] for g in good):
+                st.fault_deflections += 1
+                event.saved["fdefl"] = True
         fields = dict(data)
         fields["step"] = step + 1
         fields["priority"] = int(out.new_priority)
@@ -377,10 +426,16 @@ class RouterLP(LogicalProcess):
         self.send(step + 1 + fields["jitter"], self.neighbors[d], ARRIVE, fields)
 
     def _rc_route(self, event: Event) -> None:
+        st = self.stats
+        if self.faults is not None:
+            if event.saved.pop("fdrop", None):
+                st.fault_dropped_no_link -= 1
+                return
+            if event.saved.pop("fdefl", None):
+                st.fault_deflections -= 1
         d, prev_claim, deflected, upgraded, demoted, off_turn, priority = event.saved[
             "route"
         ]
-        st = self.stats
         self.links[d] = prev_claim
         st.routes -= 1
         if event.saved.pop("overflow", None):
@@ -409,11 +464,20 @@ class RouterLP(LogicalProcess):
         # The application generates one packet per step from step 0; the
         # queue head's generation step doubles as the injected count.
         self.send(step + 1 + INJECT_OFFSET, self.id, INJECT, {"step": step + 1})
+        flt = self.faults
+        if flt is not None and flt.crashed(step):
+            # A crashed router injects nothing; generation continues (the
+            # application is still producing), so the backlog drains
+            # through the normal wait-time machinery after recovery.
+            event.saved["inject"] = None
+            return
         pending = (step + 1) - self.head_gen_step
         if pending <= 0:
             event.saved["inject"] = None
             return
         free = self._free_mask(step)
+        if flt is not None:
+            free = flt.mask(free, step)
         if not any(free):
             # "a packet can only be injected when there is a free link at
             # that router" (§4.1) — blocked this step.

@@ -33,14 +33,29 @@ class HotPotatoSimulation:
         policy: RoutingPolicy | None = None,
         *,
         seed: int = 0x5EED,
+        fault_plan=None,
     ) -> None:
         self.cfg = cfg if cfg is not None else HotPotatoConfig()
         self.policy = policy
         self.seed = seed
+        #: Optional repro.faults.FaultPlan applied to every run started
+        #: from this facade.  Model faults are compiled into the model
+        #: (all engines see them identically); transport faults and PE
+        #: stalls additionally perturb the parallel engines' scheduling
+        #: without changing committed results.
+        self.fault_plan = fault_plan
 
     def _model(self) -> HotPotatoModel:
         # A fresh model per run: LP state is single-use.
-        return HotPotatoModel(self.cfg, self.policy)
+        return HotPotatoModel(self.cfg, self.policy, fault_plan=self.fault_plan)
+
+    def _engine_faults(self):
+        plan = self.fault_plan
+        if plan is None or not plan.has_engine_faults:
+            return None
+        from repro.faults.injector import EngineFaults
+
+        return EngineFaults(plan)
 
     def run(self, *, tracer=None, metrics=None) -> RunResult:
         """Run on the sequential oracle engine (optionally instrumented)."""
@@ -81,7 +96,13 @@ class HotPotatoSimulation:
                 seed=self.seed,
                 **overrides,
             )
-        return run_optimistic(self._model(), ecfg, tracer=tracer, metrics=metrics)
+        return run_optimistic(
+            self._model(),
+            ecfg,
+            tracer=tracer,
+            metrics=metrics,
+            faults=self._engine_faults(),
+        )
 
     def validate_determinism(self, n_pes: int = 4, n_kps: int = 16) -> bool:
         """The report's Attachment-3 check: parallel results == sequential."""

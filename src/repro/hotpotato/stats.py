@@ -42,6 +42,9 @@ class RouterStats:
         "running_deflections_off_turn",
         "util_claimed",
         "util_samples",
+        "fault_dropped_crash",
+        "fault_dropped_no_link",
+        "fault_deflections",
     )
 
     def __init__(self) -> None:
@@ -82,6 +85,14 @@ class RouterStats:
         #: HEARTBEAT link-utilisation sampling (claimed links / sampled).
         self.util_claimed = 0
         self.util_samples = 0
+        #: Packets lost because they arrived at a crashed router.
+        self.fault_dropped_crash = 0
+        #: Packets lost because every surviving output link was faulted
+        #: (bufferless routers cannot hold a packet a whole step).
+        self.fault_dropped_no_link = 0
+        #: Deflections a healthy mask would not have caused: some good
+        #: direction was contention-free but fault-masked.
+        self.fault_deflections = 0
 
     # ------------------------------------------------------------------
     def copy(self) -> "RouterStats":
@@ -132,6 +143,9 @@ def aggregate_router_stats(routers: list) -> dict[str, Any]:
         totals.running_deflections_off_turn += s.running_deflections_off_turn
         totals.util_claimed += s.util_claimed
         totals.util_samples += s.util_samples
+        totals.fault_dropped_crash += s.fault_dropped_crash
+        totals.fault_dropped_no_link += s.fault_dropped_no_link
+        totals.fault_deflections += s.fault_deflections
         per_router.append(s.signature())
 
     delivered = totals.delivered
@@ -163,6 +177,10 @@ def aggregate_router_stats(routers: list) -> dict[str, Any]:
         "link_utilization": (
             totals.util_claimed / totals.util_samples if totals.util_samples else 0.0
         ),
+        "fault_dropped_crash": totals.fault_dropped_crash,
+        "fault_dropped_no_link": totals.fault_dropped_no_link,
+        "fault_dropped": totals.fault_dropped_crash + totals.fault_dropped_no_link,
+        "fault_deflections": totals.fault_deflections,
         # Full per-router fingerprint: one misplaced rollback anywhere in
         # the network makes this differ (the determinism tests rely on it).
         "per_router": tuple(per_router),

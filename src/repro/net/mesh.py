@@ -12,17 +12,29 @@ from __future__ import annotations
 
 from repro.errors import TopologyError
 from repro.net.directions import DIRECTIONS, Direction
+from repro.net.torus import _normalize_failed
 
 __all__ = ["MeshTopology"]
 
 
 class MeshTopology:
-    """A rows × cols mesh of routers; edge nodes have fewer usable links."""
+    """A rows × cols mesh of routers; edge nodes have fewer usable links.
+
+    ``failed_links`` marks boot-time-known permanent link failures, with
+    the same both-endpoint masking semantics as
+    :class:`~repro.net.torus.TorusTopology`.
+    """
 
     #: Mesh edges do not wrap; ``neighbor`` may return ``None``.
     wraps = False
 
-    def __init__(self, rows: int, cols: int | None = None) -> None:
+    def __init__(
+        self,
+        rows: int,
+        cols: int | None = None,
+        *,
+        failed_links=None,
+    ) -> None:
         if cols is None:
             cols = rows
         if rows < 2 or cols < 2:
@@ -33,6 +45,14 @@ class MeshTopology:
         self.cols = cols
         self.num_nodes = rows * cols
         self._route_cache: dict[int, tuple] = {}
+        self._failed: frozenset[tuple[int, int]] = frozenset()
+        if failed_links:
+            self._failed = _normalize_failed(self, failed_links)
+
+    @property
+    def failed_links(self) -> frozenset[tuple[int, int]]:
+        """Masked ``(node, direction)`` endpoint pairs (both ends listed)."""
+        return self._failed
 
     # ------------------------------------------------------------------
     def coords(self, node: int) -> tuple[int, int]:
@@ -47,8 +67,12 @@ class MeshTopology:
         return row * self.cols + col
 
     def neighbor(self, node: int, direction: Direction) -> int | None:
-        """Neighbor one hop away, or ``None`` when the hop leaves the grid."""
+        """Neighbor one hop away, or ``None`` when the hop leaves the grid
+
+        or crosses a failed link."""
         self._check(node)
+        if self._failed and (node, direction) in self._failed:
+            return None
         r, c = divmod(node, self.cols)
         dr, dc = direction.delta
         nr, nc = r + dr, c + dc
@@ -103,6 +127,8 @@ class MeshTopology:
             out.append(Direction.SOUTH)
         elif dr < sr:
             out.append(Direction.NORTH)
+        if self._failed:
+            out = [d for d in out if (src, d) not in self._failed]
         return tuple(out)
 
     def homerun_dir(self, src: int, dst: int) -> Direction | None:

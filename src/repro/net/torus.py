@@ -31,6 +31,15 @@ class TorusTopology:
         case).  Both must be at least 2 so every node has four distinct
         links... except that 2 is allowed even though opposite directions
         then reach the same neighbor, which the algorithm tolerates.
+    failed_links:
+        Optional iterable of ``(node, direction)`` pairs naming links
+        that are permanently out of service (failures known at network
+        boot; see :mod:`repro.faults`).  Each failure masks the link on
+        *both* endpoints: ``neighbor`` returns ``None`` across it and
+        good directions never point into it, so ``route_info`` plans
+        around the failure.  ``distance`` stays geometric — the paper's
+        potential-function arguments are about the healthy grid, and a
+        faulted network no longer guarantees them.
 
     Notes
     -----
@@ -44,7 +53,13 @@ class TorusTopology:
     #: can ever return ``None``.
     wraps = True
 
-    def __init__(self, rows: int, cols: int | None = None) -> None:
+    def __init__(
+        self,
+        rows: int,
+        cols: int | None = None,
+        *,
+        failed_links=None,
+    ) -> None:
         if cols is None:
             cols = rows
         if rows < 2 or cols < 2:
@@ -55,6 +70,14 @@ class TorusTopology:
         self.cols = cols
         self.num_nodes = rows * cols
         self._route_cache: dict[int, tuple] = {}
+        self._failed: frozenset[tuple[int, int]] = frozenset()
+        if failed_links:
+            self._failed = _normalize_failed(self, failed_links)
+
+    @property
+    def failed_links(self) -> frozenset[tuple[int, int]]:
+        """Masked ``(node, direction)`` endpoint pairs (both ends listed)."""
+        return self._failed
 
     # ------------------------------------------------------------------
     # Id / coordinate arithmetic.
@@ -68,9 +91,13 @@ class TorusTopology:
         """Node id of (row, col); coordinates are taken modulo the grid."""
         return (row % self.rows) * self.cols + (col % self.cols)
 
-    def neighbor(self, node: int, direction: Direction) -> int:
-        """The node one hop away in ``direction`` (always exists: wraps)."""
+    def neighbor(self, node: int, direction: Direction) -> int | None:
+        """The node one hop away, or ``None`` across a failed link.
+
+        On a healthy torus the hop always exists (wraparound)."""
         self._check(node)
+        if self._failed and (node, direction) in self._failed:
+            return None
         r, c = divmod(node, self.cols)
         dr, dc = direction.delta
         return ((r + dr) % self.rows) * self.cols + (c + dc) % self.cols
@@ -143,6 +170,8 @@ class TorusTopology:
                 out.append(Direction.NORTH)
         elif rd < 0:
             out.append(Direction.NORTH)
+        if self._failed:
+            out = [d for d in out if (src, d) not in self._failed]
         return tuple(out)
 
     def homerun_dir(self, src: int, dst: int) -> Direction | None:
@@ -210,6 +239,8 @@ class TorusTopology:
                     good.append(Direction.NORTH)
             elif rd < 0:
                 good.append(Direction.NORTH)
+            if self._failed:
+                good = [d for d in good if (src, d) not in self._failed]
             if cd > 0:
                 homerun: Direction | None = Direction.EAST
             elif cd < 0:
@@ -227,6 +258,34 @@ class TorusTopology:
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TorusTopology({self.rows}x{self.cols})"
+
+
+def _normalize_failed(topo, failed_links) -> frozenset:
+    """Normalise ``(node, direction)`` failures to both link endpoints.
+
+    Shared by torus and mesh; called from ``__init__`` before the mask is
+    installed, so ``topo.neighbor`` still sees the healthy grid.
+    """
+    failed: set[tuple[int, int]] = set()
+    for node, direction in failed_links:
+        try:
+            d = Direction(direction)
+        except ValueError:
+            raise TopologyError(
+                f"failed link ({node}, {direction!r}): direction must be 0..3"
+            ) from None
+        if not 0 <= node < topo.num_nodes:
+            raise TopologyError(
+                f"failed link names node {node}, out of range for {topo!r}"
+            )
+        peer = topo.neighbor(node, d)
+        if peer is None:
+            raise TopologyError(
+                f"failed link ({node}, {d.name}) does not exist in {topo!r}"
+            )
+        failed.add((node, int(d)))
+        failed.add((peer, int(d.opposite)))
+    return frozenset(failed)
 
 
 def _ring_delta(src: int, dst: int, size: int) -> int:

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro.obs summary  RUN.jsonl          # header + full RunStats
     python -m repro.obs timeline RUN.jsonl          # ASCII metric sparklines
     python -m repro.obs thrash   RUN.jsonl          # rollback hot spots/chains
+    python -m repro.obs faults   RUN.jsonl          # fault-injection forensics
     python -m repro.obs diff     A.jsonl B.jsonl    # determinism comparison
 
 ``diff`` exits 0 when the two recordings are equivalent (committed
@@ -52,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("thrash", help="rollback hot spots and chain forensics")
     p.add_argument("file", type=Path)
     p.add_argument("--top", type=int, default=10, help="rows per hot-spot table")
+
+    p = sub.add_parser("faults", help="fault-plan timeline and fault counters")
+    p.add_argument("file", type=Path)
+    p.add_argument("--top", type=int, default=10, help="rows in the node table")
 
     p = sub.add_parser("diff", help="compare two recordings for equivalence")
     p.add_argument("a", type=Path)
@@ -190,6 +195,60 @@ def cmd_thrash(rec: RunRecording, top: int) -> int:
 
 
 # ----------------------------------------------------------------------
+# faults
+# ----------------------------------------------------------------------
+#: Stats fields that carry fault-injection activity (model-side counters
+#: live in model stats, which recordings do not carry; these are the
+#: engine-side ones from RunStats).
+_FAULT_STAT_FIELDS = (
+    "transport_dropped",
+    "transport_duplicated",
+    "transport_delayed",
+    "pe_stall_rounds",
+)
+
+
+def cmd_faults(rec: RunRecording, top: int) -> int:
+    """Print the recorded fault-plan timeline and fault counters."""
+    header_keys = [
+        (k, v) for k, v in sorted(rec.header.items()) if k.startswith("fault_")
+    ]
+    stat_rows = []
+    if rec.stats is not None:
+        stat_rows = [
+            (k, rec.stats[k]) for k in _FAULT_STAT_FIELDS if rec.stats.get(k)
+        ]
+    if not rec.faults and not header_keys and not stat_rows:
+        print(f"{rec.path}: no fault activity recorded (unfaulted run)")
+        return 0
+    if header_keys:
+        print("fault plan (header):")
+        _print_kv_table(header_keys)
+    if rec.faults:
+        print(f"scheduled fault events ({len(rec.faults):,}):")
+        by_kind: dict[str, int] = {}
+        by_node: dict[int, int] = {}
+        for f in rec.faults:
+            by_kind[f.get("kind", "?")] = by_kind.get(f.get("kind", "?"), 0) + 1
+            node = f.get("node", -1)
+            by_node[node] = by_node.get(node, 0) + 1
+        _print_kv_table(sorted(by_kind.items()))
+        rows = sorted(by_node.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+        print(f"most-faulted nodes (top {len(rows)}):")
+        _print_kv_table([(f"node{n}", c) for n, c in rows])
+        for f in rec.faults[: min(top, len(rec.faults))]:
+            d = f.get("direction", -1)
+            where = f"node {f.get('node')}" + (f" dir {d}" if d >= 0 else "")
+            print(f"  step {f.get('step'):>6}  {f.get('kind'):<10} {where}")
+        if len(rec.faults) > top:
+            print(f"  ... {len(rec.faults) - top} more")
+    if stat_rows:
+        print("engine fault counters:")
+        _print_kv_table(stat_rows)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # diff
 # ----------------------------------------------------------------------
 def cmd_diff(a: RunRecording, b: RunRecording, strict: bool) -> int:
@@ -236,6 +295,8 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_summary(rec)
         if args.command == "timeline":
             return cmd_timeline(rec, args.metrics, args.height, args.width)
+        if args.command == "faults":
+            return cmd_faults(rec, args.top)
         return cmd_thrash(rec, args.top)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -41,6 +41,11 @@ class RunCapture:
     interval:
         Sequential-engine sampling period, in events (see
         :class:`~repro.obs.metrics.MetricsRecorder`).
+    fault_plan:
+        Optional :class:`repro.faults.FaultPlan`.  Its summary goes into
+        the header and every scheduled fault event is written as a
+        ``fault`` line up front, so forensics can line fault times up
+        against the committed trace without the plan file in hand.
     """
 
     def __init__(
@@ -50,8 +55,16 @@ class RunCapture:
         *,
         meta: Mapping | None = None,
         interval: int = 1024,
+        fault_plan=None,
     ) -> None:
         self.meta = dict(meta) if meta else {}
+        if fault_plan is not None:
+            self.meta.setdefault("fault_events", len(fault_plan.events))
+            self.meta.setdefault("fault_seed", fault_plan.seed)
+            if fault_plan.has_transport_faults:
+                self.meta.setdefault("fault_drop_rate", fault_plan.drop_rate)
+                self.meta.setdefault("fault_dup_rate", fault_plan.dup_rate)
+                self.meta.setdefault("fault_delay_rate", fault_plan.delay_rate)
         self._sinks: list[JsonlSink] = []
         metrics_sink = trace_sink = None
         if metrics_out is not None:
@@ -65,6 +78,9 @@ class RunCapture:
                 self._sinks.append(trace_sink)
         for sink in self._sinks:
             sink.write_header(self.meta)
+            if fault_plan is not None:
+                for fev in fault_plan.events:
+                    sink.write_fault(fev.to_dict())
         self.metrics = (
             MetricsRecorder(metrics_sink, keep=False, interval=interval)
             if metrics_sink is not None

@@ -135,6 +135,14 @@ ENGINE_DEPENDENT_FIELDS = frozenset(
         "makespan_seconds",
         "event_rate",
         "total_busy_seconds",
+        # Fault-injection accounting is engine-side work: transport
+        # perturbation counters and stall rounds vary with scheduling and
+        # exist only on the parallel engines, while committed results —
+        # the invariant — stay identical (see repro.faults).
+        "transport_dropped",
+        "transport_duplicated",
+        "transport_delayed",
+        "pe_stall_rounds",
     }
 )
 

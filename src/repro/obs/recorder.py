@@ -9,6 +9,10 @@ One recording file is a sequence of JSON lines, each tagged with a type:
   transition (see :class:`~repro.core.trace.TraceRecord`).
 * ``{"t": "metric", ...}`` — one GVT-interval
   :class:`~repro.obs.metrics.MetricSample`.
+* ``{"t": "fault", "step": ..., "kind": ..., "node": ..., "direction":
+  ...}`` — one scheduled fault-plan event (schema 2; see
+  :mod:`repro.faults`).  Written up front when a run carries a fault
+  plan, so forensics can line fault times up against the trace.
 * ``{"t": "stats", ...}`` — the final
   :class:`~repro.core.stats.RunStats`, written once at run end.
 
@@ -37,6 +41,7 @@ from repro.obs.metrics import MetricSample
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "JsonlSink",
     "StreamingTracer",
     "RunRecording",
@@ -44,8 +49,11 @@ __all__ = [
 ]
 
 #: Bump when a line type gains/loses/renames fields; the loader refuses
-#: files from a future schema rather than misreading them.
-SCHEMA_VERSION = 1
+#: files from a future schema rather than misreading them.  Version 2
+#: added the ``fault`` line type (purely additive — every schema-1 file
+#: is also a valid schema-2 file, so the loader accepts both).
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMAS = (1, 2)
 
 _COMPACT = {"separators": (",", ":"), "sort_keys": True}
 
@@ -102,6 +110,13 @@ class JsonlSink:
         self.write_header()
         doc = {"t": "metric"}
         doc.update(sample.as_dict())
+        self._write(doc)
+
+    def write_fault(self, fault_dict: Mapping) -> None:
+        """Write one scheduled fault event (a FaultEvent.to_dict())."""
+        self.write_header()
+        doc = {"t": "fault"}
+        doc.update(fault_dict)
         self._write(doc)
 
     def write_stats(self, stats_dict: Mapping) -> None:
@@ -177,12 +192,16 @@ class RunRecording:
         metrics: list[MetricSample],
         stats: dict | None,
         path: Path | None = None,
+        faults: list[dict] | None = None,
     ) -> None:
         self.header = header
         self.records = records
         self.metrics = metrics
         self.stats = stats
         self.path = path
+        #: Scheduled fault events ({"step", "kind", "node", "direction"}),
+        #: in plan order; empty for unfaulted runs and schema-1 files.
+        self.faults = faults if faults is not None else []
         self.counts = {EXEC: 0, UNDO: 0, COMMIT: 0}
         for r in records:
             self.counts[r.action] += 1
@@ -237,6 +256,7 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
     header: dict = {}
     records: list[TraceRecord] = []
     metrics: list[MetricSample] = []
+    faults: list[dict] = []
     stats: dict | None = None
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
@@ -256,10 +276,10 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             )
         if kind == "header":
             schema = doc.get("schema")
-            if schema != SCHEMA_VERSION:
+            if schema not in SUPPORTED_SCHEMAS:
                 raise ValueError(
-                    f"{path or '<stream>'}: schema {schema!r} is not the "
-                    f"supported version {SCHEMA_VERSION}"
+                    f"{path or '<stream>'}: schema {schema!r} is not a "
+                    f"supported version {SUPPORTED_SCHEMAS}"
                 )
             header = {k: v for k, v in doc.items() if k != "t"}
         elif kind == "trace":
@@ -275,6 +295,8 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             )
         elif kind == "metric":
             metrics.append(MetricSample.from_dict(doc))
+        elif kind == "fault":
+            faults.append({k: v for k, v in doc.items() if k != "t"})
         elif kind == "stats":
             stats = {k: v for k, v in doc.items() if k != "t"}
         else:
@@ -283,7 +305,7 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             )
     if not header:
         raise ValueError(f"{path or '<stream>'}: missing header line")
-    return RunRecording(header, records, metrics, stats, path)
+    return RunRecording(header, records, metrics, stats, path, faults)
 
 
 def load_recording(source: str | Path | IO[str]) -> RunRecording:

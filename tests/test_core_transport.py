@@ -81,3 +81,13 @@ def test_make_transport():
     assert isinstance(make_transport("mailbox", lambda e: None, 1), MailboxTransport)
     with pytest.raises(ValueError):
         make_transport("carrier-pigeon", lambda e: None, 1)
+
+
+def test_make_transport_error_names_choices():
+    # The error must be actionable: name the bad value and every valid one.
+    with pytest.raises(ValueError) as excinfo:
+        make_transport("carrier-pigeon", lambda e: None, 1)
+    message = str(excinfo.value)
+    assert "carrier-pigeon" in message
+    assert "immediate" in message
+    assert "mailbox" in message

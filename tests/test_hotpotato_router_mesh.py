@@ -1,0 +1,189 @@
+"""RouterLP on mesh boundaries: degree-2 corners and degree-3 edges.
+
+The torus harness in ``test_hotpotato_router.py`` only ever exercises
+degree-4 routers; on a mesh the boundary nodes have missing links, and
+every handler must treat a missing direction as permanently claimed —
+never seed it, never route onto it, never count it in utilisation.
+"""
+
+import pytest
+
+from repro.core.event import Event
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.packet import Priority
+from repro.hotpotato.policy import BuschHotPotatoPolicy
+from repro.hotpotato.router import ARRIVE, HEARTBEAT, INIT, INJECT, ROUTE, RouterLP
+from repro.net import Direction, MeshTopology
+from repro.rng.streams import ReversibleStream
+
+N_, E_, S_, W_ = (
+    int(Direction.NORTH),
+    int(Direction.EAST),
+    int(Direction.SOUTH),
+    int(Direction.WEST),
+)
+
+
+def make_lp(node, n=3, **cfg_kwargs):
+    cfg = HotPotatoConfig(n=n, torus=False, **cfg_kwargs)
+    topo = MeshTopology(n)
+    sends = []
+    lp = RouterLP(node, cfg, topo, BuschHotPotatoPolicy(), is_injector=True)
+    lp.bind(ReversibleStream(11, node), lambda src, ev: sends.append(ev))
+    return lp, sends, topo
+
+
+def state_of(lp):
+    return (
+        tuple(lp.links),
+        lp.head_gen_step,
+        lp.stats.signature(),
+        lp.rng.checkpoint(),
+        lp.send_seq,
+    )
+
+
+def execute(lp, kind, data, ts=1.0):
+    from repro.vt.time import EventKey
+
+    ev = Event(EventKey(ts, lp.id, 999), lp.id, kind, data)
+    ev.prev_send_seq = lp.send_seq
+    before = lp.rng.count
+    lp._now = ts
+    lp.forward(ev)
+    ev.rng_draws = lp.rng.count - before
+    return ev
+
+
+def undo(lp, ev):
+    lp.reverse(ev)
+    lp.rng.reverse(ev.rng_draws)
+    lp.send_seq = ev.prev_send_seq
+
+
+def packet_data(step, dest, priority=Priority.ACTIVE, inject_step=0, jitter=0.25, distance=1, src=0):
+    return {
+        "step": step,
+        "dest": dest,
+        "priority": int(priority),
+        "inject_step": inject_step,
+        "jitter": jitter,
+        "distance": distance,
+        "src": src,
+    }
+
+
+def test_corner_exists_mask_matches_degree():
+    lp, _, topo = make_lp(0)  # top-left corner of 3x3: E and S only
+    assert lp.exists == (False, True, True, False)
+    assert topo.degree(0) == 2
+    edge_lp, _, _ = make_lp(1)  # top edge: E, S, W
+    assert edge_lp.exists == (False, True, True, True)
+
+
+def test_corner_free_mask_never_reports_missing_links():
+    lp, _, _ = make_lp(0)
+    free = lp._free_mask(step=0)
+    assert free == (False, True, True, False)
+    lp.links[E_] = 0  # claimed this step
+    assert lp._free_mask(0) == (False, False, True, False)
+
+
+def test_init_seeds_only_existing_links():
+    lp, sends, topo = make_lp(0, initial_fill=1.0)
+    execute(lp, INIT, {}, ts=0.0)
+    # Full fill on a degree-2 corner seeds exactly two packets (plus the
+    # self-scheduled first INJECT), and they go to the real neighbors.
+    arrives = [ev for ev in sends if ev.kind == ARRIVE]
+    assert len(arrives) == 2
+    dsts = sorted(ev.dst for ev in arrives)
+    assert dsts == sorted(
+        topo.neighbor(0, d) for d in (Direction.EAST, Direction.SOUTH)
+    )
+
+
+def test_corner_route_only_good_dir_busy_deflects_onto_real_link():
+    # Corner 0 → dest 2 (same row): EAST is the only good direction.
+    # With EAST claimed, the bufferless router must deflect — and the
+    # only legal output is SOUTH, never a missing N/W link.
+    lp, sends, topo = make_lp(0)
+    assert topo.route_info(0, 2)[0] == (Direction.EAST,)
+    lp.links[E_] = 4  # claimed at this step
+    ev = execute(lp, ROUTE, packet_data(step=4, dest=2), ts=4.6)
+    (arrive,) = sends
+    assert arrive.dst == topo.neighbor(0, Direction.SOUTH)
+    assert lp.stats.deflections == 1
+    assert lp.stats.overflow_routes == 0
+    undo(lp, ev)
+    assert lp.stats.signature() == RouterLP(
+        0, lp.cfg, topo, BuschHotPotatoPolicy(), is_injector=True
+    ).stats.signature()
+
+
+def test_corner_route_reverse_restores_exactly():
+    lp, sends, topo = make_lp(0)
+    before = state_of(lp)
+    ev = execute(lp, ROUTE, packet_data(step=2, dest=8), ts=2.6)
+    assert sends  # routed somewhere real
+    assert sends[0].dst in (topo.neighbor(0, Direction.EAST), topo.neighbor(0, Direction.SOUTH))
+    undo(lp, ev)
+    assert state_of(lp) == before
+
+
+def test_corner_inject_blocked_when_both_links_claimed():
+    lp, sends, _ = make_lp(0)
+    lp.links[E_] = 3
+    lp.links[S_] = 3
+    before = state_of(lp)
+    ev = execute(lp, INJECT, {"step": 3}, ts=3.9)
+    assert lp.stats.inject_blocked == 1
+    assert lp.stats.injected == 0
+    # Only the self-rescheduled INJECT went out, no ARRIVE.
+    assert [e.kind for e in sends] == [INJECT]
+    undo(lp, ev)
+    assert state_of(lp) == before
+
+
+def test_corner_inject_uses_existing_link():
+    lp, sends, topo = make_lp(0)
+    ev = execute(lp, INJECT, {"step": 3}, ts=3.9)
+    assert lp.stats.injected == 1
+    arrives = [e for e in sends if e.kind == ARRIVE]
+    assert len(arrives) == 1
+    assert arrives[0].dst in (
+        topo.neighbor(0, Direction.EAST),
+        topo.neighbor(0, Direction.SOUTH),
+    )
+    undo(lp, ev)
+    assert lp.stats.injected == 0
+
+
+def test_heartbeat_samples_degree_not_four():
+    lp, _, _ = make_lp(0, heartbeat=True)
+    lp.links[E_] = 6
+    ev = execute(lp, HEARTBEAT, {"step": 6}, ts=6.95)
+    assert lp.stats.util_samples == 2  # degree-2 corner, not 4
+    assert lp.stats.util_claimed == 1
+    undo(lp, ev)
+    assert lp.stats.util_samples == 0 and lp.stats.util_claimed == 0
+
+
+def test_edge_node_routes_never_use_missing_north():
+    # Top-edge node 1 (degree 3, missing NORTH): hammer ROUTE with many
+    # destinations and claimed-link patterns; no ARRIVE may target a
+    # NORTH neighbor (there is none — send would hit the assert).
+    lp, sends, topo = make_lp(1)
+    for dest in (0, 2, 3, 5, 6, 7, 8):
+        for claimed in ((), (E_,), (W_,), (E_, W_), (S_,)):
+            sends.clear()
+            lp.links = [-1, -1, -1, -1]
+            for d in claimed:
+                lp.links[d] = 9
+            execute(lp, ROUTE, packet_data(step=9, dest=dest), ts=9.6)
+            (arrive,) = sends
+            legal = {
+                topo.neighbor(1, d)
+                for d in (Direction.EAST, Direction.SOUTH, Direction.WEST)
+            }
+            assert arrive.dst in legal
+    assert lp.stats.overflow_routes == 0
