@@ -31,6 +31,25 @@ from repro.bench.suites import SUITES
 #: the per-event path (which shows up as far more than 1.6x).
 FAULT_OVERHEAD_LIMIT = 1.6
 
+#: Checkpointing-off guard gate, same philosophy: an idle Checkpointer
+#: (attached, cadence too long to ever write) exercises every
+#: ``ckpt is not None`` branch the engines gained without touching disk,
+#: so it may not cost more than this multiple of the detached run.
+CKPT_OVERHEAD_LIMIT = 1.6
+
+#: Golden committed counts for the smoke workloads, pinned from the
+#: pre-checkpointing tree.  Checkpoint/paranoid/fault hooks live off the
+#: fused fast paths; if a detached-hook run commits anything else, event
+#: order (and therefore science) changed, not just speed.
+SMOKE_GOLDEN = {
+    "seq-phold": 584,
+    "cons-phold": 584,
+    "opt-phold": 584,
+    "seq-hotpotato": 1055,
+    "cons-hotpotato": 1055,
+    "opt-hotpotato": 1055,
+}
+
 
 def _fault_hooks_overhead_ok() -> bool:
     """Assert the fault hooks cost nothing measurable when no plan is set.
@@ -93,6 +112,95 @@ def _fault_hooks_overhead_ok() -> bool:
     return True
 
 
+def _ckpt_overhead_ok() -> bool:
+    """Assert checkpointing costs nothing measurable while detached.
+
+    Three opt-hotpotato smoke configurations:
+
+    * plain (best of 3) — the baseline;
+    * idle ``Checkpointer(every=2**30)`` attached (best of 3) — every
+      ``ckpt is not None`` branch runs, no snapshot is ever written;
+      must commit identically and take indistinguishable time;
+    * ``every=1`` in a temp dir (once, untimed) — must still commit
+      identically and actually write snapshots, proving the hook is
+      live and harmless rather than dead.
+    """
+    import tempfile
+    import time
+
+    from repro.bench.suites import BENCH_SEED, _hotpotato_cfg, _opt_hotpotato
+    from repro.ckpt import SNAPSHOT_SUFFIX, Checkpointer
+    from repro.core.config import EngineConfig
+    from repro.core.optimistic import run_optimistic
+    from repro.hotpotato.model import HotPotatoModel
+
+    def checkpointed(ckpt) -> "RunResult":
+        cfg = _hotpotato_cfg(True)
+        ecfg = EngineConfig(
+            end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64,
+            seed=BENCH_SEED,
+        )
+        return run_optimistic(HotPotatoModel(cfg), ecfg, checkpointer=ckpt)
+
+    def best(runner) -> tuple[float, int]:
+        elapsed, committed = float("inf"), -1
+        for _ in range(3):
+            start = time.perf_counter()
+            result = runner()
+            elapsed = min(elapsed, time.perf_counter() - start)
+            committed = result.run.committed
+        return elapsed, committed
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plain_s, plain_committed = best(lambda: _opt_hotpotato(True))
+        idle_s, idle_committed = best(
+            lambda: checkpointed(Checkpointer(f"{tmp}/idle", every=1 << 30))
+        )
+        hot = Checkpointer(f"{tmp}/hot", every=1)
+        hot_committed = checkpointed(hot).run.committed
+        snapshots = hot.written
+    ratio = idle_s / plain_s if plain_s else 1.0
+    print(
+        f"checkpoint overhead: plain {plain_s * 1e3:.1f}ms, "
+        f"idle-checkpointer {idle_s * 1e3:.1f}ms ({ratio:.2f}x); "
+        f"every=1 wrote {snapshots} snapshot(s)"
+    )
+    if idle_committed != plain_committed or hot_committed != plain_committed:
+        print(
+            f"FAIL: checkpointer changed committed count (plain "
+            f"{plain_committed}, idle {idle_committed}, every=1 {hot_committed})"
+        )
+        return False
+    if not snapshots:
+        print(f"FAIL: every=1 checkpointer wrote no {SNAPSHOT_SUFFIX} snapshot")
+        return False
+    if ratio > CKPT_OVERHEAD_LIMIT:
+        print(
+            f"FAIL: attached-but-idle checkpointer costs {ratio:.2f}x "
+            f"(limit {CKPT_OVERHEAD_LIMIT}x) — the boundary hook has crept "
+            "onto a hot path"
+        )
+        return False
+    return True
+
+
+def _smoke_golden_ok(by_name: dict) -> bool:
+    """Pin every smoke suite's committed count to the golden fixture."""
+    ok = True
+    for name, want in SMOKE_GOLDEN.items():
+        result = by_name.get(name)
+        if result is None:
+            continue  # suite filtered out with --suite
+        if result.committed != want:
+            print(
+                f"FAIL: {name} committed {result.committed} != golden {want} "
+                "(no-checkpoint runs must stay bit-identical to the "
+                "pre-checkpoint tree)"
+            )
+            ok = False
+    return ok
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench", description=__doc__
@@ -137,7 +245,56 @@ def main(argv: list[str] | None = None) -> int:
         help="record per-suite GVT-interval metrics to DIR/<suite>.jsonl "
         "via one extra untimed run each (inspect with python -m repro.obs)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="after the timed suites, run the headline opt-hotpotato "
+        "workload once untimed with a checkpointer writing snapshots to "
+        "DIR (inspect with python -m repro.ckpt info DIR)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="snapshot cadence in GVT boundaries for --checkpoint-dir "
+        "(default 4)",
+    )
     args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
+
+
+def _checkpointed_run(directory: Path, every: int, smoke: bool) -> None:
+    """One untimed checkpointed opt-hotpotato run writing into ``directory``."""
+    from repro.bench.suites import BENCH_SEED, _hotpotato_cfg
+    from repro.ckpt import Checkpointer
+    from repro.core.config import EngineConfig
+    from repro.core.optimistic import run_optimistic
+    from repro.hotpotato.model import HotPotatoModel
+
+    cfg = _hotpotato_cfg(smoke)
+    ecfg = EngineConfig(
+        end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64, seed=BENCH_SEED
+    )
+    ckpt = Checkpointer(
+        directory,
+        every=every,
+        marker={"suite": "opt-hotpotato", "smoke": smoke, "seed": BENCH_SEED},
+    )
+    result = run_optimistic(HotPotatoModel(cfg), ecfg, checkpointer=ckpt)
+    print(
+        f"checkpointed opt-hotpotato: {result.run.committed:,} committed, "
+        f"{ckpt.written} snapshot(s) in {directory}"
+    )
+
+
+def _run(args) -> int:
 
     if args.smoke:
         print("repro.bench --smoke (liveness + determinism, not a benchmark)")
@@ -154,8 +311,14 @@ def main(argv: list[str] | None = None) -> int:
                 f"sequential {seq.committed} on the smoke workload"
             )
             return 1
+        if not _smoke_golden_ok(by_name):
+            return 1
         if not _fault_hooks_overhead_ok():
             return 1
+        if not _ckpt_overhead_ok():
+            return 1
+        if args.checkpoint_dir is not None:
+            _checkpointed_run(args.checkpoint_dir, args.checkpoint_every, True)
         print("smoke ok")
         return 0
 
@@ -167,6 +330,8 @@ def main(argv: list[str] | None = None) -> int:
     results = run_suites(
         repeats=args.repeats, only=args.suites, telemetry_dir=args.telemetry_dir
     )
+    if args.checkpoint_dir is not None:
+        _checkpointed_run(args.checkpoint_dir, args.checkpoint_every, False)
 
     comparison: dict = {}
     regressions: list[str] = []

@@ -112,7 +112,14 @@ def run_suite(
                 "smoke": smoke,
             },
         )
-        telemetry_result = suite.run(smoke, metrics=capture.metrics)
+        try:
+            telemetry_result = suite.run(smoke, metrics=capture.metrics)
+        except KeyboardInterrupt:
+            # Flush and close the sink so the partial recording is
+            # loadable (the loader tolerates one torn trailing line, not
+            # an unterminated stream) before the CLI exits 130.
+            capture.finalize(None)
+            raise
         capture.finalize(telemetry_result)
         del telemetry_result.lps[:]
     run = result.run

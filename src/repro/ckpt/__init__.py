@@ -1,0 +1,32 @@
+"""Crash-safe checkpoint/restore for all three engines.
+
+See :mod:`repro.ckpt.snapshot` for the on-disk format,
+:mod:`repro.ckpt.state` for what is captured per engine, and
+:mod:`repro.ckpt.checkpoint` for the run-side driver.  ``python -m
+repro.ckpt`` offers ``info`` (inspect snapshots) and ``smoke`` (the
+kill/resume determinism check used by CI).
+"""
+
+from repro.ckpt.checkpoint import Checkpointer, deferred_interrupts
+from repro.ckpt.snapshot import (
+    SNAPSHOT_SUFFIX,
+    latest_snapshot,
+    list_snapshots,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.ckpt.state import capture_state, restore_state
+from repro.errors import SnapshotError
+
+__all__ = [
+    "Checkpointer",
+    "deferred_interrupts",
+    "SnapshotError",
+    "SNAPSHOT_SUFFIX",
+    "capture_state",
+    "restore_state",
+    "read_snapshot",
+    "write_snapshot",
+    "list_snapshots",
+    "latest_snapshot",
+]

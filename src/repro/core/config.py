@@ -75,6 +75,11 @@ class EngineConfig:
         choice, on by default.
     seed:
         Global seed from which every LP RNG stream is derived.
+    paranoid:
+        Run the opt-in invariant checks (:mod:`repro.core.invariants`)
+        at every GVT epoch: queue order, GVT monotonicity, processed
+        order, packet conservation.  O(live events) per epoch; off by
+        default, observationally invisible when on.
     cost:
         The virtual wall-clock :class:`~repro.core.costmodel.CostModel`.
     """
@@ -94,6 +99,7 @@ class EngineConfig:
     queue: str = "heap"
     pool: bool = True
     seed: int = 0x5EED
+    paranoid: bool = False
     cost: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:

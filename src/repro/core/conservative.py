@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 from repro.core.costmodel import CostModel
 from repro.core.event import Event, EventPool
+from repro.core.invariants import check_conservative
 from repro.core.lp import LogicalProcess, Model
 from repro.core.mapping import build_mapping
 from repro.core.queue import make_pending_queue
@@ -68,6 +69,9 @@ class ConservativeConfig:
         Safety valve for the null-message flavour: abort if null messages
         exceed this multiple of real events (a symptom of vanishing
         lookahead).
+    paranoid:
+        Run the opt-in invariant checks (:mod:`repro.core.invariants`)
+        each scheduler round; off by default.
     """
 
     end_time: float
@@ -79,6 +83,7 @@ class ConservativeConfig:
     pool: bool = True
     seed: int = 0x5EED
     null_ratio_limit: float = 100.0
+    paranoid: bool = False
     cost: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -193,6 +198,13 @@ class ConservativeKernel:
         #: times in the same per-PE order, so committed results are
         #: unchanged (the stall only costs wall-clock rounds).
         self.faults = None
+        #: Optional checkpointer (see repro.ckpt); consulted once per
+        #: scheduler round (the conservative boundary: every executed
+        #: event is already committed).
+        self.ckpt = None
+        #: Run-loop state grafted by a checkpoint restore; consumed (and
+        #: cleared) at the top of :meth:`run`.
+        self._resume = None
         self._bootstrapping = True
         # Hard cap on scheduler rounds: clock creep advances at least one
         # lookahead per full round, so this bound is generous.
@@ -246,6 +258,16 @@ class ConservativeKernel:
         driver.install(self)
         return self
 
+    def attach_checkpointer(self, ckpt) -> "ConservativeKernel":
+        """Attach a :class:`repro.ckpt.Checkpointer`; returns self.
+
+        Attach last, after any fault driver, so a loaded snapshot is
+        grafted onto the final object graph.
+        """
+        self.ckpt = ckpt
+        ckpt.bind(self)
+        return self
+
     def _sample_metrics(self, recorder) -> None:
         """Feed the recorder one per-round sample (commit == execute)."""
         pes = self.pes
@@ -297,7 +319,10 @@ class ConservativeKernel:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the model to the end barrier and collect statistics."""
-        self._bootstrap()
+        if self._resume is None:
+            self._bootstrap()
+        else:
+            self._resume = None
         if self.cfg.sync == "yawns":
             self._run_yawns()
         else:
@@ -308,6 +333,8 @@ class ConservativeKernel:
         end = self.cfg.end_time
         pes = self.pes
         faults = self.faults
+        ckpt = self.ckpt
+        paranoid = self.cfg.paranoid
         overhead = self.cost.gvt_per_pe  # one barrier reduction per round
         while True:
             lbts = min(pe.next_ts() for pe in pes) + self.lookahead
@@ -330,12 +357,18 @@ class ConservativeKernel:
             self.makespan_units += round_busy + overhead
             if self.metrics is not None:
                 self._sample_metrics(self.metrics)
+            if paranoid:
+                check_conservative(self)
+            if ckpt is not None:
+                ckpt.boundary(self)
 
     def _run_null_messages(self) -> None:
         end = self.cfg.end_time
         pes = self.pes
         n_pes = self.cfg.n_pes
         faults = self.faults
+        ckpt = self.ckpt
+        paranoid = self.cfg.paranoid
         limit = self.cfg.null_ratio_limit
         while True:
             progressed = False
@@ -373,6 +406,10 @@ class ConservativeKernel:
             self.rounds += 1
             if self.metrics is not None:
                 self._sample_metrics(self.metrics)
+            if paranoid:
+                check_conservative(self)
+            if ckpt is not None:
+                ckpt.boundary(self)
             if all(pe.next_ts() >= end for pe in pes):
                 break
             processed = sum(pe.processed for pe in pes)
@@ -436,6 +473,7 @@ def run_conservative(
     *,
     metrics=None,
     faults=None,
+    checkpointer=None,
 ) -> RunResult:
     """Convenience wrapper: build a conservative kernel, attach telemetry, run."""
     kernel = ConservativeKernel(model, config)
@@ -443,4 +481,6 @@ def run_conservative(
         kernel.attach_metrics(metrics)
     if faults is not None:
         kernel.attach_faults(faults)
+    if checkpointer is not None:
+        kernel.attach_checkpointer(checkpointer)
     return kernel.run()

@@ -42,12 +42,14 @@ class SequentialEngine:
         seed: int = 0x5EED,
         cost: CostModel | None = None,
         pool: bool = True,
+        paranoid: bool = False,
     ) -> None:
         if end_time <= 0:
             raise ConfigurationError(f"end_time must be positive, got {end_time}")
         self.model = model
         self.end_time = end_time
         self.seed = seed
+        self.paranoid = paranoid
         self.cost = cost if cost is not None else CostModel()
         #: Event recycling: a committed event is dead the moment its
         #: ``commit`` hook returns (sequential execution never rolls back),
@@ -73,6 +75,12 @@ class SequentialEngine:
         #: ``interval`` (in events) paces the samples; when detached the
         #: run loop is the exact allocation-free loop from before.
         self.metrics = None
+        #: Optional checkpointer (see repro.ckpt); consulted every
+        #: ``ckpt.seq_events`` commits, never per event.
+        self.ckpt = None
+        #: Run-loop state grafted by a checkpoint restore; consumed (and
+        #: cleared) at the top of :meth:`run`.
+        self._resume = None
         alloc = self.pool.acquire if self.pool is not None else Event
         for lp in self.lps:
             lp.bind(
@@ -89,6 +97,18 @@ class SequentialEngine:
     def attach_metrics(self, recorder) -> "SequentialEngine":
         """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self."""
         self.metrics = recorder
+        return self
+
+    def attach_checkpointer(self, ckpt) -> "SequentialEngine":
+        """Attach a :class:`repro.ckpt.Checkpointer`; returns self.
+
+        If the checkpointer holds a loaded snapshot (``load_latest``),
+        attaching grafts the captured state onto this engine — attach it
+        last, after any fault driver, so the graft sees the final
+        object graph.
+        """
+        self.ckpt = ckpt
+        ckpt.bind(self)
         return self
 
     def attach_faults(self, driver) -> "SequentialEngine":
@@ -123,9 +143,11 @@ class SequentialEngine:
 
     def run(self) -> RunResult:
         """Execute to the end barrier and collect statistics."""
-        for lp in self.lps:
-            lp._now = -1.0
-            lp.on_init()
+        resume = self._resume
+        if resume is None:
+            for lp in self.lps:
+                lp._now = -1.0
+                lp.on_init()
 
         lps = self.lps
         pop_below = self.pending.pop_below
@@ -133,8 +155,12 @@ class SequentialEngine:
         tracer = self.tracer
         release = self.pool.release if self.pool is not None else None
         metrics = self.metrics
+        ckpt = self.ckpt
         processed = 0
-        if metrics is None:
+        if resume is not None:
+            processed = resume["processed"]
+            self._resume = None
+        if metrics is None and ckpt is None and not self.paranoid:
             while True:
                 ev = pop_below(end)
                 if ev is None:
@@ -149,10 +175,11 @@ class SequentialEngine:
                     tracer.on_commit(ev)
                 if release is not None:
                     release(ev)
-        else:
+        elif ckpt is None and not self.paranoid:
             # Identical event-by-event behaviour, plus a metric sample
             # every ``metrics.interval`` events and one at the barrier.
-            next_sample = metrics.interval
+            interval = metrics.interval
+            next_sample = (processed // interval + 1) * interval
             while True:
                 ev = pop_below(end)
                 if ev is None:
@@ -169,9 +196,51 @@ class SequentialEngine:
                 if release is not None:
                     release(ev)
                 if processed >= next_sample:
-                    next_sample += metrics.interval
+                    next_sample += interval
                     self._sample_metrics(metrics, now, processed)
             self._sample_metrics(metrics, end, processed)
+        else:
+            # Checkpointing and/or paranoid checks: the metric loop plus
+            # a boundary every ``seq_events`` commits.  Boundary pacing
+            # is anchored to absolute commit counts so a resumed run
+            # hits the same boundaries as the uninterrupted one.
+            from repro.core.invariants import check_sequential
+
+            interval = metrics.interval if metrics is not None else 0
+            next_sample = (
+                (processed // interval + 1) * interval
+                if metrics is not None
+                else -1
+            )
+            bstep = ckpt.seq_events if ckpt is not None else 1024
+            next_boundary = (processed // bstep + 1) * bstep
+            paranoid = self.paranoid
+            while True:
+                ev = pop_below(end)
+                if ev is None:
+                    break
+                lp = lps[ev.dst]
+                now = ev.key.ts
+                lp._now = now
+                lp.forward(ev)
+                lp.commit(ev)
+                processed += 1
+                if tracer is not None:
+                    tracer.on_exec(ev)
+                    tracer.on_commit(ev)
+                if release is not None:
+                    release(ev)
+                if metrics is not None and processed >= next_sample:
+                    next_sample += interval
+                    self._sample_metrics(metrics, now, processed)
+                if processed >= next_boundary:
+                    next_boundary += bstep
+                    if paranoid:
+                        check_sequential(self, now)
+                    if ckpt is not None:
+                        ckpt.boundary(self, {"processed": processed})
+            if metrics is not None:
+                self._sample_metrics(metrics, end, processed)
 
         stats = RunStats(engine="sequential", n_pes=1, n_kps=1)
         stats.processed = processed
@@ -201,13 +270,19 @@ def run_sequential(
     seed: int = 0x5EED,
     cost: CostModel | None = None,
     pool: bool = True,
+    paranoid: bool = False,
     tracer=None,
     metrics=None,
+    checkpointer=None,
 ) -> RunResult:
     """Convenience wrapper: build a sequential engine, attach telemetry, run."""
-    engine = SequentialEngine(model, end_time, seed=seed, cost=cost, pool=pool)
+    engine = SequentialEngine(
+        model, end_time, seed=seed, cost=cost, pool=pool, paranoid=paranoid
+    )
     if tracer is not None:
         engine.attach_tracer(tracer)
     if metrics is not None:
         engine.attach_metrics(metrics)
+    if checkpointer is not None:
+        engine.attach_checkpointer(checkpointer)
     return engine.run()

@@ -152,6 +152,52 @@ class Event:
         self.entry = (key[0], key[1], key[2], _next_serial(), self)
         return self
 
+    # Checkpoint support ----------------------------------------------------
+    # Explicit pickle protocol: the heap entry holds a reference cycle
+    # (entry[4] is the event itself) and its serial is only meaningful
+    # relative to other events in the same snapshot, so we persist the
+    # serial number alone and rebuild the entry on load.  repro.ckpt
+    # re-stamps restored events with fresh process-local serials in old
+    # serial order, preserving every tie-break (see ckpt/state.py).
+    def __getstate__(self):
+        return (
+            self.key,
+            self.dst,
+            self.kind,
+            self.data,
+            self.saved,
+            self.sent,
+            self.lazy_sent,
+            self.rng_draws,
+            self.prev_send_seq,
+            self.snapshot,
+            self.processed,
+            self.cancelled,
+            self.color,
+            self.entry[3],
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.key,
+            self.dst,
+            self.kind,
+            self.data,
+            self.saved,
+            self.sent,
+            self.lazy_sent,
+            self.rng_draws,
+            self.prev_send_seq,
+            self.snapshot,
+            self.processed,
+            self.cancelled,
+            self.color,
+            serial,
+        ) = state
+        self.in_pending = False
+        key = self.key
+        self.entry = (key[0], key[1], key[2], serial, self)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "P" if self.processed else "-"
         flags += "C" if self.cancelled else "-"

@@ -189,3 +189,24 @@ class Model:
     def collect_stats(self, lps: list[LogicalProcess]) -> dict[str, Any]:
         """Aggregate model statistics over the final LP states."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Checkpoint hooks (see repro.ckpt).
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Any:
+        """Return picklable *model-level* mutable state, or ``None``.
+
+        Per-LP state travels through ``LogicalProcess.snapshot_state``;
+        this hook covers anything the model object itself accumulates
+        during a run (e.g. the hot-potato model's commit-time delivery
+        log).  The default — no such state — returns ``None``.
+        """
+        return None
+
+    def restore_checkpoint(self, state: Any) -> None:
+        """Restore what :meth:`checkpoint_state` returned (in place)."""
+        if state is not None:
+            raise NotImplementedError(
+                f"{type(self).__name__} captured model state but does not "
+                "implement restore_checkpoint"
+            )

@@ -28,6 +28,7 @@ from heapq import heappush
 from repro.core.config import EngineConfig
 from repro.core.event import Event, EventPool, _next_serial
 from repro.core.gvt import make_gvt_manager
+from repro.core.invariants import check_optimistic
 from repro.core.kp import KernelProcess
 from repro.core.lp import LogicalProcess, Model
 from repro.core.mapping import build_mapping
@@ -333,6 +334,13 @@ class TimeWarpKernel:
         #: exists to bound exactly this).
         self.peak_pending = 0
         self.peak_processed = 0
+        #: Optional checkpointer (see repro.ckpt); consulted only at GVT
+        #: boundaries, after fossil collection and the transport flush,
+        #: when mailboxes are empty and below-GVT state is committed.
+        self.ckpt = None
+        #: Run-loop state grafted by a checkpoint restore; consumed (and
+        #: cleared) at the top of :meth:`run`.
+        self._resume = None
 
         # --- Bind LPs ---------------------------------------------------------
         alloc = self.pool.acquire if self.pool is not None else Event
@@ -591,6 +599,20 @@ class TimeWarpKernel:
         driver.install(self)
         return self
 
+    def attach_checkpointer(self, ckpt) -> "TimeWarpKernel":
+        """Attach a :class:`repro.ckpt.Checkpointer`; returns self.
+
+        If the checkpointer holds a loaded snapshot (``load_latest``),
+        attaching grafts the captured state onto this kernel — attach it
+        last, after tracer/metrics/faults, so the graft sees the final
+        object graph (the restore mutates fault-wrapper internals in
+        place).  Consulted only at GVT boundaries; when None the run
+        loop is exactly as before.
+        """
+        self.ckpt = ckpt
+        ckpt.bind(self)
+        return self
+
     def _sample_metrics(self, recorder, gvt: float) -> None:
         """Feed the recorder the current cumulative counters (O(PEs+KPs))."""
         pes, kps = self.pes, self.kps
@@ -653,11 +675,13 @@ class TimeWarpKernel:
         self._install_fast_paths()
         cfg = self.cfg
         end = cfg.end_time
-        # Bootstrap: LPs schedule their initial events "at startup".
-        self._current_event = None
-        for lp in self.lps:
-            lp._now = -1.0
-            lp.on_init()
+        resume = self._resume
+        if resume is None:
+            # Bootstrap: LPs schedule their initial events "at startup".
+            self._current_event = None
+            for lp in self.lps:
+                lp._now = -1.0
+                lp.on_init()
 
         pes = self.pes
         rounds = 0
@@ -667,10 +691,20 @@ class TimeWarpKernel:
         throttle = self.throttle
         metrics = self.metrics
         faults = self.faults
+        ckpt = self.ckpt
+        paranoid = cfg.paranoid
         eff_batch = cfg.batch_size
         eff_window = cfg.window
         last_processed = 0
         last_rolled = 0
+        if resume is not None:
+            rounds = resume["rounds"]
+            eff_batch = resume["eff_batch"]
+            eff_window = resume["eff_window"]
+            last_processed = resume["last_processed"]
+            last_rolled = resume["last_rolled"]
+            self._resume = None
+        prev_gvt = self.gvt
         while True:
             # Optimism limit: the end barrier, tightened to GVT + window in
             # virtual-time-window mode.
@@ -695,7 +729,8 @@ class TimeWarpKernel:
             self.makespan_units += (
                 max(pe.stats.round_busy for pe in pes) + self.cost.sched_per_round
             )
-            if rounds % cfg.gvt_interval == 0 or not any_work:
+            gvt_boundary = rounds % cfg.gvt_interval == 0 or not any_work
+            if gvt_boundary:
                 # Estimate is taken *before* the flush so the GVT manager
                 # really has to account for in-flight messages.
                 self.gvt = self.gvt_manager.estimate(self)
@@ -723,9 +758,25 @@ class TimeWarpKernel:
                     # queues drain; clamp so the time series stays on the
                     # run's virtual-time axis.
                     self._sample_metrics(metrics, min(self.gvt, end))
+                if paranoid:
+                    check_optimistic(self, prev_gvt)
+                    prev_gvt = self.gvt
                 if self.gvt >= end:
                     break
             self.transport.flush()
+            if ckpt is not None and gvt_boundary:
+                # After the flush, so mailboxes are empty (only a fault
+                # wrapper's held events remain, and those are captured).
+                ckpt.boundary(
+                    self,
+                    lambda: {
+                        "rounds": rounds,
+                        "eff_batch": eff_batch,
+                        "eff_window": eff_window,
+                        "last_processed": last_processed,
+                        "last_rolled": last_rolled,
+                    },
+                )
 
         # Everything below the end barrier is final: commit it all.
         self.fossil_collect(TIME_HORIZON)
@@ -790,6 +841,7 @@ def run_optimistic(
     tracer=None,
     metrics=None,
     faults=None,
+    checkpointer=None,
 ) -> RunResult:
     """Convenience wrapper: build a kernel, attach telemetry, run it."""
     kernel = TimeWarpKernel(model, config)
@@ -799,4 +851,6 @@ def run_optimistic(
         kernel.attach_metrics(metrics)
     if faults is not None:
         kernel.attach_faults(faults)
+    if checkpointer is not None:
+        kernel.attach_checkpointer(checkpointer)
     return kernel.run()

@@ -41,3 +41,22 @@ class ModelError(ReproError):
 
     router received more packets in one time step than it has output links).
     """
+
+
+class SnapshotError(ReproError):
+    """A checkpoint snapshot could not be written, read, or applied.
+
+    Raised for corrupted or truncated snapshot files (integrity-hash
+    mismatch), unsupported format versions, and restore attempts against
+    an engine whose configuration marker differs from the one recorded at
+    capture time.
+    """
+
+
+class InvariantViolation(ReproError):
+    """A --paranoid kernel invariant check failed at a GVT epoch.
+
+    The message names the PE/KP/LP involved; a violation means kernel
+    state is internally inconsistent and results can no longer be
+    trusted.
+    """

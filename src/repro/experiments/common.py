@@ -18,6 +18,7 @@ __all__ = [
     "run_hotpotato_parallel",
     "kp_count_for",
     "set_telemetry_dir",
+    "set_supervisor",
 ]
 
 #: When set (see :func:`set_telemetry_dir`), every hot-potato run the
@@ -46,6 +47,42 @@ def _capture(tag: str, meta: dict):
     from repro.obs.capture import RunCapture
 
     return RunCapture(metrics_out=_TELEMETRY_DIR / f"{tag}.jsonl", meta=meta)
+
+
+#: When set (see :func:`set_supervisor`), the workhorses below do not
+#: simulate in this process: each run becomes a sweep-point spec handed
+#: to the :class:`repro.experiments.supervisor.Supervisor`, which
+#: executes it in a watchdogged child process with checkpoint/resume,
+#: bounded retries and optimistic→conservative fallback.
+_SUPERVISOR = None
+
+
+def set_supervisor(supervisor) -> None:
+    """Route every subsequent workhorse run through ``supervisor``
+    (``None`` restores in-process execution)."""
+    global _SUPERVISOR
+    _SUPERVISOR = supervisor
+
+
+def _telemetry_path(tag: str) -> str | None:
+    if _TELEMETRY_DIR is None:
+        return None
+    return str(_TELEMETRY_DIR / f"{tag}.jsonl")
+
+
+def _supervised(spec: dict) -> RunResult:
+    doc = _SUPERVISOR.run_point(spec)
+    # The child strips the LPs (their fused handlers don't pickle);
+    # every experiment consumes only the statistics.
+    return RunResult(model_stats=doc["model_stats"], run=doc["run"], lps=[])
+
+
+def _materialize_fault(fault, n: int, duration: float):
+    if not fault:
+        return None
+    from repro.experiments.pointworker import _materialize_fault_plan
+
+    return _materialize_fault_plan(fault, n, duration)
 
 #: Injection loads used by Figs 3 and 4 ("% Injecting Routers").
 DEFAULT_LOADS: tuple[float, ...] = (0.25, 0.50, 0.75, 1.00)
@@ -123,17 +160,29 @@ def kp_count_for(n: int, requested: int, n_pes: int) -> int:
 
 
 def run_hotpotato_sequential(
-    n: int, load: float, duration: float, seed: int
+    n: int, load: float, duration: float, seed: int, *, fault=None
 ) -> RunResult:
-    """One sequential hot-potato run (the Fig 3/4 workhorse)."""
+    """One sequential hot-potato run (the Fig 3/4 workhorse).
+
+    ``fault`` is an optional JSON-shaped fault spec (``{"plan": path}``
+    or ``{"link_rate": r, "seed": s}``) so the run stays describable as
+    a supervisor sweep point; inline runs materialize it to a FaultPlan.
+    """
+    tag = f"seq_n{n}_load{load:g}_d{duration:g}_s{seed}"
+    if _SUPERVISOR is not None:
+        return _supervised({
+            "kind": "seq", "n": n, "load": load, "duration": duration,
+            "seed": seed, "fault": fault, "telemetry": _telemetry_path(tag),
+            "checkpoint_every": _SUPERVISOR.cfg.checkpoint_every,
+        })
     cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=load)
     capture = _capture(
-        f"seq_n{n}_load{load:g}_d{duration:g}_s{seed}",
+        tag,
         {"engine": "sequential", "n": n, "load": load, "duration": duration,
          "seed": seed},
     )
     result = run_sequential(
-        HotPotatoModel(cfg),
+        HotPotatoModel(cfg, fault_plan=_materialize_fault(fault, n, duration)),
         duration,
         seed=seed,
         metrics=capture.metrics if capture is not None else None,
@@ -153,16 +202,29 @@ def run_hotpotato_parallel(
     n_kps: int,
     batch_size: int = 16,
     window: float | None = None,
+    fault=None,
     **overrides,
 ) -> RunResult:
     """One Time Warp hot-potato run (the Fig 5-8 workhorse).
 
     When ``window`` is given, the batch size becomes a generous cap and
     the virtual-time window drives per-round optimism (ROSS-like).
+    ``fault`` takes a JSON-shaped fault spec as in
+    :func:`run_hotpotato_sequential`.
     """
-    cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=load)
     if window is not None:
         batch_size = max(batch_size, 1 << 20)
+    tag = f"opt_n{n}_load{load:g}_d{duration:g}_pe{n_pes}_kp{n_kps}_s{seed}"
+    if _SUPERVISOR is not None:
+        return _supervised({
+            "kind": "opt", "n": n, "load": load, "duration": duration,
+            "seed": seed, "n_pes": n_pes, "n_kps": n_kps,
+            "batch_size": batch_size, "window": window,
+            "overrides": overrides or None, "fault": fault,
+            "telemetry": _telemetry_path(tag),
+            "checkpoint_every": _SUPERVISOR.cfg.checkpoint_every,
+        })
+    cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=load)
     ecfg = EngineConfig(
         end_time=duration,
         n_pes=n_pes,
@@ -172,15 +234,22 @@ def run_hotpotato_parallel(
         seed=seed,
         **overrides,
     )
+    plan = _materialize_fault(fault, n, duration)
+    faults = None
+    if plan is not None and plan.has_engine_faults:
+        from repro.faults.injector import EngineFaults
+
+        faults = EngineFaults(plan)
     capture = _capture(
-        f"opt_n{n}_load{load:g}_d{duration:g}_pe{n_pes}_kp{n_kps}_s{seed}",
+        tag,
         {"engine": "optimistic", "n": n, "load": load, "duration": duration,
          "n_pes": n_pes, "n_kps": n_kps, "seed": seed},
     )
     result = run_optimistic(
-        HotPotatoModel(cfg),
+        HotPotatoModel(cfg, fault_plan=plan),
         ecfg,
         metrics=capture.metrics if capture is not None else None,
+        faults=faults,
     )
     if capture is not None:
         capture.finalize(result)

@@ -17,39 +17,48 @@ fault injection must not cost us the determinism contract.
 
 from __future__ import annotations
 
-from repro.core.engine import run_sequential
-from repro.experiments.common import SweepParams, kp_count_for
+from repro.experiments.common import (
+    SweepParams,
+    kp_count_for,
+    run_hotpotato_parallel,
+    run_hotpotato_sequential,
+)
 from repro.experiments.report import Table
-from repro.faults import DEFAULT_FAULT_SEED, generate_plan, load_plan
-from repro.hotpotato.config import HotPotatoConfig
-from repro.hotpotato.model import HotPotatoModel
-from repro.hotpotato.simulation import HotPotatoSimulation
-from repro.net import TorusTopology
 
 __all__ = ["run"]
 
 
-def _plan_for(params: SweepParams, n: int, rate: float):
-    """The FaultPlan one sweep row runs under (None for rate 0)."""
+def _fault_spec(params: SweepParams, rate: float) -> dict | None:
+    """The JSON fault spec one sweep row runs under (None for rate 0).
+
+    Rate-generated specs describe permanent link failures (no
+    heal_after): the hardest case — lost capacity never comes back, so
+    degradation is monotone in the rate.  The spec (rather than a
+    materialized FaultPlan) is what travels to a supervised child
+    process; the workhorses expand it identically either way.
+    """
     if params.fault_plan is not None:
-        return load_plan(params.fault_plan)
+        return {"plan": params.fault_plan}
     if rate <= 0.0:
         return None
-    seed = params.fault_seed if params.fault_seed is not None else DEFAULT_FAULT_SEED
-    # Permanent link failures (no heal_after): the hardest case — lost
-    # capacity never comes back, so degradation is monotone in the rate.
-    return generate_plan(
-        TorusTopology(n),
-        duration=params.duration,
-        link_fail_rate=rate,
-        seed=seed,
+    return {"link_rate": rate, "seed": params.fault_seed}
+
+
+def _links_down(params: SweepParams, n: int, rate: float) -> int:
+    """Count the scheduled link_down events for the row's label column."""
+    from repro.experiments.pointworker import _materialize_fault_plan
+
+    plan = _materialize_fault_plan(
+        _fault_spec(params, rate), n, params.duration
     )
+    if plan is None:
+        return 0
+    return sum(1 for ev in plan.events if ev.kind == "link_down")
 
 
 def run(params: SweepParams) -> Table:
     """Sweep link-failure rates on the smallest size; check determinism."""
     n = params.sizes[0]
-    cfg = HotPotatoConfig(n=n, duration=params.duration, injector_fraction=1.0)
     rates = (0.0,) if params.fault_plan is not None else params.fault_rates
     table = Table(
         title=f"Resilience — delivery under failed links (N={n}, "
@@ -68,23 +77,26 @@ def run(params: SweepParams) -> Table:
     )
     links_total = 2 * n * n  # torus: every node owns its EAST and SOUTH link
     for rate in rates:
-        plan = _plan_for(params, n, rate)
-        seq = run_sequential(
-            HotPotatoModel(cfg, fault_plan=plan), cfg.duration, seed=params.seed
+        fspec = _fault_spec(params, rate)
+        seq = run_hotpotato_sequential(
+            n, 1.0, params.duration, params.seed, fault=fspec
         )
         ms = seq.model_stats
         # One optimistic run per row keeps the determinism check honest
         # at every fault level, not just the unfaulted baseline.
-        sim = HotPotatoSimulation(cfg, seed=params.seed, fault_plan=plan)
-        opt = sim.run_parallel(
-            n_pes=min(4, max(params.pe_counts)),
-            n_kps=kp_count_for(n, 16, min(4, max(params.pe_counts))),
+        n_pes = min(4, max(params.pe_counts))
+        opt = run_hotpotato_parallel(
+            n,
+            1.0,
+            params.duration,
+            params.seed,
+            n_pes=n_pes,
+            n_kps=kp_count_for(n, 16, n_pes),
             batch_size=params.batch_size,
+            fault=fspec,
         )
         injected = ms["injected"] + ms["initial_packets"]
-        down = 0 if plan is None else sum(
-            1 for ev in plan.events if ev.kind == "link_down"
-        )
+        down = _links_down(params, n, rate)
         table.add_row(
             rate,
             down,

@@ -10,16 +10,27 @@ One figure, bigger sweep, CSV output::
 
     python -m repro.experiments fig3 --sizes 8,16,24,32 --duration 200 \
         --csv-dir results/
+
+Crash-tolerant sweep (each point in a supervised, checkpointed child
+process; see docs/CHECKPOINT.md), then pick it up after a crash or ^C::
+
+    python -m repro.experiments all --out-dir sweep/
+    python -m repro.experiments --resume sweep/
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 import time
 
-from repro.experiments.common import SweepParams, set_telemetry_dir
+from repro.experiments.common import (
+    SweepParams,
+    set_supervisor,
+    set_telemetry_dir,
+)
 from repro.experiments.figures import EXPERIMENTS, experiment_ids, run_experiment
 
 __all__ = ["main", "build_parser"]
@@ -49,8 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
-        help="experiment ids (see below) or 'all'",
+        nargs="*",
+        help="experiment ids (see below) or 'all'; may be omitted with "
+        "--resume, which then replays the ids recorded in the manifest",
     )
     parser.add_argument(
         "--sizes",
@@ -130,18 +142,71 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed for rate-generated fault plans (default: repro.faults default)",
     )
+    sup = parser.add_argument_group(
+        "supervised execution",
+        "run every sweep point in a checkpointed child process with a "
+        "GVT-progress watchdog, bounded retries and a journaled manifest "
+        "(see docs/CHECKPOINT.md)",
+    )
+    sup.add_argument(
+        "--out-dir",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="supervise the sweep; manifest, snapshots and per-point "
+        "results go under DIR",
+    )
+    sup.add_argument(
+        "--resume",
+        type=pathlib.Path,
+        default=None,
+        metavar="DIR",
+        help="resume a supervised sweep: completed points are served from "
+        "DIR, in-flight ones restore from their latest checkpoint "
+        "(implies --out-dir DIR)",
+    )
+    sup.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=60.0,
+        metavar="SEC",
+        help="SIGKILL a point whose GVT heartbeat stalls this long "
+        "(default: 60)",
+    )
+    sup.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="attempts per point before giving up or falling back "
+        "(default: 3)",
+    )
+    sup.add_argument(
+        "--backoff-base",
+        type=float,
+        default=0.5,
+        metavar="SEC",
+        help="first-retry delay; doubles per further retry (default: 0.5)",
+    )
+    sup.add_argument(
+        "--point-checkpoint-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="snapshot cadence inside each child, in GVT/scheduler "
+        "boundaries (default: 4)",
+    )
+    sup.add_argument(
+        "--no-fallback",
+        action="store_true",
+        help="fail a wedged optimistic point outright instead of "
+        "degrading it to the conservative engine",
+    )
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    ids = experiment_ids() if "all" in args.experiments else args.experiments
-    unknown = [e for e in ids if e not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiments: {unknown}; available: {experiment_ids()}")
-        return 2
-    params = SweepParams(
+def _params_from_args(args) -> SweepParams:
+    return SweepParams(
         sizes=args.sizes,
         duration=args.duration,
         loads=args.loads,
@@ -154,24 +219,104 @@ def main(argv: list[str] | None = None) -> int:
         fault_plan=args.fault_plan,
         fault_seed=args.fault_seed,
     )
+
+
+def _params_from_meta(doc: dict) -> SweepParams:
+    fields = {
+        k: tuple(v) if isinstance(v, list) else v
+        for k, v in doc["params"].items()
+    }
+    return SweepParams(**fields)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    from repro.experiments.supervisor import (
+        PointFailure,
+        Supervisor,
+        SupervisorConfig,
+    )
+
+    out_dir = args.resume if args.resume is not None else args.out_dir
+    resuming = args.resume is not None
+    supervisor = None
+    if out_dir is not None:
+        supervisor = Supervisor(
+            SupervisorConfig(
+                out_dir=out_dir,
+                heartbeat_timeout=args.heartbeat_timeout,
+                max_retries=args.max_retries,
+                backoff_base=args.backoff_base,
+                fallback=not args.no_fallback,
+                checkpoint_every=args.point_checkpoint_every,
+                resume=resuming,
+            )
+        )
+
+    if resuming and not args.experiments:
+        # Bare `--resume DIR`: replay the sweep exactly as first launched.
+        meta = supervisor.read_meta()
+        if meta is None:
+            print(
+                f"error: no sweep recorded in {out_dir}/manifest.jsonl; "
+                "name the experiments explicitly",
+                file=sys.stderr,
+            )
+            return 2
+        ids = meta["experiments"]
+        params = _params_from_meta(meta)
+    elif not args.experiments:
+        print("error: no experiments named (see --help)", file=sys.stderr)
+        return 2
+    else:
+        ids = experiment_ids() if "all" in args.experiments else args.experiments
+        params = _params_from_args(args)
+    unknown = [e for e in ids if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {experiment_ids()}")
+        return 2
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
     set_telemetry_dir(args.telemetry_dir)
-    for exp_id in ids:
-        start = time.perf_counter()
-        table = run_experiment(exp_id, params)
-        elapsed = time.perf_counter() - start
-        print(table.to_text())
-        if args.plot:
-            chart = chart_from_table(table)
-            if chart:
-                print()
-                print(chart)
-        print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
-        if args.csv_dir is not None:
-            out = args.csv_dir / f"{exp_id}.csv"
-            out.write_text(table.to_csv())
-            print(f"wrote {out}")
+    if supervisor is not None:
+        supervisor.journal_meta(
+            experiments=list(ids), params=dataclasses.asdict(params)
+        )
+    set_supervisor(supervisor)
+    try:
+        for exp_id in ids:
+            start = time.perf_counter()
+            table = run_experiment(exp_id, params)
+            elapsed = time.perf_counter() - start
+            print(table.to_text())
+            if args.plot:
+                chart = chart_from_table(table)
+                if chart:
+                    print()
+                    print(chart)
+            print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
+            if args.csv_dir is not None:
+                out = args.csv_dir / f"{exp_id}.csv"
+                out.write_text(table.to_csv())
+                print(f"wrote {out}")
+    except KeyboardInterrupt:
+        if supervisor is not None:
+            print(
+                f"\ninterrupted; pick the sweep back up with "
+                f"--resume {out_dir}",
+                file=sys.stderr,
+            )
+        else:
+            print("\ninterrupted", file=sys.stderr)
+        return 130
+    except PointFailure as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        set_supervisor(None)
+        if supervisor is not None:
+            supervisor.close()
     return 0
 
 

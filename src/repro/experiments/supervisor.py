@@ -1,0 +1,275 @@
+"""Crash-tolerant sweep execution: child processes, watchdog, journal.
+
+A long parameter sweep dies in practice for boring reasons — one point
+wedges, the machine reboots, someone hits Ctrl-C at hour three.  The
+:class:`Supervisor` makes the sweep itself restartable by running every
+point through ``python -m repro.experiments.pointworker`` in a child
+process and journaling its lifecycle:
+
+* **Heartbeat watchdog** — the child's checkpointer touches a heartbeat
+  file at every GVT / scheduler boundary.  A stale mtime means GVT has
+  stopped advancing (deadlock, livelock, swap death); the parent
+  SIGKILLs the child rather than hanging the sweep.
+* **Bounded retry with backoff** — a failed or stalled attempt is
+  retried up to ``max_retries`` times, sleeping
+  ``backoff_base * 2**(attempt-1)`` seconds between attempts.  Each
+  retry resumes from the point's latest snapshot, so work is not lost.
+* **Graceful degradation** — when an *optimistic* point exhausts its
+  retries the supervisor falls back to the conservative engine for that
+  point (committed results are engine-independent, so the sweep's
+  science is unchanged) and records the substitution in the manifest.
+* **Journaled manifest** — ``manifest.jsonl`` in the output directory
+  is append-only, one JSON object per lifecycle transition
+  (``started`` / ``retry`` / ``fallback`` / ``done`` / ``failed``).
+  ``python -m repro.experiments ... --resume DIR`` replays it: points
+  journaled ``done`` are served from their pickled results without
+  re-running; in-flight points restore from their latest checkpoint.
+
+Points are identified by the SHA-256 of their canonical spec JSON, so
+the same (experiment, parameters) pair maps to the same on-disk state
+across invocations regardless of sweep order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Supervisor", "SupervisorConfig", "PointFailure", "point_id"]
+
+
+class PointFailure(RuntimeError):
+    """A sweep point failed permanently (retries and fallback exhausted)."""
+
+
+def point_id(spec: dict) -> str:
+    """Stable identity of a sweep point: hash of its canonical spec JSON."""
+    blob = json.dumps(spec, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs for :class:`Supervisor`; defaults suit interactive sweeps."""
+
+    out_dir: Path
+    #: Seconds without a heartbeat touch before the child is presumed
+    #: wedged and SIGKILLed.
+    heartbeat_timeout: float = 60.0
+    #: Attempts per engine before giving up (or falling back).
+    max_retries: int = 3
+    #: First retry sleeps this long; each further retry doubles it.
+    backoff_base: float = 0.5
+    #: Substitute the conservative engine when an optimistic point
+    #: exhausts its retries.
+    fallback: bool = True
+    #: ``checkpoint_every`` handed to every child.
+    checkpoint_every: int = 4
+    #: Serve results journaled ``done`` from disk instead of re-running.
+    resume: bool = False
+    #: Child poll cadence, seconds.
+    poll_interval: float = 0.2
+
+
+class Supervisor:
+    """Run sweep points in supervised child processes (see module doc)."""
+
+    def __init__(self, cfg: SupervisorConfig) -> None:
+        self.cfg = cfg
+        self.out_dir = Path(cfg.out_dir)
+        self.points_dir = self.out_dir / "points"
+        self.points_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_path = self.out_dir / "manifest.jsonl"
+        #: point id -> final status, replayed from the manifest.
+        self._status: dict[str, str] = {}
+        if cfg.resume and self.manifest_path.exists():
+            self._replay_manifest()
+        self._manifest = self.manifest_path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # manifest journal
+    # ------------------------------------------------------------------
+    def _replay_manifest(self) -> None:
+        with self.manifest_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue  # torn tail from a crash mid-append
+                pid = doc.get("point")
+                if pid:
+                    self._status[pid] = doc.get("status", "")
+
+    def _journal(self, **doc: Any) -> None:
+        self._manifest.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._manifest.flush()
+        os.fsync(self._manifest.fileno())
+        if "point" in doc and "status" in doc:
+            self._status[doc["point"]] = doc["status"]
+
+    def journal_meta(self, **doc: Any) -> None:
+        """Append a non-point record (e.g. the sweep's own parameters)."""
+        self._journal(status="meta", **doc)
+
+    def read_meta(self) -> dict | None:
+        """Return the latest ``meta`` record from the manifest, if any."""
+        if not self.manifest_path.exists():
+            return None
+        found = None
+        with self.manifest_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if doc.get("status") == "meta":
+                    found = doc
+        return found
+
+    def close(self) -> None:
+        """Close the manifest journal (the supervisor is done)."""
+        self._manifest.close()
+
+    # ------------------------------------------------------------------
+    # point execution
+    # ------------------------------------------------------------------
+    def run_point(self, spec: dict) -> dict:
+        """Execute one point to completion; returns ``{"model_stats", "run"}``.
+
+        Serves the cached result when resuming and the point is already
+        ``done``; otherwise runs (or resumes) it under the watchdog.
+        Raises :class:`PointFailure` when every attempt — including the
+        conservative fallback, if eligible — has been exhausted.
+        """
+        pid = point_id(spec)
+        pdir = self.points_dir / pid
+        result_path = pdir / "result.pkl"
+        if self.cfg.resume and self._status.get(pid) == "done" and result_path.exists():
+            with result_path.open("rb") as fh:
+                return pickle.load(fh)
+        pdir.mkdir(parents=True, exist_ok=True)
+
+        result = self._attempts(spec, pid, pdir, engine=spec["kind"])
+        if result is not None:
+            return result
+
+        if self.cfg.fallback and spec["kind"] == "opt":
+            fb_spec = self._conservative_twin(spec)
+            self._journal(
+                point=pid,
+                status="fallback",
+                engine="cons",
+                spec=fb_spec,
+                reason=f"optimistic attempts exhausted ({self.cfg.max_retries})",
+            )
+            result = self._attempts(fb_spec, pid, pdir, engine="cons")
+            if result is not None:
+                return result
+
+        self._journal(point=pid, status="failed", spec=spec)
+        raise PointFailure(
+            f"point {pid} failed after {self.cfg.max_retries} attempt(s)"
+            + (" plus conservative fallback" if self.cfg.fallback
+               and spec["kind"] == "opt" else "")
+        )
+
+    @staticmethod
+    def _conservative_twin(spec: dict) -> dict:
+        """The conservative-engine spec computing the same point."""
+        keep = ("n", "load", "duration", "seed", "n_pes", "fault",
+                "telemetry", "checkpoint_every")
+        twin = {k: spec[k] for k in keep if k in spec}
+        twin["kind"] = "cons"
+        return twin
+
+    def _attempts(
+        self, spec: dict, pid: str, pdir: Path, *, engine: str
+    ) -> dict | None:
+        """Try ``spec`` up to ``max_retries`` times; None when exhausted."""
+        cfg = self.cfg
+        result_path = pdir / "result.pkl"
+        # Snapshot markers embed the spec, so the optimistic attempts and
+        # a conservative fallback must not share a checkpoint directory.
+        ckpt_dir = pdir / f"ckpt_{engine}"
+        spec_path = pdir / f"spec_{engine}.json"
+        spec_path.write_text(json.dumps(spec, sort_keys=True, indent=2) + "\n")
+        heartbeat = pdir / "heartbeat"
+
+        self._journal(point=pid, status="started", engine=engine, spec=spec)
+        for attempt in range(1, cfg.max_retries + 1):
+            outcome = self._run_child(spec_path, result_path, heartbeat, ckpt_dir)
+            if outcome == "ok" and result_path.exists():
+                self._journal(point=pid, status="done", engine=engine,
+                              attempts=attempt)
+                with result_path.open("rb") as fh:
+                    return pickle.load(fh)
+            if attempt < cfg.max_retries:
+                delay = cfg.backoff_base * 2 ** (attempt - 1)
+                self._journal(point=pid, status="retry", engine=engine,
+                              attempt=attempt, outcome=outcome, backoff=delay)
+                time.sleep(delay)
+        return None
+
+    def _run_child(
+        self, spec_path: Path, result_path: Path, heartbeat: Path, ckpt_dir: Path
+    ) -> str:
+        """One child attempt; returns ``"ok"``, ``"stall"`` or ``"exit:N"``."""
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else src_root + os.pathsep + existing
+        )
+        # Fresh heartbeat so a stale file from the last attempt cannot
+        # trigger (or mask) a stall verdict.
+        heartbeat.touch()
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.pointworker",
+                str(spec_path),
+                str(result_path),
+                str(heartbeat),
+                str(ckpt_dir),
+            ],
+            env=env,
+        )
+        try:
+            while True:
+                try:
+                    proc.wait(timeout=self.cfg.poll_interval)
+                    break
+                except subprocess.TimeoutExpired:
+                    pass
+                try:
+                    age = time.time() - heartbeat.stat().st_mtime
+                except OSError:
+                    age = 0.0
+                if age > self.cfg.heartbeat_timeout:
+                    proc.kill()
+                    proc.wait()
+                    return "stall"
+        except BaseException:
+            # The sweep itself is being torn down (KeyboardInterrupt,
+            # SystemExit): don't leave an orphan simulating forever.
+            proc.kill()
+            proc.wait()
+            raise
+        return "ok" if proc.returncode == 0 else f"exit:{proc.returncode}"

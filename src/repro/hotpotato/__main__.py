@@ -100,6 +100,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed for --fault-rate plan generation (default: repro.faults default)",
     )
+    parser.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="run the opt-in kernel invariant checks at every GVT epoch "
+        "(queue order, GVT monotonicity, packet conservation)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write crash-safe snapshots to DIR at GVT boundaries "
+        "(see docs/CHECKPOINT.md); Ctrl-C then writes a final snapshot "
+        "and exits 130",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=4,
+        metavar="N",
+        help="snapshot every N GVT/scheduler boundaries (default 4)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the latest snapshot in --checkpoint-dir and continue; "
+        "all other flags must match the interrupted run",
+    )
     return parser
 
 
@@ -123,6 +149,27 @@ def _resolve_fault_plan(args, cfg: HotPotatoConfig):
     return None
 
 
+def _config_marker(args) -> dict:
+    """The configuration fingerprint stored in (and checked against)
+    every snapshot — resuming under different flags is refused."""
+    return {
+        "workload": "hotpotato",
+        "n": args.n,
+        "duration": args.duration,
+        "probability_i": args.probability_i,
+        "absorb_sleeping": not args.no_absorb_sleeping,
+        "torus": not args.mesh,
+        "processors": args.processors,
+        "kps": args.kps,
+        "batch": args.batch,
+        "seed": args.seed,
+        "paranoid": args.paranoid,
+        "fault_plan": args.fault_plan,
+        "fault_rate": args.fault_rate,
+        "fault_seed": args.fault_seed,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if not 0.0 <= args.probability_i <= 100.0:
@@ -130,6 +177,9 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if not 0.0 <= args.fault_rate <= 100.0:
         print("--fault-rate must be within [0, 100]")
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir")
         return 2
     cfg = HotPotatoConfig(
         n=args.n,
@@ -145,32 +195,78 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     sim = HotPotatoSimulation(cfg, seed=args.seed, fault_plan=fault_plan)
     engine = "sequential" if args.processors <= 1 else "optimistic"
-    capture = RunCapture(
-        metrics_out=args.metrics_out,
-        trace_out=args.trace_out,
-        meta={
-            "engine": engine,
-            "workload": "hotpotato",
-            "n": args.n,
-            "duration": args.duration,
-            "probability_i": args.probability_i,
-            "seed": args.seed,
-            "processors": args.processors,
-        },
-        fault_plan=fault_plan,
-    )
-    if args.processors <= 1:
-        result = sim.run(tracer=capture.tracer, metrics=capture.metrics)
-    else:
-        result = sim.run_parallel(
-            n_pes=args.processors,
-            n_kps=args.kps,
-            batch_size=args.batch,
-            tracer=capture.tracer,
-            metrics=capture.metrics,
+
+    ckpt = None
+    if args.checkpoint_dir:
+        from repro.ckpt import Checkpointer
+
+        ckpt = Checkpointer(
+            args.checkpoint_dir,
+            every=args.checkpoint_every,
+            marker=_config_marker(args),
         )
+    resumed_payload = None
+    if args.resume:
+        from repro.errors import SnapshotError
+
+        try:
+            resumed_payload = ckpt.load_latest()
+        except SnapshotError as exc:
+            print(f"resume failed: {exc}", file=sys.stderr)
+            return 2
+    if resumed_payload is not None and resumed_payload.get("obs") is not None:
+        capture = RunCapture.resume(resumed_payload["obs"])
+    else:
+        capture = RunCapture(
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            meta={
+                "engine": engine,
+                "workload": "hotpotato",
+                "n": args.n,
+                "duration": args.duration,
+                "probability_i": args.probability_i,
+                "seed": args.seed,
+                "processors": args.processors,
+            },
+            fault_plan=fault_plan,
+        )
+    if ckpt is not None:
+        ckpt.capture = capture
+
+    from repro.ckpt import deferred_interrupts
+
+    try:
+        with deferred_interrupts(ckpt):
+            if args.processors <= 1:
+                result = sim.run(
+                    tracer=capture.tracer,
+                    metrics=capture.metrics,
+                    checkpointer=ckpt,
+                    paranoid=args.paranoid,
+                )
+            else:
+                result = sim.run_parallel(
+                    n_pes=args.processors,
+                    n_kps=args.kps,
+                    batch_size=args.batch,
+                    tracer=capture.tracer,
+                    metrics=capture.metrics,
+                    checkpointer=ckpt,
+                    paranoid=args.paranoid,
+                )
+    except KeyboardInterrupt:
+        capture.finalize(None)
+        if ckpt is not None and ckpt.last_path is not None:
+            print(f"\ninterrupted; resume from {ckpt.last_path} with --resume",
+                  file=sys.stderr)
+        else:
+            print("\ninterrupted", file=sys.stderr)
+        return 130
     capture.finalize(result)
-    for out in {args.metrics_out, args.trace_out} - {None}:
+    if ckpt is not None and ckpt.written:
+        print(f"{ckpt.written} snapshot(s) in {ckpt.dir}")
+    for out in sorted({str(s.path) for s in capture._sinks if s.path is not None}):
         print(f"telemetry written to {out}")
 
     ms = result.model_stats

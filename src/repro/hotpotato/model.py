@@ -95,6 +95,45 @@ class HotPotatoModel(Model):
                 lps[i].faults = faults
         return lps
 
+    def checkpoint_state(self) -> Any:
+        """Model-level mutable state: the commit-time delivery log."""
+        if not self.cfg.delivery_log:
+            return None
+        return list(self.delivery_log)
+
+    def restore_checkpoint(self, state: Any) -> None:
+        if state is None:
+            return
+        # In place: the RouterLPs built from this model hold a reference
+        # to this exact list.
+        self.delivery_log[:] = state
+
+    def check_conservation(self, lps: list[LogicalProcess]) -> str | None:
+        """Packet-conservation invariant (see repro.core.invariants).
+
+        Deliveries only ever come from injected or initially-seeded
+        packets; hot-potato routing never fabricates one.  Returns a
+        diagnostic string on violation, None when conserved.
+        """
+        delivered = injected = initial = 0
+        for lp in lps:
+            s = lp.stats
+            if s.delivered < 0 or s.injected < 0 or s.initial_packets < 0:
+                return (
+                    f"router {lp.id} has a negative counter (delivered="
+                    f"{s.delivered}, injected={s.injected}, "
+                    f"initial={s.initial_packets})"
+                )
+            delivered += s.delivered
+            injected += s.injected
+            initial += s.initial_packets
+        if delivered > injected + initial:
+            return (
+                f"{delivered} packets delivered but only {injected} injected "
+                f"+ {initial} initial exist"
+            )
+        return None
+
     def collect_stats(self, lps: list[LogicalProcess]) -> dict[str, Any]:
         stats = aggregate_router_stats(lps)
         stats["policy"] = self.policy.name

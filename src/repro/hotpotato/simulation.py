@@ -57,14 +57,18 @@ class HotPotatoSimulation:
 
         return EngineFaults(plan)
 
-    def run(self, *, tracer=None, metrics=None) -> RunResult:
+    def run(
+        self, *, tracer=None, metrics=None, checkpointer=None, paranoid=False
+    ) -> RunResult:
         """Run on the sequential oracle engine (optionally instrumented)."""
         return run_sequential(
             self._model(),
             self.cfg.duration,
             seed=self.seed,
+            paranoid=paranoid,
             tracer=tracer,
             metrics=metrics,
+            checkpointer=checkpointer,
         )
 
     def run_parallel(
@@ -76,6 +80,7 @@ class HotPotatoSimulation:
         engine_config: EngineConfig | None = None,
         tracer=None,
         metrics=None,
+        checkpointer=None,
         **overrides: Any,
     ) -> RunResult:
         """Run on the Time Warp engine.
@@ -102,6 +107,7 @@ class HotPotatoSimulation:
             tracer=tracer,
             metrics=metrics,
             faults=self._engine_faults(),
+            checkpointer=checkpointer,
         )
 
     def validate_determinism(self, n_pes: int = 4, n_kps: int = 16) -> bool:

@@ -94,6 +94,11 @@ def cmd_summary(rec: RunRecording) -> int:
         f"(EXEC {rec.counts[EXEC]:,}, UNDO {rec.counts[UNDO]:,}, "
         f"COMMIT {rec.counts[COMMIT]:,}); metric samples: {len(rec.metrics):,}"
     )
+    if rec.truncated_lines:
+        print(
+            f"  WARNING: {rec.truncated_lines} torn trailing line tolerated "
+            "(recording was cut off mid-write; totals may be incomplete)"
+        )
     if rec.stats is None:
         print("  no stats line (run did not finalize)")
         return 0
@@ -301,6 +306,9 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -87,11 +87,99 @@ class RunCapture:
             else None
         )
         self.tracer = StreamingTracer(trace_sink) if trace_sink is not None else None
+        self._metrics_sink = metrics_sink
+        self._trace_sink = trace_sink
 
     @property
     def active(self) -> bool:
         """True when at least one output was requested."""
         return bool(self._sinks)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (see repro.ckpt): a checkpoint records how far
+    # each sink has written, so a resumed run can truncate the files back
+    # to that point and continue producing byte-identical output.
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> dict:
+        """Flush sinks and return everything :meth:`resume` needs."""
+        from repro.errors import SnapshotError
+
+        for sink in self._sinks:
+            if sink.path is None:
+                raise SnapshotError(
+                    "cannot checkpoint a stream-backed telemetry sink; "
+                    "record to files to use checkpointing"
+                )
+        state: dict = {
+            "meta": dict(self.meta),
+            "sinks": [
+                {"path": str(sink.path), **sink.checkpoint_state()}
+                for sink in self._sinks
+            ],
+            "metrics_sink": (
+                self._sinks.index(self._metrics_sink)
+                if self._metrics_sink is not None
+                else None
+            ),
+            "trace_sink": (
+                self._sinks.index(self._trace_sink)
+                if self._trace_sink is not None
+                else None
+            ),
+            "metrics": None,
+            "tracer": None,
+        }
+        recorder = self.metrics
+        if recorder is not None:
+            state["metrics"] = {
+                "prev": dict(recorder._prev),
+                "prev_kp": (
+                    list(recorder._prev_kp)
+                    if recorder._prev_kp is not None
+                    else None
+                ),
+                "n_samples": recorder.n_samples,
+                "interval": recorder.interval,
+            }
+        if self.tracer is not None:
+            state["tracer"] = dict(self.tracer.counts)
+        return state
+
+    @classmethod
+    def resume(cls, state: dict) -> "RunCapture":
+        """Rebuild a capture from :meth:`checkpoint_state` output.
+
+        Each sink's file is truncated back to the checkpointed byte
+        offset and reopened for append; headers are *not* rewritten, and
+        the metric recorder's delta baselines and the tracer's counts are
+        restored, so the finished files are byte-identical to an
+        uninterrupted run's.
+        """
+        cap = cls.__new__(cls)
+        cap.meta = dict(state["meta"])
+        cap._sinks = [
+            JsonlSink.resume(s["path"], s) for s in state["sinks"]
+        ]
+        mi, ti = state["metrics_sink"], state["trace_sink"]
+        cap._metrics_sink = cap._sinks[mi] if mi is not None else None
+        cap._trace_sink = cap._sinks[ti] if ti is not None else None
+        cap.metrics = None
+        if state["metrics"] is not None:
+            ms = state["metrics"]
+            recorder = MetricsRecorder(
+                cap._metrics_sink, keep=False, interval=ms["interval"]
+            )
+            recorder._prev.update(ms["prev"])
+            recorder._prev_kp = (
+                list(ms["prev_kp"]) if ms["prev_kp"] is not None else None
+            )
+            recorder.n_samples = ms["n_samples"]
+            cap.metrics = recorder
+        cap.tracer = None
+        if state["tracer"] is not None:
+            cap.tracer = StreamingTracer(cap._trace_sink)
+            cap.tracer.counts.update(state["tracer"])
+        return cap
 
     def attach(self, engine) -> None:
         """Attach the recorder/tracer to any of the three engines."""

@@ -33,6 +33,7 @@ reloaded recordings is as strict as the in-memory check.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO, Iterable, Mapping
 
@@ -65,6 +66,14 @@ class JsonlSink:
     (left open — the caller owns it).  Usable as a context manager.  The
     header line is written on first use; pass run metadata early via
     :meth:`write_header` to make it informative.
+
+    Crash tolerance: each record is written as one atomic string (never
+    a partial ``write`` per field), so a crash can truncate at most the
+    final line; :meth:`close` fsyncs path-opened files so a completed
+    recording survives power loss; and the loader tolerates (and counts)
+    a truncated final line.  The sink tracks its byte offset
+    (``self.bytes``) so a checkpoint can record exactly how much of the
+    file is trusted and :meth:`resume` can truncate back to it.
     """
 
     def __init__(self, target: str | Path | IO[str]) -> None:
@@ -78,6 +87,39 @@ class JsonlSink:
             self._owns = False
         self._header_written = False
         self.lines = 0
+        #: Bytes this sink has written.  JSON output is pure ASCII
+        #: (``json.dumps`` escapes by default), so character count equals
+        #: byte count — no encoder state to track.
+        self.bytes = 0
+
+    @classmethod
+    def resume(cls, target: str | Path, state: Mapping) -> "JsonlSink":
+        """Reopen a recording at a checkpointed offset.
+
+        Truncates ``target`` to ``state["bytes"]`` — discarding anything
+        a crashed run wrote past its last checkpoint, including any
+        torn final line — and continues appending after it, restoring
+        the line counter and header flag.  Only path targets can resume.
+        """
+        sink = cls.__new__(cls)
+        sink.path = Path(target)
+        with sink.path.open("r+") as fh:
+            fh.truncate(state["bytes"])
+        sink._fh = sink.path.open("a")
+        sink._owns = True
+        sink._header_written = state["header"]
+        sink.lines = state["lines"]
+        sink.bytes = state["bytes"]
+        return sink
+
+    def checkpoint_state(self) -> dict:
+        """Flush and return the offsets :meth:`resume` needs."""
+        self._fh.flush()
+        return {
+            "bytes": self.bytes,
+            "lines": self.lines,
+            "header": self._header_written,
+        }
 
     # ------------------------------------------------------------------
     def write_header(self, meta: Mapping | None = None) -> None:
@@ -127,16 +169,18 @@ class JsonlSink:
         self._write(doc)
 
     def _write(self, doc: dict) -> None:
-        self._fh.write(json.dumps(doc, **_COMPACT))
-        self._fh.write("\n")
+        data = json.dumps(doc, **_COMPACT) + "\n"
+        self._fh.write(data)
         self.lines += 1
+        self.bytes += len(data)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Flush and (for path-opened sinks) close the file."""
+        """Flush (and fsync + close, for path-opened sinks)."""
         self.write_header()  # even an empty recording is a valid file
         self._fh.flush()
         if self._owns:
+            os.fsync(self._fh.fileno())
             self._fh.close()
 
     def __enter__(self) -> "JsonlSink":
@@ -202,6 +246,10 @@ class RunRecording:
         #: Scheduled fault events ({"step", "kind", "node", "direction"}),
         #: in plan order; empty for unfaulted runs and schema-1 files.
         self.faults = faults if faults is not None else []
+        #: Count of unparseable trailing lines the loader tolerated (a
+        #: crash can tear at most the final line; see JsonlSink).  0 for
+        #: cleanly closed recordings.
+        self.truncated_lines = 0
         self.counts = {EXEC: 0, UNDO: 0, COMMIT: 0}
         for r in records:
             self.counts[r.action] += 1
@@ -258,16 +306,28 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
     metrics: list[MetricSample] = []
     faults: list[dict] = []
     stats: dict | None = None
-    for lineno, line in enumerate(lines, start=1):
-        line = line.strip()
+    truncated: tuple[int, ValueError] | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
         if not line:
             continue
+        if truncated is not None:
+            # An unparseable line followed by more content is corruption,
+            # not a crash-torn tail: fail at the original line.
+            raise truncated[1]
         try:
             doc = json.loads(line)
         except json.JSONDecodeError as exc:
-            raise ValueError(
+            err = ValueError(
                 f"{path or '<stream>'}:{lineno}: not valid JSON ({exc})"
-            ) from None
+            )
+            if raw.endswith("\n"):
+                # The sink appends each record and its newline in one
+                # write, so a crash can only tear the final, unterminated
+                # line.  A *complete* line of non-JSON is corruption.
+                raise err
+            truncated = (lineno, err)
+            continue
         kind = doc.get("t")
         if not header and kind != "header":
             raise ValueError(
@@ -305,7 +365,10 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             )
     if not header:
         raise ValueError(f"{path or '<stream>'}: missing header line")
-    return RunRecording(header, records, metrics, stats, path, faults)
+    recording = RunRecording(header, records, metrics, stats, path, faults)
+    if truncated is not None:
+        recording.truncated_lines = 1
+    return recording
 
 
 def load_recording(source: str | Path | IO[str]) -> RunRecording:

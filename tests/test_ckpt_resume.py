@@ -1,0 +1,175 @@
+"""The checkpoint invariant: kill at ANY snapshot, resume, get the
+bit-identical committed run — for all three engines, with and without a
+fault plan.
+
+Each case runs the workload once clean (the oracle), once with a
+checkpointer snapshotting every boundary, then restores from *every*
+snapshot written and re-runs to completion.  All resumed runs must
+reproduce the oracle's complete model statistics (which include
+per-router event fingerprints, so any divergence in committed event
+order shows up).
+"""
+
+import shutil
+
+import pytest
+
+from repro.ckpt import Checkpointer, list_snapshots
+from repro.core.config import EngineConfig
+from repro.core.conservative import ConservativeConfig, ConservativeKernel
+from repro.core.engine import SequentialEngine
+from repro.core.optimistic import TimeWarpKernel
+from repro.faults import FaultPlan
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+
+N = 4
+DURATION = 12.0
+SEED = 7
+SEQ_EVENTS = 64
+
+
+def _cfg() -> HotPotatoConfig:
+    return HotPotatoConfig(n=N, duration=DURATION, injector_fraction=1.0)
+
+
+def _fault_plan() -> FaultPlan:
+    return FaultPlan(
+        drop_rate=0.05, dup_rate=0.05, delay_rate=0.08, delay_rounds=2, seed=99
+    )
+
+
+def _check_resume_from_every_snapshot(tmp_path, make_engine, marker):
+    """Record with every-boundary snapshots, then resume from each one."""
+    oracle = make_engine().run()
+
+    snap_dir = tmp_path / "snaps"
+    ckpt = Checkpointer(snap_dir, every=1, marker=marker, seq_events=SEQ_EVENTS)
+    recorded = make_engine().attach_checkpointer(ckpt).run()
+    assert recorded.model_stats == oracle.model_stats, (
+        "attaching a checkpointer changed the committed run"
+    )
+    snaps = list_snapshots(snap_dir)
+    assert snaps, "no snapshots were written"
+
+    for snap in snaps:
+        d = tmp_path / f"resume_{snap.stem}"
+        d.mkdir()
+        shutil.copy(snap, d / snap.name)
+        ck = Checkpointer(
+            d, every=1 << 30, marker=marker, seq_events=SEQ_EVENTS
+        )
+        ck.load_latest()
+        resumed = make_engine().attach_checkpointer(ck).run()
+        assert resumed.model_stats == oracle.model_stats, (
+            f"resume from {snap.name} diverged from the oracle"
+        )
+    return len(snaps)
+
+
+def test_sequential_resume_every_snapshot(tmp_path):
+    n = _check_resume_from_every_snapshot(
+        tmp_path,
+        lambda: SequentialEngine(HotPotatoModel(_cfg()), DURATION, seed=SEED),
+        {"case": "seq"},
+    )
+    assert n > 3  # the interval cadence actually produced mid-run snapshots
+
+
+@pytest.mark.parametrize("sync", ["yawns", "null"])
+def test_conservative_resume_every_snapshot(tmp_path, sync):
+    ccfg = ConservativeConfig(end_time=DURATION, n_pes=4, sync=sync, seed=SEED)
+    n = _check_resume_from_every_snapshot(
+        tmp_path,
+        lambda: ConservativeKernel(HotPotatoModel(_cfg()), ccfg),
+        {"case": f"cons-{sync}"},
+    )
+    assert n > 3
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {},  # reverse rollback, immediate transport, synchronous GVT
+        {"rollback": "copy"},
+        {"cancellation": "lazy"},
+        {"gvt": "mattern", "transport": "mailbox"},
+        {"adaptive": True, "queue": "splay"},
+    ],
+    ids=["reverse", "copy", "lazy", "mattern-mailbox", "adaptive-splay"],
+)
+def test_optimistic_resume_every_snapshot(tmp_path, overrides):
+    ecfg = EngineConfig(
+        end_time=DURATION, n_pes=4, n_kps=16, batch_size=16, seed=SEED,
+        **overrides,
+    )
+    n = _check_resume_from_every_snapshot(
+        tmp_path,
+        lambda: TimeWarpKernel(HotPotatoModel(_cfg()), ecfg),
+        {"case": "opt", **{k: str(v) for k, v in overrides.items()}},
+    )
+    assert n > 3
+
+
+def test_optimistic_resume_with_fault_plan(tmp_path):
+    """The invariant holds under a non-empty FaultPlan: model faults are
+    part of the model, transport faults are captured with the engine."""
+    from repro.faults.injector import EngineFaults
+
+    ecfg = EngineConfig(
+        end_time=DURATION, n_pes=4, n_kps=16, batch_size=16, seed=SEED
+    )
+
+    def make_engine():
+        plan = _fault_plan()
+        kernel = TimeWarpKernel(HotPotatoModel(_cfg(), fault_plan=plan), ecfg)
+        kernel.attach_faults(EngineFaults(plan))
+        return kernel
+
+    n = _check_resume_from_every_snapshot(
+        tmp_path, make_engine, {"case": "opt-faulted"}
+    )
+    assert n > 3
+
+
+def test_sequential_resume_with_fault_plan(tmp_path):
+    def make_engine():
+        return SequentialEngine(
+            HotPotatoModel(_cfg(), fault_plan=_fault_plan()), DURATION,
+            seed=SEED,
+        )
+
+    _check_resume_from_every_snapshot(tmp_path, make_engine, {"case": "seq-faulted"})
+
+
+def test_marker_mismatch_refused(tmp_path):
+    from repro.errors import SnapshotError
+
+    ckpt = Checkpointer(tmp_path, every=1, marker={"seed": SEED})
+    SequentialEngine(HotPotatoModel(_cfg()), DURATION, seed=SEED)\
+        .attach_checkpointer(ckpt).run()
+    other = Checkpointer(tmp_path, every=1, marker={"seed": SEED + 1})
+    with pytest.raises(SnapshotError, match="marker mismatch"):
+        other.load_latest()
+
+
+def test_resumed_cadence_matches_uninterrupted(tmp_path):
+    """A resumed run writes the same remaining snapshots as the
+    uninterrupted run would have — boundary pacing is absolute, not
+    relative to the restore point."""
+    full_dir = tmp_path / "full"
+    ckpt = Checkpointer(full_dir, every=2, marker={}, seq_events=SEQ_EVENTS)
+    SequentialEngine(HotPotatoModel(_cfg()), DURATION, seed=SEED)\
+        .attach_checkpointer(ckpt).run()
+    full = [p.name for p in list_snapshots(full_dir)]
+    assert len(full) > 1
+
+    # Restore from the first snapshot and let the run finish.
+    resumed_dir = tmp_path / "resumed"
+    resumed_dir.mkdir()
+    shutil.copy(full_dir / full[0], resumed_dir / full[0])
+    ck = Checkpointer(resumed_dir, every=2, marker={}, seq_events=SEQ_EVENTS)
+    ck.load_latest()
+    SequentialEngine(HotPotatoModel(_cfg()), DURATION, seed=SEED)\
+        .attach_checkpointer(ck).run()
+    assert [p.name for p in list_snapshots(resumed_dir)] == full

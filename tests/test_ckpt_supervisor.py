@@ -1,0 +1,201 @@
+"""The run supervisor: watchdog kills, retries, fallback, resume."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.experiments.supervisor import (
+    PointFailure,
+    Supervisor,
+    SupervisorConfig,
+    point_id,
+)
+
+
+def _opt_spec(**extra) -> dict:
+    spec = {
+        "kind": "opt", "n": 4, "load": 1.0, "duration": 15.0, "seed": 7,
+        "n_pes": 4, "n_kps": 16, "batch_size": 16, "window": None,
+        "overrides": None, "fault": None, "telemetry": None,
+        "checkpoint_every": 4,
+    }
+    spec.update(extra)
+    return spec
+
+
+def _seq_spec(**extra) -> dict:
+    spec = {
+        "kind": "seq", "n": 4, "load": 1.0, "duration": 15.0, "seed": 7,
+        "fault": None, "telemetry": None, "checkpoint_every": 4,
+    }
+    spec.update(extra)
+    return spec
+
+
+def _manifest(sup) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in sup.manifest_path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def _oracle_stats():
+    from repro.experiments.common import run_hotpotato_sequential
+
+    return run_hotpotato_sequential(4, 1.0, 15.0, 7).model_stats
+
+
+def test_point_id_is_canonical():
+    a = {"kind": "seq", "n": 4, "seed": 7}
+    b = {"seed": 7, "n": 4, "kind": "seq"}
+    assert point_id(a) == point_id(b)
+    assert point_id(a) != point_id(dict(a, seed=8))
+
+
+def test_happy_path_journals_done(tmp_path):
+    sup = Supervisor(SupervisorConfig(out_dir=tmp_path))
+    try:
+        res = sup.run_point(_seq_spec())
+    finally:
+        sup.close()
+    assert res["model_stats"] == _oracle_stats()
+    statuses = [d["status"] for d in _manifest(sup) if "point" in d]
+    assert statuses == ["started", "done"]
+
+
+def test_stalled_optimistic_point_falls_back_to_conservative(tmp_path):
+    """A child that never heartbeats is SIGKILLed by the watchdog; after
+    the retry budget, the supervisor substitutes the conservative engine
+    and journals the substitution."""
+    sup = Supervisor(
+        SupervisorConfig(
+            out_dir=tmp_path, heartbeat_timeout=1.0, max_retries=2,
+            backoff_base=0.05, poll_interval=0.05,
+        )
+    )
+    try:
+        res = sup.run_point(_opt_spec(sabotage="stall"))
+    finally:
+        sup.close()
+    assert res["run"].engine == "conservative"
+    assert res["model_stats"] == _oracle_stats()
+    docs = _manifest(sup)
+    retries = [d for d in docs if d["status"] == "retry"]
+    assert retries and all(d["outcome"] == "stall" for d in retries)
+    fallbacks = [d for d in docs if d["status"] == "fallback"]
+    assert len(fallbacks) == 1 and fallbacks[0]["engine"] == "cons"
+    # The conservative twin spec must not inherit the sabotage hook.
+    assert "sabotage" not in fallbacks[0]["spec"]
+
+
+def test_stall_without_fallback_raises_point_failure(tmp_path):
+    sup = Supervisor(
+        SupervisorConfig(
+            out_dir=tmp_path, heartbeat_timeout=1.0, max_retries=1,
+            backoff_base=0.05, fallback=False, poll_interval=0.05,
+        )
+    )
+    try:
+        with pytest.raises(PointFailure):
+            sup.run_point(_opt_spec(sabotage="stall"))
+    finally:
+        sup.close()
+    assert [d["status"] for d in _manifest(sup) if "point" in d][-1] == "failed"
+
+
+def test_flaky_point_succeeds_after_backoff_retries(tmp_path):
+    """A child that crashes on its first two attempts succeeds on the
+    third, inside one run_point call."""
+    sup = Supervisor(
+        SupervisorConfig(out_dir=tmp_path, max_retries=3, backoff_base=0.05)
+    )
+    spec = _seq_spec(sabotage={"flaky": 2})
+    try:
+        res = sup.run_point(spec)
+    finally:
+        sup.close()
+    assert res["model_stats"] == _oracle_stats()
+    done = [d for d in _manifest(sup) if d["status"] == "done"]
+    assert done and done[0]["attempts"] == 3
+    retries = [d for d in _manifest(sup) if d["status"] == "retry"]
+    assert [d["attempt"] for d in retries] == [1, 2]
+    assert retries[0]["backoff"] < retries[1]["backoff"]  # exponential
+
+
+def test_resume_serves_done_points_without_rerunning(tmp_path):
+    spec = _seq_spec()
+    sup = Supervisor(SupervisorConfig(out_dir=tmp_path))
+    try:
+        first = sup.run_point(spec)
+    finally:
+        sup.close()
+
+    # Poison the spec file: any re-run of the child would crash on it.
+    pdir = tmp_path / "points" / point_id(spec)
+    (pdir / "spec_seq.json").write_text("NOT JSON")
+
+    sup2 = Supervisor(SupervisorConfig(out_dir=tmp_path, resume=True))
+    try:
+        again = sup2.run_point(spec)
+    finally:
+        sup2.close()
+    assert again["model_stats"] == first["model_stats"]
+
+
+def test_resume_restores_in_flight_point_from_checkpoints(tmp_path):
+    """A point whose earlier attempt died mid-run resumes from its latest
+    snapshot instead of starting over (snapshot seq numbers continue)."""
+    # every=1 boundary cadence so the short run still writes several
+    # snapshots (a sequential boundary is 1024 processed events).
+    spec = _seq_spec(duration=40.0, checkpoint_every=1)
+    sup = Supervisor(SupervisorConfig(out_dir=tmp_path))
+    try:
+        res = sup.run_point(spec)
+    finally:
+        sup.close()
+    pdir = tmp_path / "points" / point_id(spec)
+    snaps = sorted((pdir / "ckpt_seq").glob("*.rpsnap"))
+    assert snaps, "child wrote no snapshots"
+
+    # Simulate the in-flight crash: result gone, snapshots remain.
+    (pdir / "result.pkl").unlink()
+    for stale in snaps[len(snaps) // 2:]:
+        stale.unlink()
+
+    sup2 = Supervisor(SupervisorConfig(out_dir=tmp_path, resume=True))
+    try:
+        res2 = sup2.run_point(spec)
+    finally:
+        sup2.close()
+    assert res2["model_stats"] == res["model_stats"]
+    after = sorted((pdir / "ckpt_seq").glob("*.rpsnap"))
+    # Continued from the surviving snapshot: the re-written tail continues
+    # its numbering rather than restarting at ckpt_000000.
+    assert len(after) == len(snaps)
+
+
+def test_meta_roundtrip(tmp_path):
+    sup = Supervisor(SupervisorConfig(out_dir=tmp_path))
+    sup.journal_meta(experiments=["fig3"], params={"sizes": [4], "seed": 7})
+    sup.close()
+    sup2 = Supervisor(SupervisorConfig(out_dir=tmp_path, resume=True))
+    meta = sup2.read_meta()
+    sup2.close()
+    assert meta["experiments"] == ["fig3"]
+    assert meta["params"]["sizes"] == [4]
+
+
+def test_result_pickle_shape(tmp_path):
+    """The child's result file holds exactly the stats the sweep needs."""
+    spec = _seq_spec()
+    sup = Supervisor(SupervisorConfig(out_dir=tmp_path))
+    try:
+        sup.run_point(spec)
+    finally:
+        sup.close()
+    with (tmp_path / "points" / point_id(spec) / "result.pkl").open("rb") as fh:
+        doc = pickle.load(fh)
+    assert set(doc) == {"model_stats", "run"}
+    assert doc["run"].committed > 0

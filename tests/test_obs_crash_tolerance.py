@@ -1,0 +1,93 @@
+"""JsonlSink crash tolerance: atomic lines, byte accounting, and the
+loader's torn-tail discrimination.
+
+A sink writes each record plus its newline in a single ``write`` call,
+so a crash can only tear the *final, unterminated* line.  The loader
+tolerates (and counts) exactly that case; a complete line of invalid
+JSON — newline present — is corruption and must still raise.
+"""
+
+import pytest
+
+from repro.core.trace import EXEC, TraceRecord
+from repro.obs.recorder import JsonlSink, load_recording
+
+
+def _valid_recording(path):
+    """Write a small, cleanly closed recording; return its sink."""
+    sink = JsonlSink(path)
+    sink.write_header({"engine": "test"})
+    sink.write_trace(
+        EXEC, TraceRecord(action=EXEC, ts=1.0, origin=0, seq=0, dst=1, kind="pkt")
+    )
+    sink.write_stats({"committed": 1})
+    sink.close()
+    return sink
+
+
+def test_sink_byte_counter_matches_file_size(tmp_path):
+    path = tmp_path / "rec.jsonl"
+    sink = _valid_recording(path)
+    assert sink.bytes == path.stat().st_size
+    assert sink.lines == len(path.read_text().splitlines())
+
+
+def test_torn_final_line_tolerated_and_counted(tmp_path):
+    path = tmp_path / "rec.jsonl"
+    _valid_recording(path)
+    clean = load_recording(path)
+    assert clean.truncated_lines == 0
+
+    # Tear the tail the way a crash does: a partial record, no newline.
+    with path.open("a") as fh:
+        fh.write('{"t": "stats", "commi')
+    rec = load_recording(path)
+    assert rec.truncated_lines == 1
+    assert rec.stats == clean.stats
+    assert len(rec.records) == len(clean.records)
+
+
+def test_complete_garbage_final_line_rejected(tmp_path):
+    path = tmp_path / "rec.jsonl"
+    _valid_recording(path)
+    with path.open("a") as fh:
+        fh.write("not json\n")  # newline present: not a crash artifact
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_recording(path)
+
+
+def test_garbage_mid_file_rejected(tmp_path):
+    path = tmp_path / "rec.jsonl"
+    _valid_recording(path)
+    lines = path.read_text().splitlines(keepends=True)
+    lines.insert(1, "XXXX garbage XXXX\n")
+    path.write_text("".join(lines))
+    with pytest.raises(ValueError, match="not valid JSON"):
+        load_recording(path)
+
+
+def test_resume_truncates_untrusted_tail(tmp_path):
+    """JsonlSink.resume discards bytes past the checkpointed offset —
+    including any torn line — and continues the recording seamlessly."""
+    path = tmp_path / "rec.jsonl"
+    sink = JsonlSink(path)
+    sink.write_header({"engine": "test"})
+    sink.write_trace(
+        EXEC, TraceRecord(action=EXEC, ts=1.0, origin=0, seq=0, dst=1, kind="pkt")
+    )
+    state = {"bytes": sink.bytes, "lines": sink.lines, "header": True}
+    # Post-checkpoint writes that the "crash" will lose, plus a torn tail.
+    sink.write_trace(
+        EXEC, TraceRecord(action=EXEC, ts=2.0, origin=0, seq=1, dst=2, kind="pkt")
+    )
+    sink.close()
+    with path.open("a") as fh:
+        fh.write('{"t": "trace", "a": "ex')
+
+    resumed = JsonlSink.resume(path, state)
+    resumed.write_stats({"committed": 1})
+    resumed.close()
+    rec = load_recording(path)
+    assert rec.truncated_lines == 0
+    assert len(rec.records) == 1 and rec.records[0].ts == 1.0
+    assert rec.stats == {"committed": 1}
