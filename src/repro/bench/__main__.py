@@ -5,7 +5,10 @@ exits non-zero when any suite regressed past the threshold against the
 previous trajectory file.  ``--smoke`` runs a sub-second version of the
 matrix with no file output — a CI liveness check that also asserts the
 optimistic engine commits exactly what the sequential oracle does on the
-smoke workload.
+smoke workload.  ``--queue``/``--cancellation`` select the optimistic
+engine's scheduler structures (the committed counts must not change);
+``--compare A.json B.json`` diffs two existing trajectory files without
+running anything.
 """
 
 from __future__ import annotations
@@ -17,6 +20,7 @@ from pathlib import Path
 from repro.bench.harness import (
     DEFAULT_THRESHOLD,
     compare,
+    compare_files,
     load_previous,
     next_path,
     run_suites,
@@ -48,6 +52,11 @@ SMOKE_GOLDEN = {
     "seq-hotpotato": 1055,
     "cons-hotpotato": 1055,
     "opt-hotpotato": 1055,
+    # The stress suites commit the same work under every --queue and
+    # --cancellation combination; CI runs all four, so these pins double
+    # as the cross-mode determinism gate.
+    "opt-phold-stress": 657,
+    "opt-hotpotato-stress": 1055,
 }
 
 
@@ -238,6 +247,30 @@ def main(argv: list[str] | None = None) -> int:
         help="measure and compare but do not write a trajectory file",
     )
     parser.add_argument(
+        "--queue",
+        choices=("heap", "ladder"),
+        default=None,
+        help="pending-queue implementation for the optimistic suites "
+        "(default: the engine default, heap)",
+    )
+    parser.add_argument(
+        "--cancellation",
+        choices=("aggressive", "lazy"),
+        default=None,
+        help="anti-message cancellation mode for the optimistic suites "
+        "(default: the engine default, aggressive)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        type=Path,
+        metavar=("A.json", "B.json"),
+        default=None,
+        help="compare two existing trajectory files (B against A) and "
+        "exit non-zero when any shared suite in B falls below "
+        "--threshold x A; no suites are run",
+    )
+    parser.add_argument(
         "--telemetry-dir",
         type=Path,
         default=None,
@@ -296,11 +329,28 @@ def _checkpointed_run(directory: Path, every: int, smoke: bool) -> None:
 
 def _run(args) -> int:
 
+    if args.compare is not None:
+        path_a, path_b = args.compare
+        for p in (path_a, path_b):
+            if not p.is_file():
+                print(f"no such trajectory file: {p}", file=sys.stderr)
+                return 2
+        regressions = compare_files(path_a, path_b, args.threshold)
+        if regressions:
+            print(f"PERFORMANCE REGRESSION: {regressions} suite(s) below "
+                  f"{args.threshold:.2f}x")
+            return 1
+        return 0
+
     if args.smoke:
-        print("repro.bench --smoke (liveness + determinism, not a benchmark)")
+        mode = f"queue={args.queue or 'heap'}, " \
+               f"cancellation={args.cancellation or 'aggressive'}"
+        print(f"repro.bench --smoke ({mode}; liveness + determinism, "
+              "not a benchmark)")
         results = run_suites(
             repeats=1, smoke=True, only=args.suites,
             telemetry_dir=args.telemetry_dir,
+            queue=args.queue, cancellation=args.cancellation,
         )
         by_name = {r.name: r for r in results}
         seq = by_name.get("seq-hotpotato")
@@ -328,7 +378,9 @@ def _run(args) -> int:
     label = "none (first trajectory point)" if prev_path is None else prev_path.name
     print(f"repro.bench: {args.repeats} repeats/suite, baseline {label}")
     results = run_suites(
-        repeats=args.repeats, only=args.suites, telemetry_dir=args.telemetry_dir
+        repeats=args.repeats, only=args.suites,
+        telemetry_dir=args.telemetry_dir,
+        queue=args.queue, cancellation=args.cancellation,
     )
     if args.checkpoint_dir is not None:
         _checkpointed_run(args.checkpoint_dir, args.checkpoint_every, False)

@@ -28,7 +28,9 @@ __all__ = [
     "run_suite",
     "run_suites",
     "load_previous",
+    "load_trajectory",
     "compare",
+    "compare_files",
     "write_trajectory",
 ]
 
@@ -61,6 +63,14 @@ class BenchResult:
     best_seconds: float
     mean_seconds: float
     committed_per_sec: float
+    #: Pending-queue implementation and cancellation mode the suite ran
+    #: under ("n/a" for engines without a pending queue).  Schema 2.
+    queue_impl: str = "n/a"
+    cancellation: str = "n/a"
+    #: Wall-clock percentiles over the repeats (== best/worst at 3
+    #: repeats, informative at higher repeat counts).  Schema 2.
+    p50_seconds: float = 0.0
+    p95_seconds: float = 0.0
     wall_seconds: list[float] = field(default_factory=list)
 
     def as_dict(self) -> dict:
@@ -70,11 +80,26 @@ class BenchResult:
         return d
 
 
+def _quantile(sorted_walls: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending sample list."""
+    if not sorted_walls:
+        return 0.0
+    if len(sorted_walls) == 1:
+        return sorted_walls[0]
+    pos = q * (len(sorted_walls) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_walls) - 1)
+    frac = pos - lo
+    return sorted_walls[lo] * (1.0 - frac) + sorted_walls[hi] * frac
+
+
 def run_suite(
     suite: Suite,
     repeats: int = 3,
     smoke: bool = False,
     telemetry_dir: Path | None = None,
+    queue: str | None = None,
+    cancellation: str | None = None,
 ) -> BenchResult:
     """Run one suite ``repeats`` times and keep the best wall clock.
 
@@ -94,7 +119,7 @@ def run_suite(
     for _ in range(max(1, repeats)):
         gc.collect()
         t0 = time.perf_counter()
-        result = suite.run(smoke)
+        result = suite.run(smoke, queue=queue, cancellation=cancellation)
         walls.append(time.perf_counter() - t0)
         del result.lps[:]  # drop the LP population before the next repeat
     assert result is not None
@@ -110,10 +135,15 @@ def run_suite(
                 "workload": suite.workload,
                 "seed": suite.seed,
                 "smoke": smoke,
+                "queue": queue or "heap",
+                "cancellation": cancellation or "aggressive",
             },
         )
         try:
-            telemetry_result = suite.run(smoke, metrics=capture.metrics)
+            telemetry_result = suite.run(
+                smoke, metrics=capture.metrics,
+                queue=queue, cancellation=cancellation,
+            )
         except KeyboardInterrupt:
             # Flush and close the sink so the partial recording is
             # loadable (the loader tolerates one torn trailing line, not
@@ -125,6 +155,8 @@ def run_suite(
     run = result.run
     best = min(walls)
     committed = run.committed
+    ordered = sorted(walls)
+    optimistic = suite.engine == "optimistic"
     return BenchResult(
         name=suite.name,
         engine=suite.engine,
@@ -144,6 +176,10 @@ def run_suite(
         best_seconds=best,
         mean_seconds=sum(walls) / len(walls),
         committed_per_sec=committed / best if best > 0 else 0.0,
+        queue_impl=(queue or "heap") if optimistic else "n/a",
+        cancellation=(cancellation or "aggressive") if optimistic else "n/a",
+        p50_seconds=_quantile(ordered, 0.50),
+        p95_seconds=_quantile(ordered, 0.95),
         wall_seconds=walls,
     )
 
@@ -154,6 +190,8 @@ def run_suites(
     only: list[str] | None = None,
     report=print,
     telemetry_dir: Path | None = None,
+    queue: str | None = None,
+    cancellation: str | None = None,
 ) -> list[BenchResult]:
     """Run the (optionally filtered) suite matrix, reporting as it goes."""
     selected = [s for s in SUITES if only is None or s.name in only]
@@ -167,7 +205,8 @@ def run_suites(
     results = []
     for suite in selected:
         res = run_suite(
-            suite, repeats=repeats, smoke=smoke, telemetry_dir=telemetry_dir
+            suite, repeats=repeats, smoke=smoke, telemetry_dir=telemetry_dir,
+            queue=queue, cancellation=cancellation,
         )
         report(
             f"  {res.name:<16} {res.committed_per_sec:>12,.0f} ev/s  "
@@ -190,14 +229,49 @@ def _indexed(directory: Path) -> list[tuple[int, Path]]:
     return sorted(found)
 
 
+#: Highest trajectory-file schema this loader understands.
+SCHEMA_VERSION = 2
+
+
+def _upgrade(doc: dict) -> dict:
+    """Normalise an older-schema trajectory document in place.
+
+    Schema 1 files predate the ``queue_impl`` / ``cancellation`` fields
+    and the wall-clock percentiles; fill the values those runs actually
+    used (the schema-1 harness always ran the heap queue with aggressive
+    cancellation) so schema-2 consumers can read any file on disk.
+    """
+    schema = doc.get("schema", 1)
+    if schema > SCHEMA_VERSION:
+        raise ValueError(
+            f"trajectory file schema {schema} is newer than this loader "
+            f"(max {SCHEMA_VERSION})"
+        )
+    if schema >= 2:
+        return doc
+    for suite in doc.get("suites", {}).values():
+        optimistic = suite.get("engine") == "optimistic"
+        suite.setdefault("queue_impl", "heap" if optimistic else "n/a")
+        suite.setdefault("cancellation", "aggressive" if optimistic else "n/a")
+        walls = sorted(suite.get("wall_seconds", []))
+        suite.setdefault("p50_seconds", _quantile(walls, 0.50))
+        suite.setdefault("p95_seconds", _quantile(walls, 0.95))
+    return doc
+
+
+def load_trajectory(path: Path) -> dict:
+    """Load one BENCH_<n>.json, upgrading older schemas (see _upgrade)."""
+    with path.open() as f:
+        return _upgrade(json.load(f))
+
+
 def load_previous(directory: Path) -> tuple[dict | None, Path | None]:
     """Load the highest-index BENCH_<n>.json, if any."""
     found = _indexed(directory)
     if not found:
         return None, None
     _, path = found[-1]
-    with path.open() as f:
-        return json.load(f), path
+    return load_trajectory(path), path
 
 
 def next_path(directory: Path) -> Path:
@@ -240,6 +314,51 @@ def compare(
     return comparison, regressions
 
 
+def compare_files(
+    path_a: Path,
+    path_b: Path,
+    threshold: float = DEFAULT_THRESHOLD,
+    report=print,
+) -> int:
+    """Compare two trajectory files suite by suite (B measured against A).
+
+    Prints a ratio table over the suites present in both files and
+    returns the number of suites whose throughput in B fell below
+    ``threshold × A`` — the CLI exit code, so 0 means no regression.
+    Suites present in only one file are listed but not gated (a new
+    suite has no baseline; a removed one has no measurement).
+    """
+    doc_a = load_trajectory(path_a)
+    doc_b = load_trajectory(path_b)
+    suites_a = doc_a.get("suites", {})
+    suites_b = doc_b.get("suites", {})
+    report(
+        f"{'suite':<22} {path_a.name:>14} {path_b.name:>14} "
+        f"{'ratio':>8}  config (B)"
+    )
+    regressions = 0
+    for name in sorted(suites_a.keys() | suites_b.keys()):
+        a = suites_a.get(name)
+        b = suites_b.get(name)
+        if a is None or b is None:
+            only = path_b.name if a is None else path_a.name
+            report(f"{name:<22} {'—':>14} {'—':>14} {'—':>8}  only in {only}")
+            continue
+        rate_a = a.get("committed_per_sec", 0.0)
+        rate_b = b.get("committed_per_sec", 0.0)
+        ratio = rate_b / rate_a if rate_a else float("inf")
+        flag = ""
+        if rate_a and ratio < threshold:
+            regressions += 1
+            flag = f"  REGRESSION (< {threshold:.2f}x)"
+        config = f"{b.get('queue_impl', '?')}/{b.get('cancellation', '?')}"
+        report(
+            f"{name:<22} {rate_a:>12,.0f}/s {rate_b:>12,.0f}/s "
+            f"{ratio:>7.2f}x  {config}{flag}"
+        )
+    return regressions
+
+
 def write_trajectory(
     path: Path,
     results: list[BenchResult],
@@ -249,7 +368,7 @@ def write_trajectory(
 ) -> None:
     """Write one BENCH_<n>.json trajectory file."""
     doc = {
-        "schema": 1,
+        "schema": SCHEMA_VERSION,
         "label": path.stem,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),

@@ -6,6 +6,18 @@ state leaks between repeats) and returns the engine's
 repeat of the full matrix takes a few seconds; ``smoke=True`` shrinks
 everything to CI-smoke scale (< 1 s total) and is used by the harness's
 cross-engine determinism check rather than for throughput numbers.
+
+The optimistic suites additionally accept ``queue`` and ``cancellation``
+overrides (the CLI's ``--queue`` / ``--cancellation``), so the same
+pinned workloads can be measured under the ladder queue and lazy
+cancellation.  The committed counts must not change with either knob —
+the smoke goldens in :mod:`repro.bench.__main__` enforce that.
+
+The ``*-stress`` suites are deliberately rollback-heavy: PHOLD with
+near-zero lookahead and a 90% remote fraction, and the saturated
+hot-potato network with a large optimism batch.  They exist to show how
+the scheduler structures behave when cancellation dominates — the regime
+where lazy cancellation and the ladder queue earn their keep.
 """
 
 from __future__ import annotations
@@ -32,11 +44,14 @@ BENCH_SEED = 0xB5EED
 class Suite:
     """One (engine, workload) cell of the benchmark matrix.
 
-    ``run(smoke, metrics=None)`` builds the model and engine from scratch
-    and executes; the optional ``metrics`` recorder (see
-    :mod:`repro.obs.metrics`) enables per-cell telemetry capture — the
-    harness attaches it only on a dedicated untimed run, so the timed
-    repeats measure the exact detached configuration.
+    ``run(smoke, metrics=None, queue=None, cancellation=None)`` builds
+    the model and engine from scratch and executes; the optional
+    ``metrics`` recorder (see :mod:`repro.obs.metrics`) enables per-cell
+    telemetry capture — the harness attaches it only on a dedicated
+    untimed run, so the timed repeats measure the exact detached
+    configuration.  ``queue``/``cancellation`` select the pending-queue
+    implementation and cancellation mode on the optimistic engine (the
+    other engines accept and ignore them).
     """
 
     name: str
@@ -52,28 +67,54 @@ def _phold_cfg(smoke: bool) -> tuple[PholdConfig, float]:
     return PholdConfig(n_lps=256, jobs_per_lp=8), 30.0
 
 
+def _phold_stress_cfg(smoke: bool) -> tuple[PholdConfig, float]:
+    """Rollback-heavy PHOLD: almost no lookahead, 90% remote hops."""
+    if smoke:
+        return (
+            PholdConfig(
+                n_lps=32, jobs_per_lp=2, lookahead=0.01, remote_fraction=0.9
+            ),
+            10.0,
+        )
+    return (
+        PholdConfig(
+            n_lps=256, jobs_per_lp=8, lookahead=0.01, remote_fraction=0.9
+        ),
+        15.0,
+    )
+
+
 def _hotpotato_cfg(smoke: bool) -> HotPotatoConfig:
     if smoke:
         return HotPotatoConfig(n=4, duration=10.0, injector_fraction=1.0)
     return HotPotatoConfig(n=8, duration=60.0, injector_fraction=1.0)
 
 
+def _engine_overrides(queue, cancellation) -> dict:
+    overrides = {}
+    if queue is not None:
+        overrides["queue"] = queue
+    if cancellation is not None:
+        overrides["cancellation"] = cancellation
+    return overrides
+
+
 # ----------------------------------------------------------------------
 # Suite bodies.
 # ----------------------------------------------------------------------
-def _seq_phold(smoke: bool, metrics=None) -> RunResult:
+def _seq_phold(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     return run_sequential(PholdModel(cfg), end, seed=BENCH_SEED, metrics=metrics)
 
 
-def _seq_hotpotato(smoke: bool, metrics=None) -> RunResult:
+def _seq_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     return run_sequential(
         HotPotatoModel(cfg), cfg.duration, seed=BENCH_SEED, metrics=metrics
     )
 
 
-def _cons_phold(smoke: bool, metrics=None) -> RunResult:
+def _cons_phold(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ccfg = ConservativeConfig(
         end_time=end, n_pes=4, sync="yawns", seed=BENCH_SEED
@@ -81,7 +122,7 @@ def _cons_phold(smoke: bool, metrics=None) -> RunResult:
     return run_conservative(PholdModel(cfg), ccfg, metrics=metrics)
 
 
-def _cons_hotpotato(smoke: bool, metrics=None) -> RunResult:
+def _cons_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ccfg = ConservativeConfig(
         end_time=cfg.duration, n_pes=4, sync="yawns", seed=BENCH_SEED
@@ -89,15 +130,25 @@ def _cons_hotpotato(smoke: bool, metrics=None) -> RunResult:
     return run_conservative(HotPotatoModel(cfg), ccfg, metrics=metrics)
 
 
-def _opt_phold(smoke: bool, metrics=None) -> RunResult:
+def _opt_phold(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ecfg = EngineConfig(
-        end_time=end, n_pes=4, n_kps=16, batch_size=32, seed=BENCH_SEED
+        end_time=end, n_pes=4, n_kps=16, batch_size=32, seed=BENCH_SEED,
+        **_engine_overrides(queue, cancellation),
     )
     return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics)
 
 
-def _opt_hotpotato(smoke: bool, metrics=None) -> RunResult:
+def _opt_phold_stress(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+    cfg, end = _phold_stress_cfg(smoke)
+    ecfg = EngineConfig(
+        end_time=end, n_pes=4, n_kps=16, batch_size=256, seed=BENCH_SEED,
+        **_engine_overrides(queue, cancellation),
+    )
+    return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics)
+
+
+def _opt_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ecfg = EngineConfig(
         end_time=cfg.duration,
@@ -105,12 +156,27 @@ def _opt_hotpotato(smoke: bool, metrics=None) -> RunResult:
         n_kps=16,
         batch_size=64,
         seed=BENCH_SEED,
+        **_engine_overrides(queue, cancellation),
+    )
+    return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics)
+
+
+def _opt_hotpotato_stress(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+    cfg = _hotpotato_cfg(smoke)
+    ecfg = EngineConfig(
+        end_time=cfg.duration,
+        n_pes=4,
+        n_kps=16,
+        batch_size=512,
+        seed=BENCH_SEED,
+        **_engine_overrides(queue, cancellation),
     )
     return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics)
 
 
 #: The fixed matrix, in reporting order.  ``opt-hotpotato`` is the
-#: headline suite tracked by the PR acceptance criteria.
+#: headline suite tracked by the PR acceptance criteria; the ``*-stress``
+#: suites characterise the rollback-dominated regime.
 SUITES: tuple[Suite, ...] = (
     Suite("seq-phold", "sequential", "phold", BENCH_SEED, _seq_phold),
     Suite("seq-hotpotato", "sequential", "hotpotato", BENCH_SEED, _seq_hotpotato),
@@ -118,4 +184,12 @@ SUITES: tuple[Suite, ...] = (
     Suite("cons-hotpotato", "conservative", "hotpotato", BENCH_SEED, _cons_hotpotato),
     Suite("opt-phold", "optimistic", "phold", BENCH_SEED, _opt_phold),
     Suite("opt-hotpotato", "optimistic", "hotpotato", BENCH_SEED, _opt_hotpotato),
+    Suite("opt-phold-stress", "optimistic", "phold-stress", BENCH_SEED, _opt_phold_stress),
+    Suite(
+        "opt-hotpotato-stress",
+        "optimistic",
+        "hotpotato-stress",
+        BENCH_SEED,
+        _opt_hotpotato_stress,
+    ),
 )

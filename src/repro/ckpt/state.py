@@ -34,7 +34,7 @@ from dataclasses import fields as dataclass_fields
 
 from repro.core.event import Event, _next_serial
 from repro.errors import SnapshotError
-from repro.vt.time import EventKey
+from repro.vt.time import TIME_HORIZON, EventKey
 
 __all__ = ["capture_state", "restore_state"]
 
@@ -133,6 +133,12 @@ def _restore_pool(pool, snap) -> None:
 def _capture_gvt(manager):
     if manager.name == "synchronous":
         return ("synchronous", manager.last)
+    if manager.name == "incremental":
+        # Per-PE floors are NOT captured: the restore marks every PE
+        # dirty, so the first post-resume estimate re-peeks each queue
+        # exactly (the queues themselves are rebuilt from the snapshot).
+        return ("incremental", manager.last, manager.incremental_rounds,
+                manager.repeeks)
     return (
         "mattern",
         manager.epoch,
@@ -151,6 +157,11 @@ def _restore_gvt(manager, snap) -> None:
         )
     if snap[0] == "synchronous":
         manager.last = snap[1]
+        return
+    if snap[0] == "incremental":
+        _, manager.last, manager.incremental_rounds, manager.repeeks = snap
+        manager._floor[:] = [TIME_HORIZON] * manager.n_pes
+        manager._dirty[:] = [True] * manager.n_pes
         return
     _, epoch, sent, recv, min_ts, last = snap
     manager.epoch = epoch
@@ -262,6 +273,8 @@ def _restore_sequential(engine, payload) -> None:
 def _capture_optimistic(kernel, loop) -> dict:
     if kernel._cancel_worklist:
         raise SnapshotError("cancel worklist not drained at checkpoint boundary")
+    if kernel._antimsg_batch:
+        raise SnapshotError("anti-message batch not flushed at checkpoint boundary")
     if kernel._current_event is not None:
         raise SnapshotError("cannot snapshot mid-event")
     faults = kernel.faults
@@ -285,6 +298,7 @@ def _capture_optimistic(kernel, loop) -> dict:
             "cancelled_direct": kernel.cancelled_direct,
             "cancelled_via_rollback": kernel.cancelled_via_rollback,
             "lazy_reused": kernel.lazy_reused,
+            "antimsg_batches": kernel.antimsg_batches,
             "peak_pending": kernel.peak_pending,
             "peak_processed": kernel.peak_processed,
         },

@@ -93,16 +93,26 @@ class KernelProcess:
                 hi = mid
         if lo == 0:
             return 0
-        lps = kernel.lps
         tracer = kernel.tracer
         pool = kernel.pool
-        if pool is None:
+        # Per-LP commit table: None for LPs inheriting the base no-op
+        # commit (and None outright when no LP overrides it), so the
+        # common case (e.g. PHOLD) skips the call entirely.
+        commits = kernel._commit_of_lp
+        if pool is None or tracer is not None:
+            release = pool.release if pool is not None else None
             for ev in processed[:lo]:
-                lps[ev.dst].commit(ev)
+                if commits is not None:
+                    cb = commits[ev.dst]
+                    if cb is not None:
+                        cb(ev)
                 if tracer is not None:
                     tracer.on_commit(ev)
-                ev.sent.clear()
-                ev.snapshot = None
+                if release is not None:
+                    release(ev)
+                else:
+                    ev.sent.clear()
+                    ev.snapshot = None
         else:
             # Recycle committed events.  Safe because a child's timestamp
             # strictly exceeds its parent's: any parent whose ``sent`` list
@@ -110,12 +120,38 @@ class KernelProcess:
             # commits (clearing that list) in this same pass; cancelled
             # events are never released.  The tracer copies fields on
             # commit, so recycling composes with tracing too.
-            release = pool.release
-            for ev in processed[:lo]:
-                lps[ev.dst].commit(ev)
-                if tracer is not None:
-                    tracer.on_commit(ev)
-                release(ev)
+            # ``EventPool.release`` is inlined: this loop runs once per
+            # committed event — the single hottest non-model loop in a
+            # low-rollback run.
+            free = pool._free
+            max_free = pool.max_free
+            if commits is None:
+                # No model code runs in this loop, so nothing can touch
+                # the free list mid-pass: the capacity check collapses to
+                # a countdown.
+                room = max_free - len(free)
+                append = free.append
+                for ev in processed[:lo]:
+                    if room > 0:
+                        room -= 1
+                        ev.data = None
+                        ev.snapshot = None
+                        ev.lazy_sent = None
+                        ev.saved.clear()
+                        ev.sent.clear()
+                        append(ev)
+            else:
+                for ev in processed[:lo]:
+                    cb = commits[ev.dst]
+                    if cb is not None:
+                        cb(ev)
+                    if len(free) < max_free:
+                        ev.data = None
+                        ev.snapshot = None
+                        ev.lazy_sent = None
+                        ev.saved.clear()
+                        ev.sent.clear()
+                        free.append(ev)
         del processed[:lo]
         return lo
 

@@ -46,6 +46,14 @@ __all__ = ["LogicalProcess", "Model"]
 #: namedtuple ``__new__`` does, minus one Python-level call per send.
 _tuple_new = tuple.__new__
 
+#: Exact types that cannot alias mutable state: a container holding only
+#: these is fully copied by a shallow copy (see ``snapshot_state``).
+#: ``bool`` is covered by ``int`` only via subclassing, and the checks
+#: below use exact types, so it is listed explicitly.
+_SCALAR_TYPES = frozenset(
+    {int, float, complex, bool, str, bytes, type(None)}
+)
+
 
 class LogicalProcess:
     """Base class for all simulated components.
@@ -161,8 +169,39 @@ class LogicalProcess:
     # State-saving strategy hooks.
     # ------------------------------------------------------------------
     def snapshot_state(self) -> Any:
-        """Return a full copy of the model state (state-saving rollback)."""
-        return copy.deepcopy(self.state)
+        """Return a full copy of the model state (state-saving rollback).
+
+        Flat containers of scalars — the shape of most model state (PHOLD's
+        counter list, per-LP tallies) — are snapshotted with a shallow
+        copy: a scalar cannot alias mutable state, so copying the
+        container alone is a *full* copy.  Anything nested or of a
+        non-exact container type falls back to :func:`copy.deepcopy`,
+        preserving the documented contract.  The shapes are checked per
+        call because handlers may rebind ``self.state`` to a different
+        shape mid-run.
+        """
+        state = self.state
+        tstate = type(state)
+        if tstate in _SCALAR_TYPES:
+            # Immutable: no copy needed at all.
+            return state
+        if tstate is list:
+            for v in state:
+                if type(v) not in _SCALAR_TYPES:
+                    return copy.deepcopy(state)
+            return state.copy()
+        if tstate is dict:
+            for v in state.values():
+                if type(v) not in _SCALAR_TYPES:
+                    return copy.deepcopy(state)
+            return state.copy()
+        if tstate is tuple:
+            for v in state:
+                if type(v) not in _SCALAR_TYPES:
+                    return copy.deepcopy(state)
+            # A tuple of scalars is deeply immutable — share it.
+            return state
+        return copy.deepcopy(state)
 
     def restore_state(self, snapshot: Any) -> None:
         """Restore a copy produced by :meth:`snapshot_state`."""

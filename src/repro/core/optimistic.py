@@ -23,7 +23,7 @@ than ``e``'s and neither ``e`` nor its parent can be affected mid-flight.
 
 from __future__ import annotations
 
-from heapq import heappush
+from heapq import heappop, heappush
 
 from repro.core.config import EngineConfig
 from repro.core.event import Event, EventPool, _next_serial
@@ -56,6 +56,9 @@ def _compile_send(kernel: "TimeWarpKernel", lp, use_heap: bool):
     constant for the run (and for this source LP) captured as a cell
     variable instead of re-read through attribute chains.  Only compiled
     for the immediate transport, where delivery can be inlined too.
+    Specialised per cancellation mode: the aggressive variant carries no
+    lazy-reuse check at all (``_lazy_pool`` can never be set), the lazy
+    variant batches divergent anti-messages (see ``_flush_antimsgs``).
 
     Correctness contract: the operation sequence is *identical* to the
     generic path — same validation, same RNG/sequence usage, same stats,
@@ -71,16 +74,78 @@ def _compile_send(kernel: "TimeWarpKernel", lp, use_heap: bool):
     pool = kernel.pool
     pool_free = pool._free if pool is not None else ()
     gvt = kernel.gvt_manager
-    on_send = gvt.on_send if kernel._gvt_hooks else None
-    on_receive = gvt.on_receive if kernel._gvt_hooks else None
+    on_send = gvt.on_send if kernel._gvt_send_hook else None
+    on_receive = gvt.on_receive if kernel._gvt_recv_hook else None
     kp_of_lp = kernel._kp_of_lp
     pe_by_lp = kernel._pe_by_lp
     pending_by_lp = [pe.pending for pe in pe_by_lp]
     processed_by_lp = [kp.processed for kp in kp_of_lp]
     serial = _next_serial
     straggler = kernel._straggler
+    batch_append = kernel._antimsg_batch.append
 
-    def fast_send(ts, dst, kind, data=None):
+    if not kernel.lazy:
+
+        def fast_send(ts, dst, kind, data=None):
+            if ts <= lp._now:
+                raise SchedulingError(
+                    f"LP {lp_id} tried to send {kind!r} at ts={ts} while "
+                    f"processing ts={lp._now}; sends must move strictly forward"
+                )
+            seq = lp.send_seq
+            lp.send_seq = seq + 1
+            key = _tuple_new(EventKey, (ts, lp_id, seq))
+            # Inlined EventPool.acquire.
+            if pool_free:
+                pool.hits += 1
+                ev = pool_free.pop()
+                ev.key = key
+                ev.dst = dst
+                ev.kind = kind
+                ev.data = data if data is not None else {}
+                ev.rng_draws = 0
+                ev.prev_send_seq = 0
+                ev.processed = False
+                ev.color = 0
+                entry = ev.entry = (ts, lp_id, seq, serial(), ev)
+            else:
+                if pool is not None:
+                    pool.allocs += 1
+                ev = Event(key, dst, kind, data)
+                entry = ev.entry
+            # Inlined TimeWarpKernel._emit.
+            current = kernel._current_event
+            dst_pe = pe_of_lp[dst]
+            if current is not None:
+                current.sent.append(ev)
+            if src_pe == dst_pe:
+                src_stats.local_sends += 1
+                units = cost_local
+            else:
+                src_stats.remote_sends += 1
+                units = cost_remote
+            src_stats.busy += units
+            src_stats.round_busy += units
+            if on_send is not None:
+                on_send(src_pe, ev)
+            if on_receive is not None:
+                on_receive(dst_pe, ev)
+            q = pending_by_lp[dst]
+            if use_heap:
+                # Inlined PendingQueue.push.
+                heappush(q._heap, entry)
+                ev.in_pending = True
+                q._live += 1
+            else:
+                q.push(ev)
+            processed = processed_by_lp[dst]
+            if processed and processed[-1].key > key:
+                straggler(pe_by_lp[dst], kp_of_lp[dst], ev)
+            return ev
+
+        return fast_send
+
+    def fast_send_lazy(ts, dst, kind, data=None):
         if ts <= lp._now:
             raise SchedulingError(
                 f"LP {lp_id} tried to send {kind!r} at ts={ts} while "
@@ -122,8 +187,10 @@ def _compile_send(kernel: "TimeWarpKernel", lp, use_heap: bool):
                     current.sent.append(old)
                     kernel.lazy_reused += 1
                     return ev
-                kernel._cancel(old)
-                kernel._drain_cancels()
+                # Genuinely divergent send: batch the anti-message; the
+                # flush runs after this forward completes, before any
+                # other event can execute.
+                batch_append(old)
         dst_pe = pe_of_lp[dst]
         if current is not None:
             current.sent.append(ev)
@@ -152,7 +219,7 @@ def _compile_send(kernel: "TimeWarpKernel", lp, use_heap: bool):
             straggler(pe_by_lp[dst], kp_of_lp[dst], ev)
         return ev
 
-    return fast_send
+    return fast_send_lazy
 
 
 def _compile_execute(kernel: "TimeWarpKernel"):
@@ -160,15 +227,49 @@ def _compile_execute(kernel: "TimeWarpKernel"):
 
     ``TimeWarpKernel.execute`` with run-constant state captured in cells;
     only installed when no tracer is attached (the generic method keeps
-    the tracer hook).  Same operation sequence as the method.
+    the tracer hook).  Same operation sequence as the method.  Compiled
+    per cancellation mode: under aggressive cancellation ``lazy_sent`` is
+    never set and ``_lazy_pool`` is never read, so the variant carries
+    neither; the lazy variant flushes the anti-message batch after each
+    forward execution.
     """
     lps = kernel.lps
     snapshot_before = kernel._snapshot_before
     processed_append_by_lp = [kp.processed.append for kp in kernel._kp_of_lp]
-    cancel = kernel._cancel
-    drain = kernel._drain_cancels
 
-    def fast_execute(pe, ev):
+    if not kernel.lazy:
+
+        def fast_execute(pe, ev):
+            dst = ev.dst
+            lp = lps[dst]
+            ev.sent.clear()
+            ev.snapshot = None
+            ev.prev_send_seq = lp.send_seq
+            if snapshot_before is not None:
+                snapshot_before(lp, ev)
+            rng = lp.rng
+            rng_before = rng._count
+            lp._now = ev.entry[0]
+            kernel._current_event = ev
+            try:
+                lp.forward(ev)
+            finally:
+                kernel._current_event = None
+            ev.rng_draws = rng._count - rng_before
+            ev.processed = True
+            processed_append_by_lp[dst](ev)
+            stats = pe.stats
+            stats.processed += 1
+            units = pe.event_cost
+            stats.busy += units
+            stats.round_busy += units
+
+        return fast_execute
+
+    batch = kernel._antimsg_batch
+    flush = kernel._flush_antimsgs
+
+    def fast_execute_lazy(pe, ev):
         dst = ev.dst
         lp = lps[dst]
         pool = None
@@ -192,9 +293,10 @@ def _compile_execute(kernel: "TimeWarpKernel"):
             kernel._current_event = None
             kernel._lazy_pool = None
         if pool:
-            for child in pool.values():
-                cancel(child)
-            drain()
+            # Messages the re-execution did not regenerate are orphans.
+            batch.extend(pool.values())
+        if batch:
+            flush()
         ev.rng_draws = rng._count - rng_before
         ev.processed = True
         processed_append_by_lp[dst](ev)
@@ -204,7 +306,195 @@ def _compile_execute(kernel: "TimeWarpKernel"):
         stats.busy += units
         stats.round_busy += units
 
-    return fast_execute
+    return fast_execute_lazy
+
+
+def _compile_batch(kernel: "TimeWarpKernel", pe, use_heap: bool):
+    """Build the fused per-PE batch loop.
+
+    ``ProcessingElement.process_batch`` + ``PendingQueue.pop_below`` +
+    the fused execute body collapsed into one closure: the scheduler's
+    innermost loop runs without a single Python-level call beyond
+    ``lp.forward`` and the send path.  Installed under exactly the same
+    conditions as the fused execute (immediate transport, no tracer) and
+    with the identical operation sequence, so fused and generic runs stay
+    bit-identical — including the per-event order of the floating-point
+    busy charges, which rollback charges interleave with.
+
+    Rollbacks triggered mid-loop mutate the same heap list and stats
+    objects captured here (they are never rebound), so the hoisted locals
+    stay valid across re-entrant sends.
+    """
+    lps = kernel.lps
+    snapshot_before = kernel._snapshot_before
+    processed_append_by_lp = [kp.processed.append for kp in kernel._kp_of_lp]
+    pending = pe.pending
+    heap = pending._heap if use_heap else None
+    pop_below = pending.pop_below
+    stats = pe.stats
+    event_cost = pe.event_cost
+    batch = kernel._antimsg_batch
+    flush = kernel._flush_antimsgs
+
+    if not kernel.lazy:
+        if use_heap:
+
+            def fast_batch(max_events, limit_ts):
+                # ``_live`` and ``stats.processed`` are settled once per
+                # batch in the ``finally`` below: both are plain counters
+                # that nothing reads mid-batch (the run loop, GVT, fossil
+                # collection and telemetry all run between batches), and
+                # re-entrant sends/rollbacks only ever ``+=``/``-=`` them,
+                # which commutes with the deferred decrement.  The float
+                # busy charges stay per-event: rollback charges interleave
+                # with them and the accumulation order is part of the
+                # fused-vs-generic bit-identity contract.
+                done = 0
+                try:
+                    while done < max_events:
+                        # --- inlined PendingQueue.pop_below -----------
+                        while True:
+                            if not heap:
+                                return done
+                            entry = heap[0]
+                            ev = entry[4]
+                            if ev.cancelled:
+                                heappop(heap)
+                                ev.in_pending = False
+                                continue
+                            if entry[0] >= limit_ts:
+                                return done
+                            heappop(heap)
+                            ev.in_pending = False
+                            break
+                        # --- inlined fused execute body ---------------
+                        dst = ev.dst
+                        lp = lps[dst]
+                        ev.sent.clear()
+                        ev.prev_send_seq = lp.send_seq
+                        if snapshot_before is not None:
+                            ev.snapshot = None
+                            snapshot_before(lp, ev)
+                        # (Under reverse computation ``ev.snapshot`` is
+                        # already None — nothing on that strategy's path
+                        # ever sets it — so the per-event clear is
+                        # elided.)
+                        rng = lp.rng
+                        rng_before = rng._count
+                        lp._now = ev.entry[0]
+                        kernel._current_event = ev
+                        try:
+                            lp.forward(ev)
+                        finally:
+                            kernel._current_event = None
+                        ev.rng_draws = rng._count - rng_before
+                        ev.processed = True
+                        processed_append_by_lp[dst](ev)
+                        stats.busy += event_cost
+                        stats.round_busy += event_cost
+                        done += 1
+                    return done
+                finally:
+                    if done:
+                        pending._live -= done
+                        stats.processed += done
+
+            return fast_batch
+
+        def fast_batch(max_events, limit_ts):
+            done = 0
+            while done < max_events:
+                ev = pop_below(limit_ts)
+                if ev is None:
+                    return done
+                # --- inlined fused execute body -----------------------
+                dst = ev.dst
+                lp = lps[dst]
+                ev.sent.clear()
+                ev.prev_send_seq = lp.send_seq
+                if snapshot_before is not None:
+                    ev.snapshot = None
+                    snapshot_before(lp, ev)
+                rng = lp.rng
+                rng_before = rng._count
+                lp._now = ev.entry[0]
+                kernel._current_event = ev
+                try:
+                    lp.forward(ev)
+                finally:
+                    kernel._current_event = None
+                ev.rng_draws = rng._count - rng_before
+                ev.processed = True
+                processed_append_by_lp[dst](ev)
+                stats.processed += 1
+                stats.busy += event_cost
+                stats.round_busy += event_cost
+                done += 1
+            return done
+
+        return fast_batch
+
+    def fast_batch_lazy(max_events, limit_ts):
+        done = 0
+        while done < max_events:
+            # --- inlined PendingQueue.pop_below -----------------------
+            if use_heap:
+                while True:
+                    if not heap:
+                        return done
+                    entry = heap[0]
+                    ev = entry[4]
+                    if ev.cancelled:
+                        heappop(heap)
+                        ev.in_pending = False
+                        continue
+                    if entry[0] >= limit_ts:
+                        return done
+                    heappop(heap)
+                    ev.in_pending = False
+                    pending._live -= 1
+                    break
+            else:
+                ev = pop_below(limit_ts)
+                if ev is None:
+                    return done
+            # --- inlined fused execute body ---------------------------
+            dst = ev.dst
+            lp = lps[dst]
+            pool = None
+            lz = ev.lazy_sent
+            if lz:
+                pool = {c.key: c for c in lz}
+                ev.lazy_sent = None
+            ev.sent.clear()
+            ev.prev_send_seq = lp.send_seq
+            if snapshot_before is not None:
+                ev.snapshot = None
+                snapshot_before(lp, ev)
+            rng = lp.rng
+            rng_before = rng._count
+            lp._now = ev.entry[0]
+            kernel._current_event = ev
+            kernel._lazy_pool = pool
+            try:
+                lp.forward(ev)
+            finally:
+                kernel._current_event = None
+                kernel._lazy_pool = None
+            if pool:
+                batch.extend(pool.values())
+            if batch:
+                flush()
+            ev.rng_draws = rng._count - rng_before
+            ev.processed = True
+            processed_append_by_lp[dst](ev)
+            stats.processed += 1
+            stats.busy += event_cost
+            stats.round_busy += event_cost
+            done += 1
+        return done
+
+    return fast_batch_lazy
 
 
 class TimeWarpKernel:
@@ -262,11 +552,15 @@ class TimeWarpKernel:
         self.strategy = make_strategy(config.rollback)
         self.transport = make_transport(config.transport, self._receive, config.n_pes)
         self.gvt_manager = make_gvt_manager(config.gvt, config.n_pes)
-        # Messages annihilated in transit still count as "arrived" for GVT
-        # message accounting.
-        self.transport.on_drop = lambda ev: self.gvt_manager.on_receive(
-            self.pe_of_lp[ev.dst], ev
-        )
+        incremental_gvt = getattr(self.gvt_manager, "needs_requeue_hook", False)
+        if not incremental_gvt:
+            # Messages annihilated in transit still count as "arrived" for
+            # GVT message accounting (Mattern epoch balance).  The
+            # incremental manager must NOT see them: floors may only be
+            # lowered by live work, or a dead event could pin GVT forever.
+            self.transport.on_drop = lambda ev: self.gvt_manager.on_receive(
+                self.pe_of_lp[ev.dst], ev
+            )
 
         # --- Hot-path capability flags & event pool --------------------------
         #: Event recycling free list (None when cfg.pool is off).
@@ -274,6 +568,23 @@ class TimeWarpKernel:
         #: Managers whose send/receive hooks are no-ops (the synchronous
         #: barrier algorithm) skip the two per-message calls entirely.
         self._gvt_hooks = getattr(self.gvt_manager, "tracks_messages", True)
+        #: Finer-grained hook flags: the incremental manager needs the
+        #: receive hook (floors drop at delivery) but not the send hook.
+        self._gvt_send_hook = self._gvt_hooks and getattr(
+            self.gvt_manager, "needs_send_hook", True
+        )
+        self._gvt_recv_hook = self._gvt_hooks
+        #: Incremental-GVT bookkeeping callbacks (None for the others, so
+        #: the rollback/cancel/round paths stay hook-free by default).
+        self._gvt_requeue = (
+            self.gvt_manager.on_requeue if incremental_gvt else None
+        )
+        self._gvt_note_cancel = (
+            self.gvt_manager.note_cancelled if incremental_gvt else None
+        )
+        self._gvt_note_exec = (
+            self.gvt_manager.note_executed if incremental_gvt else None
+        )
         #: The immediate transport is a plain function indirection; _emit
         #: inlines its delivery when this is set.
         self._direct = getattr(self.transport, "name", "") == "immediate"
@@ -289,6 +600,19 @@ class TimeWarpKernel:
         self._stats_by_pe = [pe.stats for pe in self.pes]
         self._cost_local = self.cost.local_send
         self._cost_remote = self.cost.remote_send
+        #: Per-LP commit hook table: ``None`` for LPs that inherit the
+        #: base no-op ``commit``, so fossil collection skips the call
+        #: entirely (PHOLD commits nothing; hot-potato routers do).
+        base_commit = LogicalProcess.commit
+        commit_of_lp = [
+            None if type(lp).commit is base_commit else lp.commit
+            for lp in self.lps
+        ]
+        #: ``None`` when no LP overrides ``commit`` at all — fossil
+        #: collection then skips even the per-event table lookup.
+        self._commit_of_lp = (
+            commit_of_lp if any(cb is not None for cb in commit_of_lp) else None
+        )
 
         # --- Cost precomputation --------------------------------------------
         snapshot_cost = self.cost.snapshot if self.strategy.name == "copy" else 0.0
@@ -315,6 +639,17 @@ class TimeWarpKernel:
         #: Lazy cancellation mode (see EngineConfig.cancellation).
         self.lazy = config.cancellation == "lazy"
         self.lazy_reused = 0
+        #: Anti-messages found divergent during one forward execution,
+        #: deferred so the whole group is resolved in one flush (one
+        #: secondary rollback per affected KP).  The list object is
+        #: captured by the fused closures — it is drained in place, never
+        #: rebound.  Always empty between events.
+        self._antimsg_batch: list[Event] = []
+        #: Non-empty anti-message batch flushes (see ``_flush_antimsgs``).
+        self.antimsg_batches = 0
+        #: Per-PE fused batch loops (see ``_compile_batch``); ``None``
+        #: until ``_install_fast_paths`` decides they apply.
+        self._batch_by_pe: list | None = None
         #: Optional optimism throttle (see EngineConfig.adaptive).
         self.throttle = Throttle() if config.adaptive else None
         self.gvt = 0.0
@@ -376,8 +711,9 @@ class TimeWarpKernel:
                     self.lazy_reused += 1
                     return
                 # Same key, different content: the old message is wrong.
-                self._cancel(old)
-                self._drain_cancels()
+                # Batch the anti-message; the flush runs when this forward
+                # execution completes (see _flush_antimsgs).
+                self._antimsg_batch.append(old)
         pe_of_lp = self.pe_of_lp
         src_pe = pe_of_lp[src_lp.id]
         dst = ev.dst
@@ -393,7 +729,7 @@ class TimeWarpKernel:
             units = self._cost_remote
         stats.busy += units
         stats.round_busy += units
-        if self._gvt_hooks:
+        if self._gvt_send_hook:
             self.gvt_manager.on_send(src_pe, ev)
         if not self._direct:
             self.transport.deliver(ev, src_pe, dst_pe)
@@ -401,7 +737,7 @@ class TimeWarpKernel:
         # Immediate transport: the inlined body of _receive.
         kp = self._kp_of_lp[dst]
         pe = self._pe_by_lp[dst]
-        if self._gvt_hooks:
+        if self._gvt_recv_hook:
             self.gvt_manager.on_receive(pe.id, ev)
         pe.pending.push(ev)
         processed = kp.processed
@@ -462,9 +798,9 @@ class TimeWarpKernel:
             self._lazy_pool = None
         if pool:
             # Messages the re-execution did not regenerate are now orphans.
-            for child in pool.values():
-                self._cancel(child)
-            self._drain_cancels()
+            self._antimsg_batch.extend(pool.values())
+        if self._antimsg_batch:
+            self._flush_antimsgs()
         ev.rng_draws = rng._count - rng_before
         ev.processed = True
         lp.kp.processed.append(ev)
@@ -497,7 +833,14 @@ class TimeWarpKernel:
             ev.sent.clear()
         self.strategy.undo(lp, ev)
         ev.processed = False
-        self.pes[self.pe_of_lp[ev.dst]].pending.push(ev)
+        pe_id = self.pe_of_lp[ev.dst]
+        self.pes[pe_id].pending.push(ev)
+        requeue = self._gvt_requeue
+        if requeue is not None:
+            # The incremental GVT manager must see the requeue: it can
+            # land below a floor that was re-peeked after this event was
+            # first popped.
+            requeue(pe_id, ev.entry[0])
         if self.tracer is not None:
             self.tracer.on_undo(ev)
 
@@ -516,7 +859,13 @@ class TimeWarpKernel:
         """Mark an unprocessed event dead and reap its parked children."""
         ev.cancelled = True
         if ev.in_pending:
-            self.pes[self.pe_of_lp[ev.dst]].pending.note_cancelled()
+            pe_id = self.pe_of_lp[ev.dst]
+            self.pes[pe_id].pending.note_cancelled()
+            note_cancel = self._gvt_note_cancel
+            if note_cancel is not None:
+                # The dead event may be the one holding the incremental
+                # floor down; force an exact re-peek of this PE.
+                note_cancel(pe_id)
         if ev.lazy_sent:
             # The event will never re-execute, so its kept messages from
             # the undone execution can no longer be claimed: cancel them.
@@ -547,6 +896,59 @@ class TimeWarpKernel:
             if not ev.cancelled:
                 self._flag_cancelled(ev)
                 self.cancelled_via_rollback += 1
+
+    def _flush_antimsgs(self) -> None:
+        """Resolve one forward execution's batched anti-messages.
+
+        Lazy cancellation discovers divergent and orphaned messages one at
+        a time while an event re-executes; cancelling each immediately
+        would trigger one secondary-rollback cascade per message.  The
+        discoveries are instead collected in ``_antimsg_batch`` and
+        resolved here, after the forward handler returns and before any
+        other event can execute (the PEs are multiplexed on one thread, so
+        nothing observes the window in between): one secondary rollback
+        per affected KP, to the minimum annihilated key.  Tail-first undo
+        makes that the exact undo sequence the per-message cascades would
+        have produced, so committed sequences are bit-identical — only the
+        rollback-episode count (and its fixed cost) shrinks.
+        """
+        batch = self._antimsg_batch
+        work = batch[:]
+        batch.clear()
+        self.antimsg_batches += 1
+        # Processed-at-flush-time snapshot (the group rollbacks below flip
+        # these flags) — it decides direct-vs-via-rollback accounting.
+        was_processed = [old.processed and not old.cancelled for old in work]
+        groups: dict[int, list] = {}
+        for old, was in zip(work, was_processed):
+            if was:
+                kp = self.lps[old.dst].kp
+                g = groups.get(kp.id)
+                if g is None:
+                    groups[kp.id] = [kp, old.key, old.dst]
+                elif old.key < g[1]:
+                    g[1] = old.key
+                    g[2] = old.dst
+        for kp, bound, trigger in groups.values():
+            pe = self.pes[kp.pe_id]
+            self._charge(pe, self.cost.rollback_fixed)
+            undone = kp.rollback_until(bound, self, trigger)
+            self._charge(pe, undone * self.undo_cost)
+        for old, was in zip(work, was_processed):
+            if old.cancelled:
+                continue
+            self._flag_cancelled(old)
+            if was:
+                self.cancelled_via_rollback += 1
+            else:
+                self.cancelled_direct += 1
+        self._drain_cancels()
+        if not self._direct:
+            # Batched in-transit annihilation: reap newly dead messages
+            # still sitting in mailboxes in one sweep.
+            annihilate = getattr(self.transport, "annihilate", None)
+            if annihilate is not None:
+                annihilate()
 
     def _charge(self, pe: ProcessingElement, units: float) -> None:
         pe.stats.busy += units
@@ -633,20 +1035,30 @@ class TimeWarpKernel:
             processed_depth=sum(len(kp.processed) for kp in kps),
             throttle=self.throttle.factor if self.throttle is not None else 1.0,
             pool_hit_rate=hit_rate,
+            lazy_hits=self.lazy_reused,
+            antimsg_batches=self.antimsg_batches,
+            gvt_incremental_rounds=getattr(
+                self.gvt_manager, "incremental_rounds", 0
+            ),
             kp_rolled_back=[kp.stats.events_rolled_back for kp in kps],
         )
 
     def fossil_collect(self, gvt_ts: float) -> int:
         """Commit and free everything below ``gvt_ts`` across all KPs."""
-        pending_now = sum(len(pe.pending) for pe in self.pes)
-        processed_now = sum(len(kp.processed) for kp in self.kps)
+        # ``_live`` is PendingQueue/LadderQueue.__len__ without the
+        # dispatch; this runs every GVT boundary (default: every round).
+        pending_now = 0
+        for pe in self.pes:
+            pending_now += pe.pending._live
+        processed_now = 0
+        collected = 0
+        for kp in self.kps:
+            processed_now += len(kp.processed)
+            collected += kp.fossil_collect(gvt_ts, self)
         if pending_now > self.peak_pending:
             self.peak_pending = pending_now
         if processed_now > self.peak_processed:
             self.peak_processed = processed_now
-        collected = 0
-        for kp in self.kps:
-            collected += kp.fossil_collect(gvt_ts, self)
         self.fossil_collected += collected
         return collected
 
@@ -669,6 +1081,9 @@ class TimeWarpKernel:
             lp.send = _compile_send(self, lp, use_heap)
         if self.tracer is None:
             self.execute = _compile_execute(self)
+            self._batch_by_pe = [
+                _compile_batch(self, pe, use_heap) for pe in self.pes
+            ]
 
     def run(self) -> RunResult:
         """Execute the model to ``cfg.end_time`` and collect statistics."""
@@ -684,7 +1099,11 @@ class TimeWarpKernel:
                 lp.on_init()
 
         pes = self.pes
+        batches = self._batch_by_pe
+        stats_by_pe = self._stats_by_pe
+        sched_per_round = self.cost.sched_per_round
         rounds = 0
+        note_exec = self._gvt_note_exec
         gvt_overhead = max(
             self.cost.gvt_overhead(pe.lp_count, len(pe.kp_ids)) for pe in pes
         )
@@ -713,8 +1132,8 @@ class TimeWarpKernel:
             else:
                 limit = end
             any_work = False
-            for pe in pes:
-                pe.stats.round_busy = 0.0
+            for st in stats_by_pe:
+                st.round_busy = 0.0
             for pe in pes:
                 if faults is not None and faults.stalled(pe.id, rounds):
                     # Straggler injection: this PE executes nothing this
@@ -723,12 +1142,23 @@ class TimeWarpKernel:
                     # pending events — and stall windows are finite, so
                     # the run still terminates.
                     continue
-                if pe.process_batch(self, eff_batch, limit):
+                if (
+                    batches[pe.id](eff_batch, limit)
+                    if batches is not None
+                    else pe.process_batch(self, eff_batch, limit)
+                ):
                     any_work = True
+                    if note_exec is not None:
+                        # Incremental GVT: this PE popped events, so its
+                        # cached floor may have risen — re-peek it at the
+                        # next estimate.
+                        note_exec(pe.id)
             rounds += 1
-            self.makespan_units += (
-                max(pe.stats.round_busy for pe in pes) + self.cost.sched_per_round
-            )
+            round_max = 0.0
+            for st in stats_by_pe:
+                if st.round_busy > round_max:
+                    round_max = st.round_busy
+            self.makespan_units += round_max + sched_per_round
             gvt_boundary = rounds % cfg.gvt_interval == 0 or not any_work
             if gvt_boundary:
                 # Estimate is taken *before* the flush so the GVT manager
@@ -800,6 +1230,10 @@ class TimeWarpKernel:
         stats.cancelled_direct = self.cancelled_direct
         stats.cancelled_via_rollback = self.cancelled_via_rollback
         stats.lazy_reused = self.lazy_reused
+        stats.antimsg_batches = self.antimsg_batches
+        stats.gvt_incremental_rounds = getattr(
+            self.gvt_manager, "incremental_rounds", 0
+        )
         if self.throttle is not None:
             stats.throttle_adjustments = self.throttle.adjustments
             stats.throttle_final_factor = self.throttle.factor

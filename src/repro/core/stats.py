@@ -67,6 +67,14 @@ class RunStats:
     cancelled_via_rollback: int = 0
     #: Messages reused in place by lazy cancellation (never cancelled).
     lazy_reused: int = 0
+    #: Batched anti-message flushes under lazy cancellation: one per
+    #: forward execution that discovered at least one divergent or
+    #: orphaned message (each flush does one secondary rollback per
+    #: affected KP instead of one cascade per message).
+    antimsg_batches: int = 0
+    #: GVT estimates served by the incremental manager (0 under the
+    #: synchronous or Mattern algorithms).
+    gvt_incremental_rounds: int = 0
     #: Optimism-throttle activity (0 when the throttle is off or idle).
     throttle_adjustments: int = 0
     #: Final optimism factor (1.0 = full batch/window).
@@ -125,6 +133,8 @@ class RunStats:
             "cancelled_direct": self.cancelled_direct,
             "cancelled_via_rollback": self.cancelled_via_rollback,
             "lazy_reused": self.lazy_reused,
+            "antimsg_batches": self.antimsg_batches,
+            "gvt_incremental_rounds": self.gvt_incremental_rounds,
             "throttle_adjustments": self.throttle_adjustments,
             "throttle_final_factor": self.throttle_final_factor,
             "local_sends": self.local_sends,

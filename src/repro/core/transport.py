@@ -65,6 +65,9 @@ class MailboxTransport:
         #: accounting still sees them "arrive" (otherwise a Mattern-style
         #: estimator would wait forever for the epoch to balance).
         self.on_drop: Callable[[Event], None] | None = None
+        #: Messages annihilated while buffered (both by :meth:`flush`'s
+        #: lazy drop and by :meth:`annihilate`'s batched sweep).
+        self.annihilated = 0
 
     def deliver(self, event: Event, src_pe: int, dst_pe: int) -> None:
         """Queue cross-PE messages; local messages skip the mailbox."""
@@ -91,9 +94,40 @@ class MailboxTransport:
                 if not ev.cancelled:
                     self._receive(ev)
                     delivered += 1
-                elif self.on_drop is not None:
-                    self.on_drop(ev)
+                else:
+                    self.annihilated += 1
+                    if self.on_drop is not None:
+                        self.on_drop(ev)
         return delivered
+
+    def annihilate(self) -> int:
+        """Batched in-transit annihilation: drop every cancelled message.
+
+        Called by the optimistic kernel after an anti-message batch flush,
+        when a group of messages has just been flagged dead — one sweep
+        reclaims them all instead of waiting for the next round's
+        :meth:`flush` to skip them one by one.  Observationally identical
+        to the lazy drop (cancelled messages are never delivered either
+        way); this only tightens the mailbox's memory footprint and
+        ``in_flight_count`` between rounds.
+        """
+        dropped = 0
+        for box in self._boxes:
+            if not box:
+                continue
+            kept = [ev for ev in box if not ev.cancelled]
+            if len(kept) == len(box):
+                continue
+            for ev in box:
+                if ev.cancelled:
+                    dropped += 1
+                    if self.on_drop is not None:
+                        self.on_drop(ev)
+            box[:] = kept
+        if dropped:
+            self._count -= dropped
+            self.annihilated += dropped
+        return dropped
 
     def min_in_flight_ts(self) -> float:
         """Minimum timestamp still sitting in a mailbox (for GVT)."""

@@ -63,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batch", type=int, default=16, help="optimism batch size")
     parser.add_argument("--seed", type=int, default=0x5EED, help="global seed")
     parser.add_argument(
+        "--queue",
+        choices=("heap", "ladder"),
+        default="heap",
+        help="pending-queue implementation for the optimistic engine "
+        "(ignored with --processors 1; results are identical either way)",
+    )
+    parser.add_argument(
+        "--cancellation",
+        choices=("aggressive", "lazy"),
+        default="aggressive",
+        help="anti-message cancellation mode for the optimistic engine "
+        "(ignored with --processors 1; results are identical either way)",
+    )
+    parser.add_argument(
         "--validate",
         action="store_true",
         help="also run the other engine and check the results are identical",
@@ -162,6 +176,8 @@ def _config_marker(args) -> dict:
         "processors": args.processors,
         "kps": args.kps,
         "batch": args.batch,
+        "queue": args.queue,
+        "cancellation": args.cancellation,
         "seed": args.seed,
         "paranoid": args.paranoid,
         "fault_plan": args.fault_plan,
@@ -254,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
                     metrics=capture.metrics,
                     checkpointer=ckpt,
                     paranoid=args.paranoid,
+                    queue=args.queue,
+                    cancellation=args.cancellation,
                 )
     except KeyboardInterrupt:
         capture.finalize(None)
@@ -300,7 +318,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.validate:
         other = (
-            sim.run_parallel(n_pes=4, n_kps=args.kps, batch_size=args.batch)
+            sim.run_parallel(
+                n_pes=4, n_kps=args.kps, batch_size=args.batch,
+                queue=args.queue, cancellation=args.cancellation,
+            )
             if args.processors <= 1
             else sim.run()
         )

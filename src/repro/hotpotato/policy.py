@@ -38,6 +38,7 @@ from typing import NamedTuple
 from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.packet import Priority
 from repro.net import DIRECTIONS, Direction, GridTopology
+from repro.rng.lcg import INCREMENT, MASK64, MULTIPLIER, _INV_2_53
 from repro.rng.streams import ReversibleStream
 
 __all__ = [
@@ -109,6 +110,14 @@ def first_free(
     return None
 
 
+# Priority members hoisted out of the per-packet hot path (an enum member
+# lookup costs a class-dict probe per route).
+_SLEEPING = Priority.SLEEPING
+_ACTIVE = Priority.ACTIVE
+_EXCITED = Priority.EXCITED
+_RUNNING = Priority.RUNNING
+
+
 class RoutingPolicy:
     """Interface for per-packet routing decisions."""
 
@@ -149,22 +158,12 @@ class BuschHotPotatoPolicy(RoutingPolicy):
         rng: ReversibleStream,
         cfg: HotPotatoConfig,
     ) -> RouteOutcome:
-        if priority >= Priority.EXCITED:
+        if priority >= _EXCITED:
             return self._route_homerun(topo, node, dest, priority, free, cfg)
-        return self._route_greedy(topo, node, dest, priority, free, rng, cfg)
-
-    # ------------------------------------------------------------------
-    def _route_greedy(
-        self,
-        topo: GridTopology,
-        node: int,
-        dest: int,
-        priority: Priority,
-        free: tuple[bool, bool, bool, bool],
-        rng: ReversibleStream,
-        cfg: HotPotatoConfig,
-    ) -> RouteOutcome:
-        """Sleeping/Active: any good link, else deflect."""
+        # Sleeping/Active greedy rule, inlined: this branch fires once per
+        # routed low-priority packet, the hot-potato hot path.  The
+        # upgrade draws are ``ReversibleStream.bernoulli`` inlined (same
+        # LCG step, same output map — bit-identical values and counts).
         d = None
         for g in topo.route_info(node, dest)[0]:
             if free[g]:
@@ -174,19 +173,23 @@ class BuschHotPotatoPolicy(RoutingPolicy):
         if deflected:
             d = first_free(free)
             assert d is not None, "bufferless invariant violated"
-        if priority == Priority.SLEEPING:
+        if priority == _SLEEPING:
             # "When a packet in the Sleeping state is routed, it is given a
             # chance with the probability of 1/24n to upgrade" — on every
             # route, deflected or not.
-            if rng.bernoulli(cfg.sleeping_upgrade_p):
-                return RouteOutcome(d, Priority.ACTIVE, deflected, upgraded=True)
-            return RouteOutcome(d, Priority.SLEEPING, deflected)
+            rng._state = state = (MULTIPLIER * rng._state + INCREMENT) & MASK64
+            rng._count += 1
+            if (state >> 11) * _INV_2_53 < cfg.sleeping_upgrade_p:
+                return RouteOutcome(d, _ACTIVE, deflected, upgraded=True)
+            return RouteOutcome(d, _SLEEPING, deflected)
         # Active: the upgrade chance applies only when deflected.
         if deflected:
-            if rng.bernoulli(cfg.active_upgrade_p):
-                return RouteOutcome(d, Priority.EXCITED, True, upgraded=True)
-            return RouteOutcome(d, Priority.ACTIVE, True)
-        return RouteOutcome(d, Priority.ACTIVE, False)
+            rng._state = state = (MULTIPLIER * rng._state + INCREMENT) & MASK64
+            rng._count += 1
+            if (state >> 11) * _INV_2_53 < cfg.active_upgrade_p:
+                return RouteOutcome(d, _EXCITED, True, upgraded=True)
+            return RouteOutcome(d, _ACTIVE, True)
+        return RouteOutcome(d, _ACTIVE, False)
 
     def _route_homerun(
         self,
@@ -203,9 +206,9 @@ class BuschHotPotatoPolicy(RoutingPolicy):
         if free[want]:
             # Excited promotes to Running on a successful home-run hop;
             # Running just keeps running.
-            upgraded = priority == Priority.EXCITED
+            upgraded = priority == _EXCITED
             return RouteOutcome(
-                want, Priority.RUNNING, False, upgraded=upgraded, turning=turning
+                want, _RUNNING, False, upgraded=upgraded, turning=turning
             )
         # Knocked off the home-run path: back to Active either way
         # (``demoted``).  The hop may still make progress over another good
@@ -214,10 +217,10 @@ class BuschHotPotatoPolicy(RoutingPolicy):
         for d in good:
             if free[d]:
                 return RouteOutcome(
-                    d, Priority.ACTIVE, False, demoted=True, turning=turning
+                    d, _ACTIVE, False, demoted=True, turning=turning
                 )
         d = first_free(free)
         assert d is not None, "bufferless invariant violated"
         return RouteOutcome(
-            d, Priority.ACTIVE, True, demoted=True, turning=turning
+            d, _ACTIVE, True, demoted=True, turning=turning
         )

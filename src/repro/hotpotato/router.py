@@ -65,6 +65,9 @@ HEARTBEAT_OFFSET = 0.95
 #: Arrival offset used when the randomised jitter is disabled.
 FIXED_JITTER = 0.25
 
+#: Enum member hoisted out of the per-route hot path.
+_RUNNING = Priority.RUNNING
+
 #: Minimum virtual-time gap between any event and anything it schedules,
 #: over all handler/offset combinations (the binding case is INJECT at
 #: s+0.9 sending an ARRIVE at s+1+jitter with jitter >= 1/(2*jitter_slots)).
@@ -339,7 +342,15 @@ class RouterLP(LogicalProcess):
     def _route(self, event: Event) -> None:
         data = event.data
         step: int = data["step"]
-        free = self._free_mask(step)
+        # ``self._free_mask(step)`` inlined: one per routed packet.
+        links = self.links
+        ex = self.exists
+        free = (
+            ex[0] and links[0] != step,
+            ex[1] and links[1] != step,
+            ex[2] and links[2] != step,
+            ex[3] and links[3] != step,
+        )
         flt = self.faults
         base = free
         if flt is not None:
@@ -386,7 +397,7 @@ class RouterLP(LogicalProcess):
         )
         d = out.direction
         st = self.stats
-        off_turn = priority == Priority.RUNNING and out.demoted and not out.turning
+        off_turn = priority == _RUNNING and out.demoted and not out.turning
         event.saved["route"] = (
             int(d),
             self.links[d],
@@ -475,7 +486,15 @@ class RouterLP(LogicalProcess):
         if pending <= 0:
             event.saved["inject"] = None
             return
-        free = self._free_mask(step)
+        # ``self._free_mask(step)`` inlined: one per injection attempt.
+        links = self.links
+        ex = self.exists
+        free = (
+            ex[0] and links[0] != step,
+            ex[1] and links[1] != step,
+            ex[2] and links[2] != step,
+            ex[3] and links[3] != step,
+        )
         if flt is not None:
             free = flt.mask(free, step)
         if not any(free):

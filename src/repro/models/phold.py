@@ -12,11 +12,13 @@ against the sequential oracle.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import log
 from typing import Any
 
 from repro.core.event import Event
 from repro.core.lp import LogicalProcess, Model
 from repro.errors import ConfigurationError
+from repro.rng.lcg import INCREMENT, MASK64, MULTIPLIER, _INV_2_53
 
 __all__ = ["PholdConfig", "PholdLP", "PholdModel"]
 
@@ -64,11 +66,18 @@ class PholdConfig:
 class PholdLP(LogicalProcess):
     """One PHOLD process: counts handled jobs and forwards them."""
 
-    __slots__ = ("cfg",)
+    __slots__ = ("cfg", "_n_lps", "_neg_mean", "_lookahead", "_remote")
 
     def __init__(self, lp_id: int, cfg: PholdConfig) -> None:
         super().__init__(lp_id)
         self.cfg = cfg
+        # Workload scalars cached off the frozen dataclass: ``forward``
+        # reads them on every hop.  Negation is exact, so pre-negating
+        # the mean preserves the exponential draw bit-for-bit.
+        self._n_lps = cfg.n_lps
+        self._neg_mean = -cfg.mean_delay
+        self._lookahead = cfg.lookahead
+        self._remote = cfg.remote_fraction
         # state = [handled_count]; a list so the default deepcopy snapshot
         # works under the state-saving strategy too.
         self.state = [0]
@@ -80,14 +89,36 @@ class PholdLP(LogicalProcess):
             self.send(ts, self.id, JOB)
 
     def forward(self, event: Event) -> None:
-        cfg = self.cfg
+        # The RNG draws are the LCG step + output map of ReversibleStream
+        # inlined (the same expressions, in the same order), because this
+        # handler dominates every PHOLD benchmark: draw values, draw
+        # counts and float arithmetic are bit-identical to calling
+        # ``unif``/``integer``/``exponential`` — the determinism suite
+        # pins the committed sequences that encode this.
         self.state[0] += 1
-        if cfg.remote_fraction > 0 and self.rng.unif() < cfg.remote_fraction:
-            dst = self.rng.integer(0, cfg.n_lps - 1)
-        else:
-            dst = self.id
-        delay = cfg.lookahead + self.rng.exponential(cfg.mean_delay)
-        self.send(self.now + delay, dst, JOB)
+        rng = self.rng
+        state = rng._state
+        draws = 1
+        dst = self.id
+        remote = self._remote
+        if remote > 0:
+            # unif() < remote_fraction — note the short-circuit: with
+            # remote_fraction == 0 no uniform is drawn at all.
+            state = (MULTIPLIER * state + INCREMENT) & MASK64
+            draws = 2
+            if (state >> 11) * _INV_2_53 < remote:
+                # integer(0, n_lps - 1)
+                state = (MULTIPLIER * state + INCREMENT) & MASK64
+                dst = int((state >> 11) * _INV_2_53 * self._n_lps)
+                draws = 3
+        # lookahead + exponential(mean)
+        state = (MULTIPLIER * state + INCREMENT) & MASK64
+        rng._state = state
+        rng._count += draws
+        delay = self._lookahead + self._neg_mean * log(
+            1.0 - (state >> 11) * _INV_2_53
+        )
+        self.send(self._now + delay, dst, JOB)
 
     def reverse(self, event: Event) -> None:
         # The kernel reverses the RNG draws and cancels the send; the only

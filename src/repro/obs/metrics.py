@@ -70,6 +70,15 @@ class MetricSample:
     #: Cumulative event-pool hit rate at the sample point (0.0 when
     #: pooling is off).
     pool_hit_rate: float
+    #: Messages reused in place by lazy cancellation during the interval
+    #: (0 under aggressive cancellation).  Delta counter.
+    lazy_hits: int = 0
+    #: Anti-message batch flushes during the interval (0 under aggressive
+    #: cancellation).  Delta counter.
+    antimsg_batches: int = 0
+    #: GVT estimates served by the incremental manager during the
+    #: interval (0 under synchronous/Mattern).  Delta counter.
+    gvt_incremental_rounds: int = 0
     #: Per-KP events rolled back during the interval; only KPs with a
     #: nonzero delta appear (empty for non-optimistic engines).
     kp_rolled_back: dict[int, int] = field(default_factory=dict)
@@ -89,6 +98,9 @@ class MetricSample:
             "processed_depth": self.processed_depth,
             "throttle": self.throttle,
             "pool_hit_rate": self.pool_hit_rate,
+            "lazy_hits": self.lazy_hits,
+            "antimsg_batches": self.antimsg_batches,
+            "gvt_incremental_rounds": self.gvt_incremental_rounds,
         }
         if self.kp_rolled_back:
             d["kp_rolled_back"] = {str(k): v for k, v in self.kp_rolled_back.items()}
@@ -110,6 +122,11 @@ class MetricSample:
             processed_depth=int(d["processed_depth"]),
             throttle=float(d["throttle"]),
             pool_hit_rate=float(d["pool_hit_rate"]),
+            # Pre-lazy-cancellation recordings lack these three counters;
+            # default them to zero so old JSONL files stay loadable.
+            lazy_hits=int(d.get("lazy_hits", 0)),
+            antimsg_batches=int(d.get("antimsg_batches", 0)),
+            gvt_incremental_rounds=int(d.get("gvt_incremental_rounds", 0)),
             kp_rolled_back={
                 int(k): int(v) for k, v in d.get("kp_rolled_back", {}).items()
             },
@@ -148,6 +165,9 @@ class MetricsRecorder:
             "rollbacks": 0,
             "stragglers": 0,
             "fossil_collected": 0,
+            "lazy_hits": 0,
+            "antimsg_batches": 0,
+            "gvt_incremental_rounds": 0,
         }
         self._prev_kp: list[int] | None = None
 
@@ -165,6 +185,9 @@ class MetricsRecorder:
         processed_depth: int = 0,
         throttle: float = 1.0,
         pool_hit_rate: float = 0.0,
+        lazy_hits: int = 0,
+        antimsg_batches: int = 0,
+        gvt_incremental_rounds: int = 0,
         kp_rolled_back: list[int] | None = None,
     ) -> MetricSample:
         """Feed *cumulative* counters; records and returns the delta sample.
@@ -196,6 +219,11 @@ class MetricsRecorder:
             processed_depth=processed_depth,
             throttle=throttle,
             pool_hit_rate=pool_hit_rate,
+            lazy_hits=lazy_hits - prev["lazy_hits"],
+            antimsg_batches=antimsg_batches - prev["antimsg_batches"],
+            gvt_incremental_rounds=(
+                gvt_incremental_rounds - prev["gvt_incremental_rounds"]
+            ),
             kp_rolled_back=kp_delta,
         )
         prev["committed"] = committed
@@ -204,6 +232,9 @@ class MetricsRecorder:
         prev["rollbacks"] = rollbacks
         prev["stragglers"] = stragglers
         prev["fossil_collected"] = fossil_collected
+        prev["lazy_hits"] = lazy_hits
+        prev["antimsg_batches"] = antimsg_batches
+        prev["gvt_incremental_rounds"] = gvt_incremental_rounds
         self.n_samples += 1
         if self.sink is not None:
             self.sink.write_metric(s)

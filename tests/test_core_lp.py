@@ -76,6 +76,66 @@ def test_default_snapshot_deepcopies_state():
     assert lp.state == {"xs": [1, 2]}
 
 
+def test_flat_list_snapshot_is_independent_copy():
+    lp = PlainLP(0)
+    lp.state = [1, 2.5, "x", None, True]
+    snap = lp.snapshot_state()
+    assert snap == lp.state and snap is not lp.state
+    lp.state[0] = 99
+    lp.restore_state(snap)
+    assert lp.state == [1, 2.5, "x", None, True]
+
+
+def test_flat_dict_snapshot_is_independent_copy():
+    lp = PlainLP(0)
+    lp.state = {"count": 7, "name": "a", "rate": 0.5}
+    snap = lp.snapshot_state()
+    assert snap == lp.state and snap is not lp.state
+    lp.state["count"] = 0
+    lp.restore_state(snap)
+    assert lp.state == {"count": 7, "name": "a", "rate": 0.5}
+
+
+def test_scalar_and_scalar_tuple_snapshots_shared():
+    lp = PlainLP(0)
+    lp.state = 42
+    assert lp.snapshot_state() is lp.state
+    lp.state = (1, "a", 2.0)
+    assert lp.snapshot_state() is lp.state
+
+
+def test_nested_state_still_deepcopied():
+    lp = PlainLP(0)
+    for state in (
+        {"xs": [1, 2]},          # dict holding a mutable
+        [[1], [2]],              # list of lists
+        (1, [2]),                # tuple holding a mutable
+    ):
+        lp.state = state
+        snap = lp.snapshot_state()
+        assert snap == state and snap is not state
+        # Mutating the live state must not leak into the snapshot.
+        if isinstance(state, dict):
+            state["xs"].append(3)
+            assert snap["xs"] == [1, 2]
+        elif isinstance(state, list):
+            state[0].append(9)
+            assert snap[0] == [1]
+        else:
+            state[1].append(9)
+            assert snap[1] == [2]
+
+
+def test_container_subclass_state_deepcopied():
+    class Tally(dict):
+        pass
+
+    lp = PlainLP(0)
+    lp.state = Tally(a=1)
+    snap = lp.snapshot_state()
+    assert type(snap) is Tally and snap is not lp.state
+
+
 def test_model_interface_abstract():
     m = Model()
     with pytest.raises(NotImplementedError):
