@@ -51,6 +51,24 @@ def main() -> None:
     parser.add_argument("--n", type=int, default=8, help="network dimension")
     parser.add_argument("--duration", type=float, default=60.0)
     parser.add_argument(
+        "--queue",
+        default="heap",
+        choices=("heap", "ladder", "splay"),
+        help="pending-queue implementation (optimistic engine only)",
+    )
+    parser.add_argument(
+        "--cancellation",
+        default="aggressive",
+        choices=("aggressive", "lazy"),
+        help="anti-message cancellation mode (optimistic engine only)",
+    )
+    parser.add_argument(
+        "--executor",
+        default="scalar",
+        choices=("scalar", "vectorized"),
+        help="LP stepping mode (vectorized = struct-of-arrays band runs)",
+    )
+    parser.add_argument(
         "--dump",
         metavar="FILE",
         help="also write the raw profile to FILE for offline diffing",
@@ -80,16 +98,20 @@ def main() -> None:
     profiler.enable()
     if args.engine == "sequential":
         result = run_sequential(
-            model, cfg.duration, seed=args.seed, metrics=capture.metrics
+            model, cfg.duration, seed=args.seed, executor=args.executor,
+            metrics=capture.metrics,
         )
     elif args.engine == "conservative":
         ccfg = ConservativeConfig(
-            end_time=cfg.duration, n_pes=4, sync="yawns", seed=args.seed
+            end_time=cfg.duration, n_pes=4, sync="yawns", seed=args.seed,
+            executor=args.executor,
         )
         result = run_conservative(model, ccfg, metrics=capture.metrics)
     else:
         ecfg = EngineConfig(
-            end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64, seed=args.seed
+            end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64, seed=args.seed,
+            queue=args.queue, cancellation=args.cancellation,
+            executor=args.executor,
         )
         result = run_optimistic(model, ecfg, metrics=capture.metrics)
     profiler.disable()

@@ -6,7 +6,8 @@ previous trajectory file.  ``--smoke`` runs a sub-second version of the
 matrix with no file output — a CI liveness check that also asserts the
 optimistic engine commits exactly what the sequential oracle does on the
 smoke workload.  ``--queue``/``--cancellation`` select the optimistic
-engine's scheduler structures (the committed counts must not change);
+engine's scheduler structures and ``--executor`` the scalar vs
+vectorized LP stepping mode (the committed counts must not change);
 ``--compare A.json B.json`` diffs two existing trajectory files without
 running anything.
 """
@@ -52,9 +53,9 @@ SMOKE_GOLDEN = {
     "seq-hotpotato": 1055,
     "cons-hotpotato": 1055,
     "opt-hotpotato": 1055,
-    # The stress suites commit the same work under every --queue and
-    # --cancellation combination; CI runs all four, so these pins double
-    # as the cross-mode determinism gate.
+    # The stress suites commit the same work under every --queue,
+    # --cancellation and --executor combination; CI runs them all, so
+    # these pins double as the cross-mode determinism gate.
     "opt-phold-stress": 657,
     "opt-hotpotato-stress": 1055,
 }
@@ -248,7 +249,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--queue",
-        choices=("heap", "ladder"),
+        choices=("heap", "ladder", "splay"),
         default=None,
         help="pending-queue implementation for the optimistic suites "
         "(default: the engine default, heap)",
@@ -259,6 +260,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="anti-message cancellation mode for the optimistic suites "
         "(default: the engine default, aggressive)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("scalar", "vectorized"),
+        default=None,
+        help="LP stepping mode for every suite (default: the engine "
+        "default, scalar); committed counts must not change",
     )
     parser.add_argument(
         "--compare",
@@ -344,13 +352,15 @@ def _run(args) -> int:
 
     if args.smoke:
         mode = f"queue={args.queue or 'heap'}, " \
-               f"cancellation={args.cancellation or 'aggressive'}"
+               f"cancellation={args.cancellation or 'aggressive'}, " \
+               f"executor={args.executor or 'scalar'}"
         print(f"repro.bench --smoke ({mode}; liveness + determinism, "
               "not a benchmark)")
         results = run_suites(
             repeats=1, smoke=True, only=args.suites,
             telemetry_dir=args.telemetry_dir,
             queue=args.queue, cancellation=args.cancellation,
+            executor=args.executor,
         )
         by_name = {r.name: r for r in results}
         seq = by_name.get("seq-hotpotato")
@@ -381,6 +391,7 @@ def _run(args) -> int:
         repeats=args.repeats, only=args.suites,
         telemetry_dir=args.telemetry_dir,
         queue=args.queue, cancellation=args.cancellation,
+        executor=args.executor,
     )
     if args.checkpoint_dir is not None:
         _checkpointed_run(args.checkpoint_dir, args.checkpoint_every, False)

@@ -67,6 +67,9 @@ class BenchResult:
     #: under ("n/a" for engines without a pending queue).  Schema 2.
     queue_impl: str = "n/a"
     cancellation: str = "n/a"
+    #: LP stepping mode ("scalar" or "vectorized").  Schema 2; older
+    #: files load with the "scalar" default (the only mode they had).
+    executor: str = "scalar"
     #: Wall-clock percentiles over the repeats (== best/worst at 3
     #: repeats, informative at higher repeat counts).  Schema 2.
     p50_seconds: float = 0.0
@@ -100,6 +103,7 @@ def run_suite(
     telemetry_dir: Path | None = None,
     queue: str | None = None,
     cancellation: str | None = None,
+    executor: str | None = None,
 ) -> BenchResult:
     """Run one suite ``repeats`` times and keep the best wall clock.
 
@@ -119,7 +123,9 @@ def run_suite(
     for _ in range(max(1, repeats)):
         gc.collect()
         t0 = time.perf_counter()
-        result = suite.run(smoke, queue=queue, cancellation=cancellation)
+        result = suite.run(
+            smoke, queue=queue, cancellation=cancellation, executor=executor,
+        )
         walls.append(time.perf_counter() - t0)
         del result.lps[:]  # drop the LP population before the next repeat
     assert result is not None
@@ -137,12 +143,13 @@ def run_suite(
                 "smoke": smoke,
                 "queue": queue or "heap",
                 "cancellation": cancellation or "aggressive",
+                "executor": executor or "scalar",
             },
         )
         try:
             telemetry_result = suite.run(
                 smoke, metrics=capture.metrics,
-                queue=queue, cancellation=cancellation,
+                queue=queue, cancellation=cancellation, executor=executor,
             )
         except KeyboardInterrupt:
             # Flush and close the sink so the partial recording is
@@ -178,6 +185,7 @@ def run_suite(
         committed_per_sec=committed / best if best > 0 else 0.0,
         queue_impl=(queue or "heap") if optimistic else "n/a",
         cancellation=(cancellation or "aggressive") if optimistic else "n/a",
+        executor=executor or "scalar",
         p50_seconds=_quantile(ordered, 0.50),
         p95_seconds=_quantile(ordered, 0.95),
         wall_seconds=walls,
@@ -192,6 +200,7 @@ def run_suites(
     telemetry_dir: Path | None = None,
     queue: str | None = None,
     cancellation: str | None = None,
+    executor: str | None = None,
 ) -> list[BenchResult]:
     """Run the (optionally filtered) suite matrix, reporting as it goes."""
     selected = [s for s in SUITES if only is None or s.name in only]
@@ -206,7 +215,7 @@ def run_suites(
     for suite in selected:
         res = run_suite(
             suite, repeats=repeats, smoke=smoke, telemetry_dir=telemetry_dir,
-            queue=queue, cancellation=cancellation,
+            queue=queue, cancellation=cancellation, executor=executor,
         )
         report(
             f"  {res.name:<16} {res.committed_per_sec:>12,.0f} ev/s  "
@@ -248,11 +257,14 @@ def _upgrade(doc: dict) -> dict:
             f"(max {SCHEMA_VERSION})"
         )
     if schema >= 2:
+        for suite in doc.get("suites", {}).values():
+            suite.setdefault("executor", "scalar")
         return doc
     for suite in doc.get("suites", {}).values():
         optimistic = suite.get("engine") == "optimistic"
         suite.setdefault("queue_impl", "heap" if optimistic else "n/a")
         suite.setdefault("cancellation", "aggressive" if optimistic else "n/a")
+        suite.setdefault("executor", "scalar")
         walls = sorted(suite.get("wall_seconds", []))
         suite.setdefault("p50_seconds", _quantile(walls, 0.50))
         suite.setdefault("p95_seconds", _quantile(walls, 0.95))
@@ -351,7 +363,10 @@ def compare_files(
         if rate_a and ratio < threshold:
             regressions += 1
             flag = f"  REGRESSION (< {threshold:.2f}x)"
-        config = f"{b.get('queue_impl', '?')}/{b.get('cancellation', '?')}"
+        config = (
+            f"{b.get('queue_impl', '?')}/{b.get('cancellation', '?')}"
+            f"/{b.get('executor', 'scalar')}"
+        )
         report(
             f"{name:<22} {rate_a:>12,.0f}/s {rate_b:>12,.0f}/s "
             f"{ratio:>7.2f}x  {config}{flag}"

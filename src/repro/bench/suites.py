@@ -9,9 +9,11 @@ cross-engine determinism check rather than for throughput numbers.
 
 The optimistic suites additionally accept ``queue`` and ``cancellation``
 overrides (the CLI's ``--queue`` / ``--cancellation``), so the same
-pinned workloads can be measured under the ladder queue and lazy
-cancellation.  The committed counts must not change with either knob —
-the smoke goldens in :mod:`repro.bench.__main__` enforce that.
+pinned workloads can be measured under the ladder/splay queues and lazy
+cancellation; every suite accepts an ``executor`` override selecting the
+scalar or vectorized (struct-of-arrays) LP stepping mode.  The committed
+counts must not change with any of these knobs — the smoke goldens in
+:mod:`repro.bench.__main__` enforce that.
 
 The ``*-stress`` suites are deliberately rollback-heavy: PHOLD with
 near-zero lookahead and a 90% remote fraction, and the saturated
@@ -51,7 +53,8 @@ class Suite:
     untimed run, so the timed repeats measure the exact detached
     configuration.  ``queue``/``cancellation`` select the pending-queue
     implementation and cancellation mode on the optimistic engine (the
-    other engines accept and ignore them).
+    other engines accept and ignore them); ``executor`` selects scalar
+    vs vectorized LP stepping on every engine.
     """
 
     name: str
@@ -90,65 +93,73 @@ def _hotpotato_cfg(smoke: bool) -> HotPotatoConfig:
     return HotPotatoConfig(n=8, duration=60.0, injector_fraction=1.0)
 
 
-def _engine_overrides(queue, cancellation) -> dict:
+def _engine_overrides(queue, cancellation, executor=None) -> dict:
     overrides = {}
     if queue is not None:
         overrides["queue"] = queue
     if cancellation is not None:
         overrides["cancellation"] = cancellation
+    if executor is not None:
+        overrides["executor"] = executor
     return overrides
 
 
 # ----------------------------------------------------------------------
 # Suite bodies.
 # ----------------------------------------------------------------------
-def _seq_phold(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+def _seq_phold(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
-    return run_sequential(PholdModel(cfg), end, seed=BENCH_SEED, metrics=metrics)
-
-
-def _seq_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
-    cfg = _hotpotato_cfg(smoke)
     return run_sequential(
-        HotPotatoModel(cfg), cfg.duration, seed=BENCH_SEED, metrics=metrics
+        PholdModel(cfg), end, seed=BENCH_SEED,
+        executor=executor or "scalar", metrics=metrics,
     )
 
 
-def _cons_phold(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+def _seq_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+    cfg = _hotpotato_cfg(smoke)
+    return run_sequential(
+        HotPotatoModel(cfg), cfg.duration, seed=BENCH_SEED,
+        executor=executor or "scalar", metrics=metrics,
+    )
+
+
+def _cons_phold(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ccfg = ConservativeConfig(
-        end_time=end, n_pes=4, sync="yawns", seed=BENCH_SEED
+        end_time=end, n_pes=4, sync="yawns", seed=BENCH_SEED,
+        executor=executor or "scalar",
     )
     return run_conservative(PholdModel(cfg), ccfg, metrics=metrics)
 
 
-def _cons_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+def _cons_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ccfg = ConservativeConfig(
-        end_time=cfg.duration, n_pes=4, sync="yawns", seed=BENCH_SEED
+        end_time=cfg.duration, n_pes=4, sync="yawns", seed=BENCH_SEED,
+        executor=executor or "scalar",
     )
     return run_conservative(HotPotatoModel(cfg), ccfg, metrics=metrics)
 
 
-def _opt_phold(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+def _opt_phold(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ecfg = EngineConfig(
         end_time=end, n_pes=4, n_kps=16, batch_size=32, seed=BENCH_SEED,
-        **_engine_overrides(queue, cancellation),
+        **_engine_overrides(queue, cancellation, executor),
     )
     return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics)
 
 
-def _opt_phold_stress(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+def _opt_phold_stress(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_stress_cfg(smoke)
     ecfg = EngineConfig(
         end_time=end, n_pes=4, n_kps=16, batch_size=256, seed=BENCH_SEED,
-        **_engine_overrides(queue, cancellation),
+        **_engine_overrides(queue, cancellation, executor),
     )
     return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics)
 
 
-def _opt_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+def _opt_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ecfg = EngineConfig(
         end_time=cfg.duration,
@@ -156,12 +167,12 @@ def _opt_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None) -> 
         n_kps=16,
         batch_size=64,
         seed=BENCH_SEED,
-        **_engine_overrides(queue, cancellation),
+        **_engine_overrides(queue, cancellation, executor),
     )
     return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics)
 
 
-def _opt_hotpotato_stress(smoke: bool, metrics=None, queue=None, cancellation=None) -> RunResult:
+def _opt_hotpotato_stress(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ecfg = EngineConfig(
         end_time=cfg.duration,
@@ -169,7 +180,7 @@ def _opt_hotpotato_stress(smoke: bool, metrics=None, queue=None, cancellation=No
         n_kps=16,
         batch_size=512,
         seed=BENCH_SEED,
-        **_engine_overrides(queue, cancellation),
+        **_engine_overrides(queue, cancellation, executor),
     )
     return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics)
 

@@ -299,6 +299,8 @@ def _capture_optimistic(kernel, loop) -> dict:
             "cancelled_via_rollback": kernel.cancelled_via_rollback,
             "lazy_reused": kernel.lazy_reused,
             "antimsg_batches": kernel.antimsg_batches,
+            "soa_batches": kernel.soa_batches,
+            "soa_lps_stepped": kernel.soa_lps_stepped,
             "peak_pending": kernel.peak_pending,
             "peak_processed": kernel.peak_processed,
         },
@@ -457,7 +459,12 @@ def capture_state(engine, loop=None) -> dict:
     ``loop`` carries the engine run loop's local variables (round
     counters, effective batch/window) so :meth:`run` can resume them.
     """
-    return _CAPTURE[_engine_kind(engine)](engine, loop)
+    payload = _CAPTURE[_engine_kind(engine)](engine, loop)
+    # Executor mode travels with the payload: the scalar and vectorized
+    # populations carry different event-payload layouts (dicts vs SoA
+    # tuples), so a snapshot only restores into the mode that wrote it.
+    payload["executor"] = getattr(engine, "executor", "scalar")
+    return payload
 
 
 def restore_state(engine, payload) -> None:
@@ -478,5 +485,13 @@ def restore_state(engine, payload) -> None:
         raise SnapshotError(
             f"snapshot was taken from a {payload['kind']} engine, cannot "
             f"restore into a {kind} engine"
+        )
+    snap_executor = payload.get("executor", "scalar")
+    engine_executor = getattr(engine, "executor", "scalar")
+    if snap_executor != engine_executor:
+        raise SnapshotError(
+            f"snapshot was taken under the {snap_executor!r} executor, "
+            f"cannot restore into a {engine_executor!r} population (the "
+            "event-payload layouts differ)"
         )
     _RESTORE[kind](engine, payload)

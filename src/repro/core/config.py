@@ -64,9 +64,17 @@ class EngineConfig:
         down when the measured rollback fraction spikes and restores when
         it subsides.  Deterministic, like everything else.
     queue:
-        Pending-event structure per PE: ``"heap"`` (binary heap) or
-        ``"splay"`` (ROSS's splay tree).  Identical ordering and results;
-        a pure performance choice.
+        Pending-event structure per PE: ``"heap"`` (binary heap),
+        ``"ladder"`` (ladder queue) or ``"splay"`` (ROSS's splay tree).
+        Identical ordering and results; a pure performance choice.
+    executor:
+        ``"scalar"`` — one event at a time through ``LogicalProcess.forward``
+        (the oracle path).  ``"vectorized"`` — ask the model for its
+        struct-of-arrays LP build (:meth:`~repro.core.lp.Model.build_vectorized`)
+        and, where the engine supports it, step same-timestamp-band event
+        runs through fused per-kind loops.  Models without an SoA build
+        fall back to scalar silently; results are bit-identical either
+        way (the executor-ABI conformance suite asserts this).
     pool:
         Recycle fossil-collected events through a per-kernel free list
         (:class:`~repro.core.event.EventPool`) instead of re-allocating.
@@ -97,6 +105,7 @@ class EngineConfig:
     cancellation: str = "aggressive"
     adaptive: bool = False
     queue: str = "heap"
+    executor: str = "scalar"
     pool: bool = True
     seed: int = 0x5EED
     paranoid: bool = False
@@ -123,4 +132,13 @@ class EngineConfig:
         if self.gvt_interval < 1:
             raise ConfigurationError(
                 f"gvt_interval must be >= 1, got {self.gvt_interval}"
+            )
+        if self.queue not in ("heap", "ladder", "splay"):
+            raise ConfigurationError(
+                f"queue must be 'heap', 'ladder' or 'splay', got {self.queue!r}"
+            )
+        if self.executor not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f"executor must be 'scalar' or 'vectorized', "
+                f"got {self.executor!r}"
             )

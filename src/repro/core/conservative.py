@@ -33,7 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.costmodel import CostModel
-from repro.core.event import Event, EventPool
+from repro.core.event import Event
+from repro.core.executor import Executor
 from repro.core.invariants import check_conservative
 from repro.core.lp import LogicalProcess, Model
 from repro.core.mapping import build_mapping
@@ -41,7 +42,6 @@ from repro.core.queue import make_pending_queue
 from repro.core.result import RunResult
 from repro.core.stats import RunStats
 from repro.errors import ConfigurationError, SchedulingError
-from repro.rng.streams import ReversibleStream, derive_seed
 from repro.vt.time import TIME_HORIZON
 
 __all__ = ["ConservativeConfig", "ConservativeKernel", "run_conservative"]
@@ -80,6 +80,7 @@ class ConservativeConfig:
     sync: str = "yawns"
     mapping: str = "block"
     queue: str = "heap"
+    executor: str = "scalar"
     pool: bool = True
     seed: int = 0x5EED
     null_ratio_limit: float = 100.0
@@ -98,6 +99,15 @@ class ConservativeConfig:
         if self.sync not in ("yawns", "null"):
             raise ConfigurationError(
                 f"sync must be 'yawns' or 'null', got {self.sync!r}"
+            )
+        if self.queue not in ("heap", "ladder", "splay"):
+            raise ConfigurationError(
+                f"queue must be 'heap', 'ladder' or 'splay', got {self.queue!r}"
+            )
+        if self.executor not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f"executor must be 'scalar' or 'vectorized', "
+                f"got {self.executor!r}"
             )
 
 
@@ -130,11 +140,12 @@ class _ConsPE:
         )
 
 
-class ConservativeKernel:
+class ConservativeKernel(Executor):
     """Conservative engine over the shared model API."""
 
+    kind = "conservative"
+
     def __init__(self, model: Model, config: ConservativeConfig) -> None:
-        self.model = model
         self.cfg = config
         self.cost = config.cost
         lookahead = (
@@ -149,14 +160,10 @@ class ConservativeKernel:
             )
         self.lookahead = float(lookahead)
 
-        self.lps: list[LogicalProcess] = model.build()
-        if not self.lps:
-            raise ConfigurationError("model.build() returned no LPs")
-        for i, lp in enumerate(self.lps):
-            if lp.id != i:
-                raise ConfigurationError(
-                    f"LP ids must be dense 0..n-1; position {i} has id {lp.id}"
-                )
+        # The population (SoA LPs execute through the same conservative
+        # loop as scalar ones — there are no fused batches here, so the
+        # executor choice can't change what this engine observes).
+        self._init_population(model, config.executor)
         n_lps = len(self.lps)
         mapping = build_mapping(
             n_lps,
@@ -170,23 +177,21 @@ class ConservativeKernel:
             _ConsPE(p, config.n_pes, config.queue) for p in range(config.n_pes)
         ]
         self.pe_of_lp = [mapping.lp_to_pe(lp.id) for lp in self.lps]
-        #: Conservative execution commits every event as it runs, so the
-        #: same commit-time recycling as the sequential engine applies.
-        self.pool = EventPool() if config.pool else None
-        alloc = self.pool.acquire if self.pool is not None else Event
         for lp in self.lps:
             self.pes[self.pe_of_lp[lp.id]].lp_count += 1
-            lp.bind(
-                ReversibleStream(derive_seed(config.seed, lp.id), lp.id),
-                self._emit,
-            )
-            lp._alloc = alloc
+        #: Conservative execution commits every event as it runs, so the
+        #: same commit-time recycling as the sequential engine applies.
+        self._bind_lps(config.seed, self._init_pool(config.pool))
         # Counters.
         self.null_messages = 0
         self.real_messages = 0
         self.local_sends = 0
         self.rounds = 0
         self.makespan_units = 0.0
+        #: Optional event tracer (see repro.core.trace); conservative
+        #: execution commits as it runs, so on_exec/on_commit fire as a
+        #: pair for every event.
+        self.tracer = None
         #: Optional metrics recorder (see repro.obs.metrics), sampled
         #: once per scheduler round — the conservative analog of a GVT
         #: round.  Costs nothing when detached.
@@ -246,26 +251,15 @@ class ConservativeKernel:
             # clock+lookahead guarantees (null messages) may.
         self.pes[dst_pe].pending.push(ev)
 
-    # ------------------------------------------------------------------
-    def attach_metrics(self, recorder) -> "ConservativeKernel":
-        """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self."""
-        self.metrics = recorder
-        return self
+    def schedule(self, ev: Event) -> None:
+        """Executor ABI: bare enqueue at the destination LP's PE."""
+        self.pes[self.pe_of_lp[ev.dst]].pending.push(ev)
 
+    # ------------------------------------------------------------------
     def attach_faults(self, driver) -> "ConservativeKernel":
         """Attach a :class:`repro.faults.EngineFaults` driver; returns self."""
         self.faults = driver
         driver.install(self)
-        return self
-
-    def attach_checkpointer(self, ckpt) -> "ConservativeKernel":
-        """Attach a :class:`repro.ckpt.Checkpointer`; returns self.
-
-        Attach last, after any fault driver, so a loaded snapshot is
-        grafted onto the final object graph.
-        """
-        self.ckpt = ckpt
-        ckpt.bind(self)
         return self
 
     def _sample_metrics(self, recorder) -> None:
@@ -273,11 +267,7 @@ class ConservativeKernel:
         pes = self.pes
         processed = sum(pe.processed for pe in pes)
         horizon = min(min(pe.next_ts() for pe in pes), self.cfg.end_time)
-        pool = self.pool
-        hit_rate = 0.0
-        if pool is not None:
-            total = pool.hits + pool.allocs
-            hit_rate = pool.hits / total if total else 0.0
+        hit_rate = self._pool_hit_rate()
         recorder.sample(
             gvt=horizon,
             committed=processed,
@@ -301,6 +291,7 @@ class ConservativeKernel:
         pop_below = pe.pending.pop_below
         lps = self.lps
         release = self.pool.release if self.pool is not None else None
+        tracer = self.tracer
         while True:
             ev = pop_below(horizon)
             if ev is None:
@@ -310,6 +301,9 @@ class ConservativeKernel:
             lp.forward(ev)
             lp.commit(ev)
             done += 1
+            if tracer is not None:
+                tracer.on_exec(ev)
+                tracer.on_commit(ev)
             if release is not None:
                 release(ev)
         pe.busy += done * cost
@@ -471,12 +465,15 @@ def run_conservative(
     model: Model,
     config: ConservativeConfig,
     *,
+    tracer=None,
     metrics=None,
     faults=None,
     checkpointer=None,
 ) -> RunResult:
     """Convenience wrapper: build a conservative kernel, attach telemetry, run."""
     kernel = ConservativeKernel(model, config)
+    if tracer is not None:
+        kernel.attach_tracer(tracer)
     if metrics is not None:
         kernel.attach_metrics(metrics)
     if faults is not None:

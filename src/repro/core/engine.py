@@ -20,19 +20,21 @@ sequential simulator has none.
 from __future__ import annotations
 
 from repro.core.costmodel import CostModel
-from repro.core.event import Event, EventPool
+from repro.core.event import Event
+from repro.core.executor import Executor
 from repro.core.lp import LogicalProcess, Model
 from repro.core.queue import PendingQueue
 from repro.core.result import RunResult
 from repro.core.stats import RunStats
 from repro.errors import ConfigurationError
-from repro.rng.streams import ReversibleStream, derive_seed
 
 __all__ = ["SequentialEngine", "run_sequential"]
 
 
-class SequentialEngine:
+class SequentialEngine(Executor):
     """Classic single-heap discrete-event simulator."""
+
+    kind = "sequential"
 
     def __init__(
         self,
@@ -43,28 +45,18 @@ class SequentialEngine:
         cost: CostModel | None = None,
         pool: bool = True,
         paranoid: bool = False,
+        executor: str = "scalar",
     ) -> None:
         if end_time <= 0:
             raise ConfigurationError(f"end_time must be positive, got {end_time}")
-        self.model = model
         self.end_time = end_time
         self.seed = seed
         self.paranoid = paranoid
         self.cost = cost if cost is not None else CostModel()
-        #: Event recycling: a committed event is dead the moment its
-        #: ``commit`` hook returns (sequential execution never rolls back),
-        #: so it goes straight back to the free list.
-        self.pool = EventPool() if pool else None
-
-        self.lps: list[LogicalProcess] = model.build()
-        if not self.lps:
-            raise ConfigurationError("model.build() returned no LPs")
-        for i, lp in enumerate(self.lps):
-            if lp.id != i:
-                raise ConfigurationError(
-                    f"LP ids must be dense 0..n-1 in build() order; "
-                    f"position {i} has id {lp.id}"
-                )
+        # The population (scalar or SoA — the sequential engine runs both
+        # through the same strict-key-order loop, so an SoA build changes
+        # nothing observable here).
+        self._init_population(model, executor)
         self.pending = PendingQueue()
         self.sends = 0
         #: Optional event tracer (see repro.core.trace); in a sequential
@@ -81,64 +73,28 @@ class SequentialEngine:
         #: Run-loop state grafted by a checkpoint restore; consumed (and
         #: cleared) at the top of :meth:`run`.
         self._resume = None
-        alloc = self.pool.acquire if self.pool is not None else Event
-        for lp in self.lps:
-            lp.bind(
-                ReversibleStream(derive_seed(seed, lp.id), lp.id),
-                self._emit,
-            )
-            lp._alloc = alloc
-
-    def attach_tracer(self, tracer) -> "SequentialEngine":
-        """Attach a :class:`repro.core.trace.Tracer`; returns self."""
-        self.tracer = tracer
-        return self
-
-    def attach_metrics(self, recorder) -> "SequentialEngine":
-        """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self."""
-        self.metrics = recorder
-        return self
-
-    def attach_checkpointer(self, ckpt) -> "SequentialEngine":
-        """Attach a :class:`repro.ckpt.Checkpointer`; returns self.
-
-        If the checkpointer holds a loaded snapshot (``load_latest``),
-        attaching grafts the captured state onto this engine — attach it
-        last, after any fault driver, so the graft sees the final
-        object graph.
-        """
-        self.ckpt = ckpt
-        ckpt.bind(self)
-        return self
-
-    def attach_faults(self, driver) -> "SequentialEngine":
-        """Accept a :class:`repro.faults.EngineFaults` driver; returns self.
-
-        Engine faults (transport perturbation, PE stalls) have nothing to
-        act on here — one heap, no transport, no PEs — so this is a
-        documented no-op kept for API symmetry with the parallel engines.
-        Model faults reach the sequential engine through the model itself.
-        """
-        return self
+        #: Event recycling: a committed event is dead the moment its
+        #: ``commit`` hook returns (sequential execution never rolls back),
+        #: so it goes straight back to the free list.
+        self._bind_lps(seed, self._init_pool(pool))
 
     def _sample_metrics(self, recorder, now: float, processed: int) -> None:
         """Feed the recorder one sample (sequential: commit == execute)."""
-        pool = self.pool
-        hit_rate = 0.0
-        if pool is not None:
-            total = pool.hits + pool.allocs
-            hit_rate = pool.hits / total if total else 0.0
         recorder.sample(
             gvt=now,
             committed=processed,
             processed=processed,
             fossil_collected=processed,
             pending=len(self.pending),
-            pool_hit_rate=hit_rate,
+            pool_hit_rate=self._pool_hit_rate(),
         )
 
     def _emit(self, src_lp: LogicalProcess, ev: Event) -> None:
         self.sends += 1
+        self.pending.push(ev)
+
+    def schedule(self, ev: Event) -> None:
+        """Executor ABI: bare enqueue into the single pending heap."""
         self.pending.push(ev)
 
     def run(self) -> RunResult:
@@ -271,13 +227,20 @@ def run_sequential(
     cost: CostModel | None = None,
     pool: bool = True,
     paranoid: bool = False,
+    executor: str = "scalar",
     tracer=None,
     metrics=None,
     checkpointer=None,
 ) -> RunResult:
     """Convenience wrapper: build a sequential engine, attach telemetry, run."""
     engine = SequentialEngine(
-        model, end_time, seed=seed, cost=cost, pool=pool, paranoid=paranoid
+        model,
+        end_time,
+        seed=seed,
+        cost=cost,
+        pool=pool,
+        paranoid=paranoid,
+        executor=executor,
     )
     if tracer is not None:
         engine.attach_tracer(tracer)

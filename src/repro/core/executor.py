@@ -1,0 +1,205 @@
+"""The executor ABI: the chassis shared by all three engines.
+
+The sequential oracle, the conservative kernel and the Time Warp kernel
+share a model API but historically each re-implemented the same plumbing:
+LP-population build and validation, RNG binding, event-pool wiring, the
+``attach_*`` telemetry surface, and snapshot capture/restore.  This module
+collapses that duplication into one base class — :class:`Executor` — with
+a small uniform interface every engine implements:
+
+``schedule(ev)`` / ``deliver(ev)``
+    Enqueue an event at its destination.  ``schedule`` is the bare
+    enqueue; ``deliver`` carries the engine's full arrival semantics
+    (for the optimistic engine, the straggler check and rollback).
+``fossil(horizon)``
+    Commit-and-free everything below ``horizon``.  Engines that commit
+    as they execute (sequential, conservative) have nothing to collect
+    and return 0; the Time Warp kernel overrides this with real fossil
+    collection.
+``snapshot()`` / ``restore(payload)``
+    Whole-engine state capture for checkpointing, delegating to
+    :mod:`repro.ckpt.state` (imported lazily — the ckpt layer imports
+    the engines).
+``run()``
+    Execute to the end barrier and return a
+    :class:`~repro.core.result.RunResult`.
+
+The base class also owns the **executor mode** resolution: with
+``executor="vectorized"`` the population is built through the model's
+:meth:`~repro.core.lp.Model.build_vectorized` hook, which returns the LPs
+plus a *vector plan* — an object describing how same-timestamp-band event
+runs may be stepped through fused struct-of-arrays loops (see
+:mod:`repro.hotpotato.soa` for the hot-potato plan).  Models without an
+SoA build fall back to the scalar :meth:`~repro.core.lp.Model.build`
+silently; either way the populations are observably identical, so the
+executor choice can never change results (the conformance suite in
+``tests/test_executor_abi.py`` asserts this).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.event import Event, EventPool
+from repro.core.lp import LogicalProcess, Model
+from repro.errors import ConfigurationError
+from repro.rng.streams import ReversibleStream, derive_seed
+
+__all__ = ["Executor", "resolve_build"]
+
+
+def resolve_build(model: Model, executor: str):
+    """Build the LP population for the requested executor mode.
+
+    Returns ``(lps, plan)``; ``plan`` is ``None`` for the scalar build or
+    when the model declines to vectorize.
+    """
+    if executor == "vectorized":
+        built = model.build_vectorized()
+        if built is not None:
+            return built
+    return model.build(), None
+
+
+class Executor:
+    """Common chassis for the three engines (see module docstring).
+
+    Subclasses call :meth:`_init_population`, :meth:`_init_pool` and
+    :meth:`_bind_lps` from their constructors, then override the pieces
+    of the ABI whose defaults don't apply (``deliver`` for rollback
+    semantics, ``fossil`` for Time Warp, ``attach_faults`` where a fault
+    driver has something to act on).
+    """
+
+    #: Engine kind tag ("sequential" / "conservative" / "optimistic").
+    kind = "abstract"
+
+    model: Model
+    lps: list[LogicalProcess]
+    pool: EventPool | None
+    #: Vector plan from ``model.build_vectorized()`` (None on the scalar
+    #: path); engines that support fused stepping consult it.
+    vec_plan: Any
+
+    # ------------------------------------------------------------------
+    # Shared construction helpers.
+    # ------------------------------------------------------------------
+    def _init_population(self, model: Model, executor: str = "scalar") -> list:
+        """Build and validate the LP population for ``executor`` mode."""
+        self.model = model
+        lps, plan = resolve_build(model, executor)
+        if not lps:
+            raise ConfigurationError("model.build() returned no LPs")
+        for i, lp in enumerate(lps):
+            if lp.id != i:
+                raise ConfigurationError(
+                    f"LP ids must be dense 0..n-1 in build() order; "
+                    f"position {i} has id {lp.id}"
+                )
+        self.lps = lps
+        self.vec_plan = plan
+        #: The *effective* executor mode: "vectorized" only when the model
+        #: actually supplied an SoA population (snapshots record this —
+        #: the two populations' event payloads are not interchangeable,
+        #: so a checkpoint can only be resumed under the same mode).
+        self.executor = "vectorized" if plan is not None else "scalar"
+        return lps
+
+    def _init_pool(self, pool_on: bool):
+        """Create the event pool (or not) and return the allocator."""
+        self.pool = EventPool() if pool_on else None
+        return self.pool.acquire if self.pool is not None else Event
+
+    def _bind_lps(self, seed: int, alloc) -> None:
+        """Give every LP its derived RNG stream, emit callback and allocator."""
+        emit = self._emit
+        for lp in self.lps:
+            lp.bind(ReversibleStream(derive_seed(seed, lp.id), lp.id), emit)
+            lp._alloc = alloc
+
+    def _pool_hit_rate(self) -> float:
+        """Cumulative event-pool hit rate (0.0 when pooling is off)."""
+        pool = self.pool
+        if pool is None:
+            return 0.0
+        total = pool.hits + pool.allocs
+        return pool.hits / total if total else 0.0
+
+    def _emit(self, src_lp: LogicalProcess, ev: Event) -> None:
+        """Kernel side of ``LogicalProcess.send`` (engine-specific)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Telemetry attachment surface (identical across engines).
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer):
+        """Attach a :class:`repro.core.trace.Tracer`; returns self."""
+        self.tracer = tracer
+        return self
+
+    def attach_metrics(self, recorder):
+        """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self."""
+        self.metrics = recorder
+        return self
+
+    def attach_faults(self, driver):
+        """Accept a :class:`repro.faults.EngineFaults` driver; returns self.
+
+        The default is a documented no-op for engines the driver has
+        nothing to act on (the sequential engine: one heap, no transport,
+        no PEs — model faults reach it through the model itself).  The
+        parallel engines override this to install the driver.
+        """
+        return self
+
+    def attach_checkpointer(self, ckpt):
+        """Attach a :class:`repro.ckpt.Checkpointer`; returns self.
+
+        If the checkpointer holds a loaded snapshot (``load_latest``),
+        attaching grafts the captured state onto this engine — attach it
+        last, after tracer/metrics/faults, so the graft sees the final
+        object graph.
+        """
+        self.ckpt = ckpt
+        ckpt.bind(self)
+        return self
+
+    # ------------------------------------------------------------------
+    # The ABI proper.
+    # ------------------------------------------------------------------
+    def schedule(self, ev: Event) -> None:
+        """Bare enqueue of ``ev`` at its destination's pending structure."""
+        raise NotImplementedError
+
+    def deliver(self, ev: Event) -> None:
+        """Full arrival semantics for ``ev`` (default: same as schedule).
+
+        The optimistic engine overrides this with the straggler check and
+        rollback path; for conservative/sequential execution an arrival
+        is just an enqueue.
+        """
+        self.schedule(ev)
+
+    def fossil(self, horizon: float) -> int:
+        """Commit-and-free everything below ``horizon``; returns the count.
+
+        Engines that commit events as they execute retire them on the
+        spot, so there is never anything to collect.
+        """
+        return 0
+
+    def snapshot(self) -> dict:
+        """Capture a checkpoint payload of this engine's full state."""
+        from repro.ckpt.state import capture_state
+
+        return capture_state(self, None)
+
+    def restore(self, payload: dict) -> None:
+        """Graft a payload produced by :meth:`snapshot` onto this engine."""
+        from repro.ckpt.state import restore_state
+
+        restore_state(self, payload)
+
+    def run(self):
+        """Execute to the end barrier and return a RunResult."""
+        raise NotImplementedError

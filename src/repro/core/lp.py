@@ -225,6 +225,19 @@ class Model:
         """Create and return the LP population (ids must be 0..n-1)."""
         raise NotImplementedError
 
+    def build_vectorized(self):
+        """Optional struct-of-arrays build for ``executor="vectorized"``.
+
+        Return ``(lps, plan)`` — an LP population whose state lives in
+        shared flat arrays plus a *vector plan* describing how an engine
+        may batch same-timestamp-band events (see
+        :class:`repro.core.executor.Executor`) — or ``None`` to decline,
+        in which case the engine silently falls back to :meth:`build`.
+        The SoA population must be observably identical to the scalar
+        one: same RNG draw sequences, same sends, same statistics.
+        """
+        return None
+
     def collect_stats(self, lps: list[LogicalProcess]) -> dict[str, Any]:
         """Aggregate model statistics over the final LP states."""
         raise NotImplementedError

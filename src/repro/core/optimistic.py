@@ -26,7 +26,8 @@ from __future__ import annotations
 from heapq import heappop, heappush
 
 from repro.core.config import EngineConfig
-from repro.core.event import Event, EventPool, _next_serial
+from repro.core.event import Event, _next_serial
+from repro.core.executor import Executor
 from repro.core.gvt import make_gvt_manager
 from repro.core.invariants import check_optimistic
 from repro.core.kp import KernelProcess
@@ -39,7 +40,6 @@ from repro.core.stats import RunStats
 from repro.core.throttle import Throttle
 from repro.core.transport import make_transport
 from repro.errors import ConfigurationError, SchedulingError
-from repro.rng.streams import ReversibleStream, derive_seed
 from repro.vt.time import TIME_HORIZON, EventKey
 
 __all__ = ["TimeWarpKernel", "run_optimistic"]
@@ -497,28 +497,25 @@ def _compile_batch(kernel: "TimeWarpKernel", pe, use_heap: bool):
     return fast_batch_lazy
 
 
-class TimeWarpKernel:
+class TimeWarpKernel(Executor):
     """One optimistic simulation instance.
 
     Build it with a :class:`~repro.core.lp.Model` and an
     :class:`~repro.core.config.EngineConfig`, then call :meth:`run`.
     """
 
+    kind = "optimistic"
+
     def __init__(self, model: Model, config: EngineConfig) -> None:
-        self.model = model
         self.cfg = config
         self.cost = config.cost
 
         # --- LP population -------------------------------------------------
-        self.lps: list[LogicalProcess] = model.build()
-        if not self.lps:
-            raise ConfigurationError("model.build() returned no LPs")
-        for i, lp in enumerate(self.lps):
-            if lp.id != i:
-                raise ConfigurationError(
-                    f"LP ids must be dense 0..n-1 in build() order; "
-                    f"position {i} has id {lp.id}"
-                )
+        # With ``executor="vectorized"`` this may be a struct-of-arrays
+        # population plus a vector plan (``self.vec_plan``); the plan is
+        # consulted by ``_install_fast_paths``, everything else treats the
+        # SoA LPs exactly like scalar ones.
+        self._init_population(model, config.executor)
         n_lps = len(self.lps)
 
         # --- Mapping, KPs, PEs --------------------------------------------
@@ -564,7 +561,7 @@ class TimeWarpKernel:
 
         # --- Hot-path capability flags & event pool --------------------------
         #: Event recycling free list (None when cfg.pool is off).
-        self.pool = EventPool() if config.pool else None
+        self._alloc = self._init_pool(config.pool)
         #: Managers whose send/receive hooks are no-ops (the synchronous
         #: barrier algorithm) skip the two per-message calls entirely.
         self._gvt_hooks = getattr(self.gvt_manager, "tracks_messages", True)
@@ -647,6 +644,11 @@ class TimeWarpKernel:
         self._antimsg_batch: list[Event] = []
         #: Non-empty anti-message batch flushes (see ``_flush_antimsgs``).
         self.antimsg_batches = 0
+        #: Vectorized-executor activity: band runs dispatched through the
+        #: plan's fused steppers, and events advanced by them (both stay 0
+        #: under the scalar executor or when no plan applies).
+        self.soa_batches = 0
+        self.soa_lps_stepped = 0
         #: Per-PE fused batch loops (see ``_compile_batch``); ``None``
         #: until ``_install_fast_paths`` decides they apply.
         self._batch_by_pe: list | None = None
@@ -678,13 +680,7 @@ class TimeWarpKernel:
         self._resume = None
 
         # --- Bind LPs ---------------------------------------------------------
-        alloc = self.pool.acquire if self.pool is not None else Event
-        for lp in self.lps:
-            lp.bind(
-                ReversibleStream(derive_seed(config.seed, lp.id), lp.id),
-                self._emit,
-            )
-            lp._alloc = alloc
+        self._bind_lps(config.seed, self._alloc)
 
     # ------------------------------------------------------------------
     # Message path.
@@ -976,19 +972,17 @@ class TimeWarpKernel:
     # ------------------------------------------------------------------
     # GVT and fossil collection.
     # ------------------------------------------------------------------
-    def attach_tracer(self, tracer) -> "TimeWarpKernel":
-        """Attach a :class:`repro.core.trace.Tracer`; returns self."""
-        self.tracer = tracer
-        return self
+    def schedule(self, ev: Event) -> None:
+        """Executor ABI: bare enqueue at the destination LP's PE."""
+        self._pe_by_lp[ev.dst].pending.push(ev)
 
-    def attach_metrics(self, recorder) -> "TimeWarpKernel":
-        """Attach a :class:`repro.obs.metrics.MetricsRecorder`; returns self.
+    def deliver(self, ev: Event) -> None:
+        """Executor ABI: full Time Warp arrival (straggler check, rollback)."""
+        self._receive(ev)
 
-        The recorder is fed one sample per GVT round (plus a final sample
-        for the tail commit), so the per-event hot paths are unaffected.
-        """
-        self.metrics = recorder
-        return self
+    def fossil(self, horizon: float) -> int:
+        """Executor ABI: real fossil collection below ``horizon``."""
+        return self.fossil_collect(horizon)
 
     def attach_faults(self, driver) -> "TimeWarpKernel":
         """Attach a :class:`repro.faults.injector.EngineFaults`; returns self.
@@ -1001,28 +995,10 @@ class TimeWarpKernel:
         driver.install(self)
         return self
 
-    def attach_checkpointer(self, ckpt) -> "TimeWarpKernel":
-        """Attach a :class:`repro.ckpt.Checkpointer`; returns self.
-
-        If the checkpointer holds a loaded snapshot (``load_latest``),
-        attaching grafts the captured state onto this kernel — attach it
-        last, after tracer/metrics/faults, so the graft sees the final
-        object graph (the restore mutates fault-wrapper internals in
-        place).  Consulted only at GVT boundaries; when None the run
-        loop is exactly as before.
-        """
-        self.ckpt = ckpt
-        ckpt.bind(self)
-        return self
-
     def _sample_metrics(self, recorder, gvt: float) -> None:
         """Feed the recorder the current cumulative counters (O(PEs+KPs))."""
         pes, kps = self.pes, self.kps
-        pool = self.pool
-        hit_rate = 0.0
-        if pool is not None:
-            total = pool.hits + pool.allocs
-            hit_rate = pool.hits / total if total else 0.0
+        hit_rate = self._pool_hit_rate()
         recorder.sample(
             gvt=gvt,
             committed=self.fossil_collected,
@@ -1040,6 +1016,8 @@ class TimeWarpKernel:
             gvt_incremental_rounds=getattr(
                 self.gvt_manager, "incremental_rounds", 0
             ),
+            soa_batches=self.soa_batches,
+            soa_lps_stepped=self.soa_lps_stepped,
             kp_rolled_back=[kp.stats.events_rolled_back for kp in kps],
         )
 
@@ -1081,9 +1059,25 @@ class TimeWarpKernel:
             lp.send = _compile_send(self, lp, use_heap)
         if self.tracer is None:
             self.execute = _compile_execute(self)
-            self._batch_by_pe = [
-                _compile_batch(self, pe, use_heap) for pe in self.pes
-            ]
+            plan = self.vec_plan
+            if (
+                plan is not None
+                and not self.lazy
+                and self.strategy.name == "reverse"
+            ):
+                # Vectorized fast path: the model's plan fuses whole
+                # same-timestamp-band runs into struct-of-arrays steps.
+                # Lazy cancellation and copy rollback fall back to the
+                # scalar batch (the SoA LPs still run fine through it);
+                # the plan's compiled batch is bit-identical to the scalar
+                # one by construction (the conformance suite checks).
+                self._batch_by_pe = [
+                    plan.compile_batch(self, pe, use_heap) for pe in self.pes
+                ]
+            else:
+                self._batch_by_pe = [
+                    _compile_batch(self, pe, use_heap) for pe in self.pes
+                ]
 
     def run(self) -> RunResult:
         """Execute the model to ``cfg.end_time`` and collect statistics."""
@@ -1234,6 +1228,8 @@ class TimeWarpKernel:
         stats.gvt_incremental_rounds = getattr(
             self.gvt_manager, "incremental_rounds", 0
         )
+        stats.soa_batches = self.soa_batches
+        stats.soa_lps_stepped = self.soa_lps_stepped
         if self.throttle is not None:
             stats.throttle_adjustments = self.throttle.adjustments
             stats.throttle_final_factor = self.throttle.factor

@@ -75,6 +75,12 @@ class RunStats:
     #: GVT estimates served by the incremental manager (0 under the
     #: synchronous or Mattern algorithms).
     gvt_incremental_rounds: int = 0
+    #: Vectorized-executor activity: same-timestamp-band runs dispatched
+    #: through the fused struct-of-arrays steppers, and the events those
+    #: runs advanced (both 0 under the scalar executor or when the model
+    #: has no SoA build).
+    soa_batches: int = 0
+    soa_lps_stepped: int = 0
     #: Optimism-throttle activity (0 when the throttle is off or idle).
     throttle_adjustments: int = 0
     #: Final optimism factor (1.0 = full batch/window).
@@ -135,6 +141,8 @@ class RunStats:
             "lazy_reused": self.lazy_reused,
             "antimsg_batches": self.antimsg_batches,
             "gvt_incremental_rounds": self.gvt_incremental_rounds,
+            "soa_batches": self.soa_batches,
+            "soa_lps_stepped": self.soa_lps_stepped,
             "throttle_adjustments": self.throttle_adjustments,
             "throttle_final_factor": self.throttle_final_factor,
             "local_sends": self.local_sends,

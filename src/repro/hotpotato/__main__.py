@@ -64,10 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0x5EED, help="global seed")
     parser.add_argument(
         "--queue",
-        choices=("heap", "ladder"),
+        choices=("heap", "ladder", "splay"),
         default="heap",
         help="pending-queue implementation for the optimistic engine "
         "(ignored with --processors 1; results are identical either way)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("scalar", "vectorized"),
+        default="scalar",
+        help="LP stepping mode: 'vectorized' batches same-timestamp-band "
+        "events into struct-of-arrays steps (committed results are "
+        "identical either way; see docs/KERNEL.md)",
     )
     parser.add_argument(
         "--cancellation",
@@ -178,6 +186,7 @@ def _config_marker(args) -> dict:
         "batch": args.batch,
         "queue": args.queue,
         "cancellation": args.cancellation,
+        "executor": args.executor,
         "seed": args.seed,
         "paranoid": args.paranoid,
         "fault_plan": args.fault_plan,
@@ -260,6 +269,7 @@ def main(argv: list[str] | None = None) -> int:
                     metrics=capture.metrics,
                     checkpointer=ckpt,
                     paranoid=args.paranoid,
+                    executor=args.executor,
                 )
             else:
                 result = sim.run_parallel(
@@ -272,6 +282,7 @@ def main(argv: list[str] | None = None) -> int:
                     paranoid=args.paranoid,
                     queue=args.queue,
                     cancellation=args.cancellation,
+                    executor=args.executor,
                 )
     except KeyboardInterrupt:
         capture.finalize(None)
@@ -321,6 +332,7 @@ def main(argv: list[str] | None = None) -> int:
             sim.run_parallel(
                 n_pes=4, n_kps=args.kps, batch_size=args.batch,
                 queue=args.queue, cancellation=args.cancellation,
+                executor=args.executor,
             )
             if args.processors <= 1
             else sim.run()

@@ -95,6 +95,23 @@ class HotPotatoModel(Model):
                 lps[i].faults = faults
         return lps
 
+    def build_vectorized(self):
+        """SoA population + band-stepping plan (``executor="vectorized"``).
+
+        Declines (returns None → engines fall back to :meth:`build`) when
+        the routing policy is not exactly the Busch policy — the fused
+        stepper inlines its ``route`` logic, so a subclass override would
+        silently be ignored — or when the topology is not the torus the
+        band-edge proof was written against.
+        """
+        if type(self.policy) is not BuschHotPotatoPolicy:
+            return None
+        if not isinstance(self.topo, TorusTopology):
+            return None
+        from repro.hotpotato.soa import build_soa
+
+        return build_soa(self)
+
     def checkpoint_state(self) -> Any:
         """Model-level mutable state: the commit-time delivery log."""
         if not self.cfg.delivery_log:

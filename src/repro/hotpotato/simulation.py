@@ -58,7 +58,13 @@ class HotPotatoSimulation:
         return EngineFaults(plan)
 
     def run(
-        self, *, tracer=None, metrics=None, checkpointer=None, paranoid=False
+        self,
+        *,
+        tracer=None,
+        metrics=None,
+        checkpointer=None,
+        paranoid=False,
+        executor: str = "scalar",
     ) -> RunResult:
         """Run on the sequential oracle engine (optionally instrumented)."""
         return run_sequential(
@@ -66,6 +72,7 @@ class HotPotatoSimulation:
             self.cfg.duration,
             seed=self.seed,
             paranoid=paranoid,
+            executor=executor,
             tracer=tracer,
             metrics=metrics,
             checkpointer=checkpointer,

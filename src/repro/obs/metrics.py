@@ -79,6 +79,11 @@ class MetricSample:
     #: GVT estimates served by the incremental manager during the
     #: interval (0 under synchronous/Mattern).  Delta counter.
     gvt_incremental_rounds: int = 0
+    #: Same-timestamp-band runs dispatched by the vectorized executor
+    #: during the interval (0 under the scalar executor).  Delta counter.
+    soa_batches: int = 0
+    #: Events advanced by those runs during the interval.  Delta counter.
+    soa_lps_stepped: int = 0
     #: Per-KP events rolled back during the interval; only KPs with a
     #: nonzero delta appear (empty for non-optimistic engines).
     kp_rolled_back: dict[int, int] = field(default_factory=dict)
@@ -101,6 +106,8 @@ class MetricSample:
             "lazy_hits": self.lazy_hits,
             "antimsg_batches": self.antimsg_batches,
             "gvt_incremental_rounds": self.gvt_incremental_rounds,
+            "soa_batches": self.soa_batches,
+            "soa_lps_stepped": self.soa_lps_stepped,
         }
         if self.kp_rolled_back:
             d["kp_rolled_back"] = {str(k): v for k, v in self.kp_rolled_back.items()}
@@ -127,6 +134,10 @@ class MetricSample:
             lazy_hits=int(d.get("lazy_hits", 0)),
             antimsg_batches=int(d.get("antimsg_batches", 0)),
             gvt_incremental_rounds=int(d.get("gvt_incremental_rounds", 0)),
+            # Pre-vectorized-executor recordings lack the SoA pair; same
+            # zero-default convention.
+            soa_batches=int(d.get("soa_batches", 0)),
+            soa_lps_stepped=int(d.get("soa_lps_stepped", 0)),
             kp_rolled_back={
                 int(k): int(v) for k, v in d.get("kp_rolled_back", {}).items()
             },
@@ -168,6 +179,8 @@ class MetricsRecorder:
             "lazy_hits": 0,
             "antimsg_batches": 0,
             "gvt_incremental_rounds": 0,
+            "soa_batches": 0,
+            "soa_lps_stepped": 0,
         }
         self._prev_kp: list[int] | None = None
 
@@ -188,6 +201,8 @@ class MetricsRecorder:
         lazy_hits: int = 0,
         antimsg_batches: int = 0,
         gvt_incremental_rounds: int = 0,
+        soa_batches: int = 0,
+        soa_lps_stepped: int = 0,
         kp_rolled_back: list[int] | None = None,
     ) -> MetricSample:
         """Feed *cumulative* counters; records and returns the delta sample.
@@ -224,6 +239,8 @@ class MetricsRecorder:
             gvt_incremental_rounds=(
                 gvt_incremental_rounds - prev["gvt_incremental_rounds"]
             ),
+            soa_batches=soa_batches - prev["soa_batches"],
+            soa_lps_stepped=soa_lps_stepped - prev["soa_lps_stepped"],
             kp_rolled_back=kp_delta,
         )
         prev["committed"] = committed
@@ -235,6 +252,8 @@ class MetricsRecorder:
         prev["lazy_hits"] = lazy_hits
         prev["antimsg_batches"] = antimsg_batches
         prev["gvt_incremental_rounds"] = gvt_incremental_rounds
+        prev["soa_batches"] = soa_batches
+        prev["soa_lps_stepped"] = soa_lps_stepped
         self.n_samples += 1
         if self.sink is not None:
             self.sink.write_metric(s)
