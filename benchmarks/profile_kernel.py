@@ -79,12 +79,20 @@ def main() -> None:
         help="also record GVT-interval metrics to FILE — the same JSONL "
         "telemetry format as the CLIs (inspect with python -m repro.obs)",
     )
+    parser.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        help="also record wall-clock phase spans to FILE (may equal "
+        "--metrics-out); where the profiler shows function cost, spans "
+        "show which engine phase spent it",
+    )
     args = parser.parse_args()
 
     cfg = HotPotatoConfig(n=args.n, duration=args.duration, injector_fraction=1.0)
     model = HotPotatoModel(cfg)
     capture = RunCapture(
         metrics_out=args.metrics_out,
+        spans_out=args.spans_out,
         meta={
             "engine": args.engine,
             "workload": "hotpotato",
@@ -99,25 +107,29 @@ def main() -> None:
     if args.engine == "sequential":
         result = run_sequential(
             model, cfg.duration, seed=args.seed, executor=args.executor,
-            metrics=capture.metrics,
+            metrics=capture.metrics, spans=capture.spans,
         )
     elif args.engine == "conservative":
         ccfg = ConservativeConfig(
             end_time=cfg.duration, n_pes=4, sync="yawns", seed=args.seed,
             executor=args.executor,
         )
-        result = run_conservative(model, ccfg, metrics=capture.metrics)
+        result = run_conservative(
+            model, ccfg, metrics=capture.metrics, spans=capture.spans,
+        )
     else:
         ecfg = EngineConfig(
             end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64, seed=args.seed,
             queue=args.queue, cancellation=args.cancellation,
             executor=args.executor,
         )
-        result = run_optimistic(model, ecfg, metrics=capture.metrics)
+        result = run_optimistic(
+            model, ecfg, metrics=capture.metrics, spans=capture.spans,
+        )
     profiler.disable()
     capture.finalize(result)
-    if args.metrics_out:
-        print(f"telemetry written to {args.metrics_out}")
+    if args.metrics_out or args.spans_out:
+        print(f"telemetry written to {args.metrics_out or args.spans_out}")
 
     print(
         f"{args.engine}: {result.run.processed:,} events processed "

@@ -115,8 +115,9 @@ def run_suite(
     this, later suites pay earlier suites' collection debt).
 
     With ``telemetry_dir``, one *extra untimed* run records GVT-interval
-    metrics to ``<dir>/<suite>.jsonl`` (see :mod:`repro.obs`) — untimed
-    so the throughput numbers measure the exact detached configuration.
+    metrics and wall-clock phase spans to ``<dir>/<suite>.jsonl`` (see
+    :mod:`repro.obs`) — untimed so the throughput numbers measure the
+    exact detached configuration.
     """
     walls: list[float] = []
     result = None
@@ -135,6 +136,7 @@ def run_suite(
         telemetry_dir.mkdir(parents=True, exist_ok=True)
         capture = RunCapture(
             metrics_out=telemetry_dir / f"{suite.name}.jsonl",
+            spans_out=telemetry_dir / f"{suite.name}.jsonl",
             meta={
                 "suite": suite.name,
                 "engine": suite.engine,
@@ -148,7 +150,7 @@ def run_suite(
         )
         try:
             telemetry_result = suite.run(
-                smoke, metrics=capture.metrics,
+                smoke, metrics=capture.metrics, spans=capture.spans,
                 queue=queue, cancellation=cancellation, executor=executor,
             )
         except KeyboardInterrupt:

@@ -46,12 +46,13 @@ BENCH_SEED = 0xB5EED
 class Suite:
     """One (engine, workload) cell of the benchmark matrix.
 
-    ``run(smoke, metrics=None, queue=None, cancellation=None)`` builds
-    the model and engine from scratch and executes; the optional
-    ``metrics`` recorder (see :mod:`repro.obs.metrics`) enables per-cell
-    telemetry capture — the harness attaches it only on a dedicated
-    untimed run, so the timed repeats measure the exact detached
-    configuration.  ``queue``/``cancellation`` select the pending-queue
+    ``run(smoke, metrics=None, spans=None, queue=None,
+    cancellation=None)`` builds the model and engine from scratch and
+    executes; the optional ``metrics`` recorder (see
+    :mod:`repro.obs.metrics`) and ``spans`` tracer (see
+    :mod:`repro.obs.spans`) enable per-cell telemetry capture — the
+    harness attaches them only on a dedicated untimed run, so the timed
+    repeats measure the exact detached configuration.  ``queue``/``cancellation`` select the pending-queue
     implementation and cancellation mode on the optimistic engine (the
     other engines accept and ignore them); ``executor`` selects scalar
     vs vectorized LP stepping on every engine.
@@ -107,59 +108,59 @@ def _engine_overrides(queue, cancellation, executor=None) -> dict:
 # ----------------------------------------------------------------------
 # Suite bodies.
 # ----------------------------------------------------------------------
-def _seq_phold(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _seq_phold(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     return run_sequential(
         PholdModel(cfg), end, seed=BENCH_SEED,
-        executor=executor or "scalar", metrics=metrics,
+        executor=executor or "scalar", metrics=metrics, spans=spans,
     )
 
 
-def _seq_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _seq_hotpotato(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     return run_sequential(
         HotPotatoModel(cfg), cfg.duration, seed=BENCH_SEED,
-        executor=executor or "scalar", metrics=metrics,
+        executor=executor or "scalar", metrics=metrics, spans=spans,
     )
 
 
-def _cons_phold(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _cons_phold(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ccfg = ConservativeConfig(
         end_time=end, n_pes=4, sync="yawns", seed=BENCH_SEED,
         executor=executor or "scalar",
     )
-    return run_conservative(PholdModel(cfg), ccfg, metrics=metrics)
+    return run_conservative(PholdModel(cfg), ccfg, metrics=metrics, spans=spans)
 
 
-def _cons_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _cons_hotpotato(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ccfg = ConservativeConfig(
         end_time=cfg.duration, n_pes=4, sync="yawns", seed=BENCH_SEED,
         executor=executor or "scalar",
     )
-    return run_conservative(HotPotatoModel(cfg), ccfg, metrics=metrics)
+    return run_conservative(HotPotatoModel(cfg), ccfg, metrics=metrics, spans=spans)
 
 
-def _opt_phold(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _opt_phold(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_cfg(smoke)
     ecfg = EngineConfig(
         end_time=end, n_pes=4, n_kps=16, batch_size=32, seed=BENCH_SEED,
         **_engine_overrides(queue, cancellation, executor),
     )
-    return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics)
+    return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics, spans=spans)
 
 
-def _opt_phold_stress(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _opt_phold_stress(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg, end = _phold_stress_cfg(smoke)
     ecfg = EngineConfig(
         end_time=end, n_pes=4, n_kps=16, batch_size=256, seed=BENCH_SEED,
         **_engine_overrides(queue, cancellation, executor),
     )
-    return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics)
+    return run_optimistic(PholdModel(cfg), ecfg, metrics=metrics, spans=spans)
 
 
-def _opt_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _opt_hotpotato(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ecfg = EngineConfig(
         end_time=cfg.duration,
@@ -169,10 +170,10 @@ def _opt_hotpotato(smoke: bool, metrics=None, queue=None, cancellation=None, exe
         seed=BENCH_SEED,
         **_engine_overrides(queue, cancellation, executor),
     )
-    return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics)
+    return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics, spans=spans)
 
 
-def _opt_hotpotato_stress(smoke: bool, metrics=None, queue=None, cancellation=None, executor=None) -> RunResult:
+def _opt_hotpotato_stress(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
     cfg = _hotpotato_cfg(smoke)
     ecfg = EngineConfig(
         end_time=cfg.duration,
@@ -182,7 +183,7 @@ def _opt_hotpotato_stress(smoke: bool, metrics=None, queue=None, cancellation=No
         seed=BENCH_SEED,
         **_engine_overrides(queue, cancellation, executor),
     )
-    return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics)
+    return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics, spans=spans)
 
 
 #: The fixed matrix, in reporting order.  ``opt-hotpotato`` is the

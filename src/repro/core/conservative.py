@@ -196,6 +196,10 @@ class ConservativeKernel(Executor):
         #: once per scheduler round — the conservative analog of a GVT
         #: round.  Costs nothing when detached.
         self.metrics = None
+        #: Optional span tracer (see repro.obs.spans): one ``exec`` span
+        #: per PE per scheduler round (plus ``snapshot`` spans when a
+        #: checkpointer writes).  Costs nothing when detached.
+        self.spans = None
         #: Optional repro.faults.EngineFaults driver.  Conservative
         #: execution has no transport layer to wrap, so only PE stalls
         #: apply here: a stalled PE simply sits out scheduler rounds.
@@ -327,6 +331,7 @@ class ConservativeKernel(Executor):
         end = self.cfg.end_time
         pes = self.pes
         faults = self.faults
+        spans = self.spans
         ckpt = self.ckpt
         paranoid = self.cfg.paranoid
         overhead = self.cost.gvt_per_pe  # one barrier reduction per round
@@ -343,7 +348,13 @@ class ConservativeKernel(Executor):
                     # deferred work runs (identically) once the stall ends.
                     continue
                 pe.busy, before = 0.0, pe.busy
-                self._execute_below(pe, horizon)
+                if spans is None:
+                    self._execute_below(pe, horizon)
+                else:
+                    t0 = spans.clock()
+                    done = self._execute_below(pe, horizon)
+                    if done:
+                        spans.record("exec", t0, spans.clock(), pe=pe.id, n=done)
                 round_cost = pe.busy
                 pe.busy += before
                 round_busy = max(round_busy, round_cost)
@@ -354,13 +365,25 @@ class ConservativeKernel(Executor):
             if paranoid:
                 check_conservative(self)
             if ckpt is not None:
-                ckpt.boundary(self)
+                self._ckpt_boundary(ckpt, spans)
+
+    def _ckpt_boundary(self, ckpt, spans) -> None:
+        """One checkpoint boundary, timed as a ``snapshot`` span if taken."""
+        if spans is None:
+            ckpt.boundary(self)
+            return
+        written_before = ckpt.written
+        t0 = spans.clock()
+        ckpt.boundary(self)
+        if ckpt.written > written_before:
+            spans.record("snapshot", t0, spans.clock())
 
     def _run_null_messages(self) -> None:
         end = self.cfg.end_time
         pes = self.pes
         n_pes = self.cfg.n_pes
         faults = self.faults
+        spans = self.spans
         ckpt = self.ckpt
         paranoid = self.cfg.paranoid
         limit = self.cfg.null_ratio_limit
@@ -377,7 +400,14 @@ class ConservativeKernel(Executor):
                     continue
                 pe.busy, before = 0.0, pe.busy
                 horizon = min(pe.safe_horizon(n_pes), end)
-                if self._execute_below(pe, horizon):
+                if spans is None:
+                    done = self._execute_below(pe, horizon)
+                else:
+                    t0 = spans.clock()
+                    done = self._execute_below(pe, horizon)
+                    if done:
+                        spans.record("exec", t0, spans.clock(), pe=pe.id, n=done)
+                if done:
                     progressed = True
                 # Promise the future to every peer: nothing before
                 # (my next event or my safe horizon, whichever is sooner)
@@ -403,7 +433,7 @@ class ConservativeKernel(Executor):
             if paranoid:
                 check_conservative(self)
             if ckpt is not None:
-                ckpt.boundary(self)
+                self._ckpt_boundary(ckpt, spans)
             if all(pe.next_ts() >= end for pe in pes):
                 break
             processed = sum(pe.processed for pe in pes)
@@ -467,6 +497,7 @@ def run_conservative(
     *,
     tracer=None,
     metrics=None,
+    spans=None,
     faults=None,
     checkpointer=None,
 ) -> RunResult:
@@ -476,6 +507,8 @@ def run_conservative(
         kernel.attach_tracer(tracer)
     if metrics is not None:
         kernel.attach_metrics(metrics)
+    if spans is not None:
+        kernel.attach_spans(spans)
     if faults is not None:
         kernel.attach_faults(faults)
     if checkpointer is not None:

@@ -67,6 +67,10 @@ class SequentialEngine(Executor):
         #: ``interval`` (in events) paces the samples; when detached the
         #: run loop is the exact allocation-free loop from before.
         self.metrics = None
+        #: Optional span tracer (see repro.obs.spans).  No rounds here
+        #: either, so one ``exec`` span covers every ``spans.interval``
+        #: events; detached, the run loop is the exact fast loop.
+        self.spans = None
         #: Optional checkpointer (see repro.ckpt); consulted every
         #: ``ckpt.seq_events`` commits, never per event.
         self.ckpt = None
@@ -111,12 +115,13 @@ class SequentialEngine(Executor):
         tracer = self.tracer
         release = self.pool.release if self.pool is not None else None
         metrics = self.metrics
+        spans = self.spans
         ckpt = self.ckpt
         processed = 0
         if resume is not None:
             processed = resume["processed"]
             self._resume = None
-        if metrics is None and ckpt is None and not self.paranoid:
+        if metrics is None and spans is None and ckpt is None and not self.paranoid:
             while True:
                 ev = pop_below(end)
                 if ev is None:
@@ -131,7 +136,7 @@ class SequentialEngine(Executor):
                     tracer.on_commit(ev)
                 if release is not None:
                     release(ev)
-        elif ckpt is None and not self.paranoid:
+        elif spans is None and ckpt is None and not self.paranoid:
             # Identical event-by-event behaviour, plus a metric sample
             # every ``metrics.interval`` events and one at the barrier.
             interval = metrics.interval
@@ -156,10 +161,11 @@ class SequentialEngine(Executor):
                     self._sample_metrics(metrics, now, processed)
             self._sample_metrics(metrics, end, processed)
         else:
-            # Checkpointing and/or paranoid checks: the metric loop plus
-            # a boundary every ``seq_events`` commits.  Boundary pacing
-            # is anchored to absolute commit counts so a resumed run
-            # hits the same boundaries as the uninterrupted one.
+            # Spans, checkpointing and/or paranoid checks: the metric
+            # loop plus an ``exec`` span every ``spans.interval`` events
+            # and a boundary every ``seq_events`` commits.  Pacing is
+            # anchored to absolute commit counts so a resumed run hits
+            # the same boundaries as the uninterrupted one.
             from repro.core.invariants import check_sequential
 
             interval = metrics.interval if metrics is not None else 0
@@ -168,6 +174,14 @@ class SequentialEngine(Executor):
                 if metrics is not None
                 else -1
             )
+            sinterval = spans.interval if spans is not None else 0
+            next_span = (
+                (processed // sinterval + 1) * sinterval
+                if spans is not None
+                else -1
+            )
+            span_t0 = spans.clock() if spans is not None else 0.0
+            span_base = processed
             bstep = ckpt.seq_events if ckpt is not None else 1024
             next_boundary = (processed // bstep + 1) * bstep
             paranoid = self.paranoid
@@ -189,14 +203,34 @@ class SequentialEngine(Executor):
                 if metrics is not None and processed >= next_sample:
                     next_sample += interval
                     self._sample_metrics(metrics, now, processed)
+                if spans is not None and processed >= next_span:
+                    next_span += sinterval
+                    t1 = spans.clock()
+                    spans.record(
+                        "exec", span_t0, t1, pe=0, n=processed - span_base
+                    )
+                    span_t0 = t1
+                    span_base = processed
                 if processed >= next_boundary:
                     next_boundary += bstep
                     if paranoid:
                         check_sequential(self, now)
                     if ckpt is not None:
+                        written_before = ckpt.written
+                        t0 = spans.clock() if spans is not None else 0.0
                         ckpt.boundary(self, {"processed": processed})
+                        if spans is not None and ckpt.written > written_before:
+                            spans.record("snapshot", t0, spans.clock())
             if metrics is not None:
                 self._sample_metrics(metrics, end, processed)
+            if spans is not None and processed > span_base:
+                spans.record(
+                    "exec",
+                    span_t0,
+                    spans.clock(),
+                    pe=0,
+                    n=processed - span_base,
+                )
 
         stats = RunStats(engine="sequential", n_pes=1, n_kps=1)
         stats.processed = processed
@@ -230,6 +264,7 @@ def run_sequential(
     executor: str = "scalar",
     tracer=None,
     metrics=None,
+    spans=None,
     checkpointer=None,
 ) -> RunResult:
     """Convenience wrapper: build a sequential engine, attach telemetry, run."""
@@ -246,6 +281,8 @@ def run_sequential(
         engine.attach_tracer(tracer)
     if metrics is not None:
         engine.attach_metrics(metrics)
+    if spans is not None:
+        engine.attach_spans(spans)
     if checkpointer is not None:
         engine.attach_checkpointer(checkpointer)
     return engine.run()

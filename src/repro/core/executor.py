@@ -142,6 +142,17 @@ class Executor:
         self.metrics = recorder
         return self
 
+    def attach_spans(self, tracer):
+        """Attach a :class:`repro.obs.spans.SpanTracer`; returns self.
+
+        Engines consult it at phase boundaries only (per PE batch, per
+        rollback episode, per GVT round ...), never per event, so — like
+        metrics and unlike a Tracer — attaching one keeps the optimistic
+        kernel's fused fast paths installed and costs nothing detached.
+        """
+        self.spans = tracer
+        return self
+
     def attach_faults(self, driver):
         """Accept a :class:`repro.faults.EngineFaults` driver; returns self.
 

@@ -62,6 +62,8 @@ class KernelProcess:
         one being annihilated by an anti-message is flagged cancelled by
         the caller afterwards).  Returns the number of events undone.
         """
+        spans = kernel.spans
+        t0 = spans.clock() if spans is not None else 0.0
         undone = 0
         processed = self.processed
         while processed and processed[-1].key >= bound:
@@ -73,6 +75,18 @@ class KernelProcess:
         if undone:
             self.stats.rollbacks += 1
             self.stats.events_rolled_back += undone
+            if spans is not None:
+                # One span per rollback episode, attributed to the KP
+                # that unwound and the LP whose arrival triggered it.
+                spans.record(
+                    "rollback",
+                    t0,
+                    spans.clock(),
+                    pe=self.pe_id,
+                    kp=self.id,
+                    lp=trigger_lp,
+                    n=undone,
+                )
         return undone
 
     def fossil_collect(self, gvt_ts: float, kernel: "TimeWarpKernel") -> int:

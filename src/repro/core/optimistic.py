@@ -662,6 +662,11 @@ class TimeWarpKernel(Executor):
         #: so attaching one keeps the fused fast paths installed and costs
         #: nothing when detached.
         self.metrics = None
+        #: Optional span tracer (see repro.obs.spans).  Consulted at phase
+        #: boundaries only — per PE batch, per rollback episode, per GVT
+        #: round — so, like metrics, it keeps the fused fast paths
+        #: installed and costs nothing when detached.
+        self.spans = None
         #: Optional fault driver (see repro.faults.injector.EngineFaults).
         #: Consulted once per PE per round when attached; when None (the
         #: default) the run loop and fast paths are exactly as before.
@@ -879,8 +884,14 @@ class TimeWarpKernel(Executor):
         count strictly decreases, so it terminates).
         """
         worklist = self._cancel_worklist
+        if not worklist:
+            return
+        spans = self.spans
+        t0 = spans.clock() if spans is not None else 0.0
+        drained = 0
         while worklist:
             ev = worklist.pop()
+            drained += 1
             if ev.cancelled:
                 continue
             if ev.processed:
@@ -892,6 +903,8 @@ class TimeWarpKernel(Executor):
             if not ev.cancelled:
                 self._flag_cancelled(ev)
                 self.cancelled_via_rollback += 1
+        if spans is not None:
+            spans.record("antimsg", t0, spans.clock(), n=drained)
 
     def _flush_antimsgs(self) -> None:
         """Resolve one forward execution's batched anti-messages.
@@ -908,6 +921,8 @@ class TimeWarpKernel(Executor):
         have produced, so committed sequences are bit-identical — only the
         rollback-episode count (and its fixed cost) shrinks.
         """
+        spans = self.spans
+        span_t0 = spans.clock() if spans is not None else 0.0
         batch = self._antimsg_batch
         work = batch[:]
         batch.clear()
@@ -945,6 +960,8 @@ class TimeWarpKernel(Executor):
             annihilate = getattr(self.transport, "annihilate", None)
             if annihilate is not None:
                 annihilate()
+        if spans is not None:
+            spans.record("antimsg", span_t0, spans.clock(), n=len(work))
 
     def _charge(self, pe: ProcessingElement, units: float) -> None:
         pe.stats.busy += units
@@ -1104,6 +1121,8 @@ class TimeWarpKernel(Executor):
         throttle = self.throttle
         metrics = self.metrics
         faults = self.faults
+        spans = self.spans
+        clock = spans.clock if spans is not None else None
         ckpt = self.ckpt
         paranoid = cfg.paranoid
         eff_batch = cfg.batch_size
@@ -1136,11 +1155,25 @@ class TimeWarpKernel(Executor):
                     # pending events — and stall windows are finite, so
                     # the run still terminates.
                     continue
-                if (
-                    batches[pe.id](eff_batch, limit)
-                    if batches is not None
-                    else pe.process_batch(self, eff_batch, limit)
-                ):
+                if spans is None:
+                    done = (
+                        batches[pe.id](eff_batch, limit)
+                        if batches is not None
+                        else pe.process_batch(self, eff_batch, limit)
+                    )
+                else:
+                    # One span per optimism batch: includes any rollbacks
+                    # the batch's own sends triggered mid-loop (those also
+                    # record their own nested "rollback" spans).
+                    t0 = clock()
+                    done = (
+                        batches[pe.id](eff_batch, limit)
+                        if batches is not None
+                        else pe.process_batch(self, eff_batch, limit)
+                    )
+                    if done:
+                        spans.record("exec", t0, clock(), pe=pe.id, n=done)
+                if done:
                     any_work = True
                     if note_exec is not None:
                         # Incremental GVT: this PE popped events, so its
@@ -1157,9 +1190,19 @@ class TimeWarpKernel(Executor):
             if gvt_boundary:
                 # Estimate is taken *before* the flush so the GVT manager
                 # really has to account for in-flight messages.
-                self.gvt = self.gvt_manager.estimate(self)
-                self.gvt_rounds += 1
-                collected = self.fossil_collect(self.gvt)
+                if spans is None:
+                    self.gvt = self.gvt_manager.estimate(self)
+                    self.gvt_rounds += 1
+                    collected = self.fossil_collect(self.gvt)
+                else:
+                    t0 = clock()
+                    self.gvt = self.gvt_manager.estimate(self)
+                    spans.record("gvt", t0, clock())
+                    self.gvt_rounds += 1
+                    t0 = clock()
+                    collected = self.fossil_collect(self.gvt)
+                    if collected:
+                        spans.record("fossil", t0, clock(), n=collected)
                 self.makespan_units += gvt_overhead + (
                     self.cost.fossil_per_event * collected / len(pes)
                 )
@@ -1187,10 +1230,20 @@ class TimeWarpKernel(Executor):
                     prev_gvt = self.gvt
                 if self.gvt >= end:
                     break
-            self.transport.flush()
+            if spans is None or self._direct:
+                # Immediate transport has nothing to flush; don't time the
+                # no-op.
+                self.transport.flush()
+            else:
+                t0 = clock()
+                delivered = self.transport.flush()
+                if delivered:
+                    spans.record("transport", t0, clock(), n=delivered)
             if ckpt is not None and gvt_boundary:
                 # After the flush, so mailboxes are empty (only a fault
                 # wrapper's held events remain, and those are captured).
+                written_before = ckpt.written
+                t0 = clock() if spans is not None else 0.0
                 ckpt.boundary(
                     self,
                     lambda: {
@@ -1201,6 +1254,8 @@ class TimeWarpKernel(Executor):
                         "last_rolled": last_rolled,
                     },
                 )
+                if spans is not None and ckpt.written > written_before:
+                    spans.record("snapshot", t0, clock())
 
         # Everything below the end barrier is final: commit it all.
         self.fossil_collect(TIME_HORIZON)
@@ -1270,6 +1325,7 @@ def run_optimistic(
     *,
     tracer=None,
     metrics=None,
+    spans=None,
     faults=None,
     checkpointer=None,
 ) -> RunResult:
@@ -1279,6 +1335,8 @@ def run_optimistic(
         kernel.attach_tracer(tracer)
     if metrics is not None:
         kernel.attach_metrics(metrics)
+    if spans is not None:
+        kernel.attach_spans(spans)
     if faults is not None:
         kernel.attach_faults(faults)
     if checkpointer is not None:

@@ -137,7 +137,14 @@ class Tracer:
         partial, which defeats the check); see the class docstring.
         """
         if self.trimmed_commits:
-            raise ValueError(TRIMMED_COMMITS_MSG)
+            raise ValueError(
+                f"{TRIMMED_COMMITS_MSG} — this tracer's window "
+                f"(limit={self.limit}) dropped {self.trimmed_commits:,} "
+                f"COMMIT record(s) of {self.counts[COMMIT]:,}; use "
+                "Tracer(limit=None) for unbounded memory, or record with "
+                "--trace-out and check the file instead (streaming keeps "
+                "the full sequence in O(1) memory)"
+            )
         commits = self.select(COMMIT)
         return sorted((r.ts, r.origin, r.seq, r.dst, r.kind) for r in commits)
 

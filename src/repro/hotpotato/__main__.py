@@ -102,6 +102,13 @@ def build_parser() -> argparse.ArgumentParser:
         "may equal --metrics-out to combine both streams in one recording",
     )
     parser.add_argument(
+        "--spans-out",
+        metavar="FILE",
+        help="record wall-clock phase spans (exec/rollback/gvt/...) to "
+        "this JSONL file; may equal --metrics-out/--trace-out to combine "
+        "streams in one recording",
+    )
+    parser.add_argument(
         "--fault-plan",
         metavar="FILE",
         help="inject faults from this JSON FaultPlan "
@@ -245,6 +252,7 @@ def main(argv: list[str] | None = None) -> int:
         capture = RunCapture(
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
+            spans_out=args.spans_out,
             meta={
                 "engine": engine,
                 "workload": "hotpotato",
@@ -267,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
                 result = sim.run(
                     tracer=capture.tracer,
                     metrics=capture.metrics,
+                    spans=capture.spans,
                     checkpointer=ckpt,
                     paranoid=args.paranoid,
                     executor=args.executor,
@@ -278,6 +287,7 @@ def main(argv: list[str] | None = None) -> int:
                     batch_size=args.batch,
                     tracer=capture.tracer,
                     metrics=capture.metrics,
+                    spans=capture.spans,
                     checkpointer=ckpt,
                     paranoid=args.paranoid,
                     queue=args.queue,

@@ -62,6 +62,7 @@ class HotPotatoSimulation:
         *,
         tracer=None,
         metrics=None,
+        spans=None,
         checkpointer=None,
         paranoid=False,
         executor: str = "scalar",
@@ -75,6 +76,7 @@ class HotPotatoSimulation:
             executor=executor,
             tracer=tracer,
             metrics=metrics,
+            spans=spans,
             checkpointer=checkpointer,
         )
 
@@ -87,6 +89,7 @@ class HotPotatoSimulation:
         engine_config: EngineConfig | None = None,
         tracer=None,
         metrics=None,
+        spans=None,
         checkpointer=None,
         **overrides: Any,
     ) -> RunResult:
@@ -113,6 +116,7 @@ class HotPotatoSimulation:
             ecfg,
             tracer=tracer,
             metrics=metrics,
+            spans=spans,
             faults=self._engine_faults(),
             checkpointer=checkpointer,
         )

@@ -11,22 +11,32 @@ rate, rollbacks, KP containment — but end-of-run aggregates cannot show
   recorder (:class:`JsonlSink`, :class:`StreamingTracer`) and its loader
   (:func:`load_recording`), which reconstructs the committed-sequence
   determinism check across processes,
+* :mod:`repro.obs.spans` — a :class:`SpanTracer` recording wall-clock
+  phase spans (exec / rollback / antimsg / gvt / fossil / snapshot /
+  transport) with PE/KP/LP attribution at phase boundaries only,
 * :mod:`repro.obs.forensics` — rollback hot spots, rollback-chain
-  reconstruction and recording-vs-recording diff,
+  reconstruction, rollback attribution and recording-vs-recording diff,
+* :mod:`repro.obs.critpath` — committed-trace critical-path analysis
+  (path length, achievable speedup bound, per-LP slack),
+* :mod:`repro.obs.watch` — the live terminal dashboard behind
+  ``python -m repro.obs watch``,
 * :mod:`repro.obs.capture` — :class:`RunCapture`, the one-call wiring
-  used by the CLIs' ``--metrics-out`` / ``--trace-out`` flags,
+  used by the CLIs' ``--metrics-out`` / ``--trace-out`` /
+  ``--spans-out`` flags,
 * ``python -m repro.obs`` — the forensics CLI (``summary``,
-  ``timeline``, ``thrash``, ``diff``).
+  ``timeline``, ``thrash``, ``critpath``, ``watch``, ``diff``).
 
 See ``docs/OBSERVABILITY.md`` for metric definitions and the file
 schema.
 """
 
 from repro.obs.capture import RunCapture
+from repro.obs.critpath import CritPathReport, critical_path
 from repro.obs.forensics import (
     RollbackChain,
     chain_summary,
     diff_recordings,
+    rollback_attribution,
     rollback_chains,
 )
 from repro.obs.metrics import MetricSample, MetricsRecorder
@@ -37,6 +47,7 @@ from repro.obs.recorder import (
     StreamingTracer,
     load_recording,
 )
+from repro.obs.spans import Span, SpanTracer
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -47,8 +58,13 @@ __all__ = [
     "MetricSample",
     "MetricsRecorder",
     "RunCapture",
+    "Span",
+    "SpanTracer",
+    "CritPathReport",
+    "critical_path",
     "RollbackChain",
     "rollback_chains",
     "chain_summary",
+    "rollback_attribution",
     "diff_recordings",
 ]

@@ -5,25 +5,38 @@ Subcommands::
     python -m repro.obs summary  RUN.jsonl          # header + full RunStats
     python -m repro.obs timeline RUN.jsonl          # ASCII metric sparklines
     python -m repro.obs thrash   RUN.jsonl          # rollback hot spots/chains
+    python -m repro.obs critpath RUN.jsonl          # causal critical path
     python -m repro.obs faults   RUN.jsonl          # fault-injection forensics
+    python -m repro.obs watch    RUN.jsonl          # live terminal dashboard
     python -m repro.obs diff     A.jsonl B.jsonl    # determinism comparison
 
 ``diff`` exits 0 when the two recordings are equivalent (committed
 sequences equal — the report's Attachment-3 check, across processes) and
 1 when they diverge; engine-dependent stat differences are reported but
-do not fail the diff.
+do not fail the diff.  ``critpath --json`` output is a pure function of
+the committed trace, so two processes analyzing equivalent recordings
+emit byte-identical reports.  ``watch`` tails a recording while the run
+writes it; ``watch --once`` renders a single headless frame for CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.analysis.asciichart import plot
 from repro.core.trace import COMMIT, EXEC, UNDO
-from repro.obs.forensics import chain_summary, diff_recordings, rollback_chains
+from repro.obs.critpath import critical_path
+from repro.obs.forensics import (
+    chain_summary,
+    diff_recordings,
+    rollback_attribution,
+    rollback_chains,
+)
 from repro.obs.recorder import RunRecording, load_recording
+from repro.obs.watch import watch
 
 __all__ = ["main", "build_parser"]
 
@@ -54,9 +67,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", type=Path)
     p.add_argument("--top", type=int, default=10, help="rows per hot-spot table")
 
+    p = sub.add_parser(
+        "critpath",
+        help="critical path, speedup bound and per-LP slack from the trace",
+    )
+    p.add_argument("file", type=Path)
+    p.add_argument("--top", type=int, default=10, help="rows per LP table")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full report as deterministic JSON (sorted keys)",
+    )
+
     p = sub.add_parser("faults", help="fault-plan timeline and fault counters")
     p.add_argument("file", type=Path)
     p.add_argument("--top", type=int, default=10, help="rows in the node table")
+
+    p = sub.add_parser("watch", help="live dashboard over a (growing) recording")
+    p.add_argument("file", type=Path)
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render one plain frame from the file's current state and exit",
+    )
+    p.add_argument(
+        "--interval", type=float, default=0.5, help="refresh period (seconds)"
+    )
+    p.add_argument("--height", type=int, default=8, help="chart height (rows)")
+    p.add_argument("--width", type=int, default=60, help="chart width (cols)")
 
     p = sub.add_parser("diff", help="compare two recordings for equivalence")
     p.add_argument("a", type=Path)
@@ -84,6 +122,25 @@ def _print_kv_table(pairs: list[tuple[str, object]], indent: str = "  ") -> None
         print(f"{indent}{key:<{width}} : {text}")
 
 
+#: Delta counters summed over the metric stream for the summary view —
+#: the subsystem activity (lazy cancellation, anti-message batching,
+#: incremental GVT, vectorized stepping) that RunStats alone understates
+#: or omits.
+_STREAM_COUNTERS = (
+    "committed",
+    "processed",
+    "rolled_back",
+    "rollbacks",
+    "stragglers",
+    "fossil_collected",
+    "lazy_hits",
+    "antimsg_batches",
+    "gvt_incremental_rounds",
+    "soa_batches",
+    "soa_lps_stepped",
+)
+
+
 def cmd_summary(rec: RunRecording) -> int:
     """Print the recording's header, trace counts and final RunStats."""
     print(f"recording: {rec.path}")
@@ -99,6 +156,29 @@ def cmd_summary(rec: RunRecording) -> int:
             f"  WARNING: {rec.truncated_lines} torn trailing line tolerated "
             "(recording was cut off mid-write; totals may be incomplete)"
         )
+    if rec.metrics:
+        print("metric stream totals:")
+        _print_kv_table(
+            [
+                (name, sum(getattr(s, name) for s in rec.metrics))
+                for name in _STREAM_COUNTERS
+            ]
+        )
+    if rec.spans:
+        total = sum(sec for _n, sec, _sh in rec.span_breakdown().values())
+        print(f"span phases ({len(rec.spans):,} spans, {total:.3f}s recorded):")
+        _print_kv_table(
+            [
+                (phase, f"{n:,}x {sec:.4f}s ({share * 100:.1f}%)")
+                for phase, (n, sec, share) in rec.span_breakdown().items()
+            ]
+        )
+        busy = rec.span_busy_by_pe()
+        if busy:
+            print("exec busy by PE:")
+            _print_kv_table(
+                [(f"pe{pe}", f"{sec:.4f}s") for pe, sec in sorted(busy.items())]
+            )
     if rec.stats is None:
         print("  no stats line (run did not finalize)")
         return 0
@@ -119,6 +199,14 @@ TIMELINE_METRICS = {
     ],
     "depth": [("pending", "pending"), ("processed_depth", "processed_depth")],
     "throttle": [("throttle factor", "throttle")],
+    "cancellation": [
+        ("lazy_hits/interval", "lazy_hits"),
+        ("antimsg_batches/interval", "antimsg_batches"),
+    ],
+    "vectorized": [
+        ("soa_batches/interval", "soa_batches"),
+        ("soa_lps_stepped/interval", "soa_lps_stepped"),
+    ],
 }
 
 
@@ -196,6 +284,77 @@ def cmd_thrash(rec: RunRecording, top: int) -> int:
                 f"ts [{c.min_ts:.6f}, {c.max_ts:.6f}]  "
                 f"resumed at lp{c.resumed_lp}"
             )
+        attr = rollback_attribution(rec)
+        print(
+            f"rollback attribution: {attr['wasted_fraction'] * 100:.1f}% of "
+            f"executed work undone ({attr['events_undone']:,} UNDO / "
+            f"{attr['exec_records']:,} EXEC in window); "
+            f"{attr['storm_events']:,} events undone more than once "
+            "(anti-message storm signature)"
+        )
+        if attr["by_source"]:
+            print("  chains triggered, by source LP:")
+            for row in attr["by_source"][:top]:
+                print(
+                    f"    lp{row['lp']:<5} {row['chains']:>5} chains, "
+                    f"{row['events_undone']:>7,} events undone"
+                )
+        if attr["by_link"]:
+            print("  worst source -> victim links:")
+            for row in attr["by_link"][:top]:
+                print(
+                    f"    lp{row['source']} -> lp{row['victim']}: "
+                    f"{row['chains']} chains, "
+                    f"{row['events_undone']:,} events undone"
+                )
+        if attr["undo_multiplicity"]:
+            hist = ", ".join(
+                f"{times}x: {n:,}"
+                for times, n in attr["undo_multiplicity"].items()
+            )
+            print(f"  undo multiplicity (times undone: events): {hist}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# critpath
+# ----------------------------------------------------------------------
+def cmd_critpath(rec: RunRecording, top: int, as_json: bool) -> int:
+    """Critical-path report over the recording's committed sequence."""
+    commits = rec.committed_sequence()
+    report = critical_path(commits)
+    if as_json:
+        # sort_keys + fixed separators: byte-identical across processes
+        # for equivalent recordings (checked in CI).
+        print(json.dumps(report.as_dict(), sort_keys=True,
+                         separators=(",", ":")))
+        return 0
+    if report.events == 0:
+        print(f"{rec.path}: no committed events in the trace")
+        return 1
+    print(f"recording: {rec.path}")
+    _print_kv_table(
+        [
+            ("committed events", report.events),
+            ("lps", report.lps),
+            ("critical path length", report.path_length),
+            ("achievable speedup bound", round(report.speedup_bound, 3)),
+        ]
+    )
+    rows = sorted(report.lp_heights.items(), key=lambda kv: (-kv[1], kv[0]))
+    print(f"deepest LPs (height; slack = {report.path_length} - height):")
+    _print_kv_table(
+        [
+            (f"lp{lp}", f"height {h:,}, slack {report.lp_slack[lp]:,}")
+            for lp, h in rows[:top]
+        ]
+    )
+    if report.path_lp_events:
+        on_path = sorted(
+            report.path_lp_events.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        share = ", ".join(f"lp{lp}: {n}" for lp, n in on_path[:top])
+        print(f"witness path events per LP: {share}")
     return 0
 
 
@@ -295,11 +454,23 @@ def main(argv: list[str] | None = None) -> int:
             return cmd_diff(
                 load_recording(args.a), load_recording(args.b), args.strict
             )
+        if args.command == "watch":
+            # watch tails the raw file itself (the recording may still
+            # be growing); no up-front load.
+            return watch(
+                args.file,
+                once=args.once,
+                interval=args.interval,
+                height=args.height,
+                width=args.width,
+            )
         rec = load_recording(args.file)
         if args.command == "summary":
             return cmd_summary(rec)
         if args.command == "timeline":
             return cmd_timeline(rec, args.metrics, args.height, args.width)
+        if args.command == "critpath":
+            return cmd_critpath(rec, args.top, args.json)
         if args.command == "faults":
             return cmd_faults(rec, args.top)
         return cmd_thrash(rec, args.top)

@@ -18,6 +18,7 @@ from typing import Mapping
 from repro.core.result import RunResult
 from repro.obs.metrics import MetricsRecorder
 from repro.obs.recorder import JsonlSink, StreamingTracer
+from repro.obs.spans import SpanTracer
 
 __all__ = ["RunCapture"]
 
@@ -35,6 +36,10 @@ class RunCapture:
         Path for the full event-lifecycle trace, or ``None`` to skip
         tracing (tracing disables the optimistic kernel's fused execute
         path for the run, as any tracer does).
+    spans_out:
+        Path for wall-clock phase spans, or ``None`` to skip span
+        tracing (spans record at phase boundaries only, so — unlike a
+        trace — they keep the fused fast paths installed).
     meta:
         Free-form run metadata for the header line (engine, workload,
         seed, CLI arguments ...).
@@ -52,6 +57,7 @@ class RunCapture:
         self,
         metrics_out: str | Path | None = None,
         trace_out: str | Path | None = None,
+        spans_out: str | Path | None = None,
         *,
         meta: Mapping | None = None,
         interval: int = 1024,
@@ -66,7 +72,7 @@ class RunCapture:
                 self.meta.setdefault("fault_dup_rate", fault_plan.dup_rate)
                 self.meta.setdefault("fault_delay_rate", fault_plan.delay_rate)
         self._sinks: list[JsonlSink] = []
-        metrics_sink = trace_sink = None
+        metrics_sink = trace_sink = spans_sink = None
         if metrics_out is not None:
             metrics_sink = JsonlSink(metrics_out)
             self._sinks.append(metrics_sink)
@@ -76,6 +82,14 @@ class RunCapture:
             else:
                 trace_sink = JsonlSink(trace_out)
                 self._sinks.append(trace_sink)
+        if spans_out is not None:
+            for existing in self._sinks:
+                if Path(spans_out) == existing.path:
+                    spans_sink = existing
+                    break
+            else:
+                spans_sink = JsonlSink(spans_out)
+                self._sinks.append(spans_sink)
         for sink in self._sinks:
             sink.write_header(self.meta)
             if fault_plan is not None:
@@ -87,8 +101,10 @@ class RunCapture:
             else None
         )
         self.tracer = StreamingTracer(trace_sink) if trace_sink is not None else None
+        self.spans = SpanTracer(sink=spans_sink) if spans_sink is not None else None
         self._metrics_sink = metrics_sink
         self._trace_sink = trace_sink
+        self._spans_sink = spans_sink
 
     @property
     def active(self) -> bool:
@@ -126,6 +142,11 @@ class RunCapture:
                 if self._trace_sink is not None
                 else None
             ),
+            "spans_sink": (
+                self._sinks.index(self._spans_sink)
+                if self._spans_sink is not None
+                else None
+            ),
             "metrics": None,
             "tracer": None,
         }
@@ -161,8 +182,18 @@ class RunCapture:
             JsonlSink.resume(s["path"], s) for s in state["sinks"]
         ]
         mi, ti = state["metrics_sink"], state["trace_sink"]
+        si = state.get("spans_sink")  # absent in pre-span snapshots
         cap._metrics_sink = cap._sinks[mi] if mi is not None else None
         cap._trace_sink = cap._sinks[ti] if ti is not None else None
+        cap._spans_sink = cap._sinks[si] if si is not None else None
+        # Spans are wall-clock measurements, the one non-deterministic
+        # stream — a resumed run starts a fresh tracer rather than
+        # pretending to continue timings from a dead process.
+        cap.spans = (
+            SpanTracer(sink=cap._spans_sink)
+            if cap._spans_sink is not None
+            else None
+        )
         cap.metrics = None
         if state["metrics"] is not None:
             ms = state["metrics"]
@@ -182,11 +213,13 @@ class RunCapture:
         return cap
 
     def attach(self, engine) -> None:
-        """Attach the recorder/tracer to any of the three engines."""
+        """Attach the recorder/tracer/spans to any of the three engines."""
         if self.metrics is not None:
             engine.attach_metrics(self.metrics)
         if self.tracer is not None:
             engine.attach_tracer(self.tracer)
+        if self.spans is not None:
+            engine.attach_spans(self.spans)
 
     def finalize(self, result: RunResult | None = None) -> None:
         """Write the final stats line(s) and close owned files."""

@@ -1,0 +1,177 @@
+"""Critical-path analysis of a committed event trace.
+
+A Time Warp run can be rolled back, re-executed and reordered at will,
+but the *committed* events form a fixed causal structure: every event
+depends on the previous committed event at its destination LP (state
+carries forward), and — when it was sent from another LP — on the event
+at its origin whose execution produced it.  The longest dependency chain
+through that DAG is the **critical path**; no schedule, conservative or
+optimistic, on any number of processors, can finish in fewer steps.
+``events / path_length`` is therefore an upper bound on achievable
+speedup for this workload — the observability counterpart of the
+report's Fig 5 scaling curves.
+
+Two approximations keep this analyzer trace-only (no kernel hooks, no
+extra recording cost):
+
+* The committed trace does not record which *execution* produced a
+  given send, so the sender dependency is approximated conservatively
+  as the **latest committed event at the origin LP with a strictly
+  smaller timestamp** — the real producer executed no later than that,
+  so the reported path length is an upper bound (and the speedup bound
+  remains a valid bound).
+* Dependencies are structural (LP state order + send order), not
+  model-semantic; an LP whose handler ignores a message still counts.
+
+Everything here is a pure function of
+:meth:`~repro.core.trace.Tracer.committed_sequence` output — the
+sorted, engine-independent determinism tuples — so two processes
+analyzing the same workload produce bit-identical reports (asserted in
+CI).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["CritPathReport", "critical_path"]
+
+
+@dataclass(frozen=True)
+class CritPathReport:
+    """Result of :func:`critical_path` over one committed trace.
+
+    ``lp_heights`` maps each LP to the depth of its deepest event — how
+    much of the critical path runs through it; ``lp_slack`` is the
+    complement (``path_length - height``): LPs with large slack could
+    lag that many steps behind the frontier without slowing the run.
+    ``witness`` is one concrete longest chain as ``(depth, lp, ts)``
+    hops, deepest last.
+    """
+
+    events: int
+    lps: int
+    path_length: int
+    speedup_bound: float
+    lp_heights: dict[int, int]
+    lp_slack: dict[int, int]
+    path_lp_events: dict[int, int]
+    witness: tuple[tuple[int, int, float], ...]
+
+    def as_dict(self, *, max_witness: int | None = 16) -> dict:
+        """JSON-ready form (string keys, sorted, witness optionally capped).
+
+        The output is a pure function of the committed trace, so two
+        processes serializing with ``sort_keys`` produce identical bytes
+        — the cross-process determinism check for this analyzer.
+        """
+        witness = list(self.witness)
+        trimmed = 0
+        if max_witness is not None and len(witness) > max_witness:
+            # Keep both ends of the chain; the middle is the least
+            # informative part of a long witness.
+            head = max_witness // 2
+            tail = max_witness - head
+            trimmed = len(witness) - max_witness
+            witness = witness[:head] + witness[-tail:]
+        return {
+            "events": self.events,
+            "lps": self.lps,
+            "path_length": self.path_length,
+            "speedup_bound": self.speedup_bound,
+            "lp_heights": {str(k): v for k, v in sorted(self.lp_heights.items())},
+            "lp_slack": {str(k): v for k, v in sorted(self.lp_slack.items())},
+            "path_lp_events": {
+                str(k): v for k, v in sorted(self.path_lp_events.items())
+            },
+            "witness": [[d, lp, ts] for d, lp, ts in witness],
+            "witness_trimmed": trimmed,
+        }
+
+
+def critical_path(commits: Sequence[tuple]) -> CritPathReport:
+    """Analyze a committed sequence (``(ts, origin, seq, dst, kind)`` tuples).
+
+    ``commits`` must be sorted by event key, exactly as
+    ``committed_sequence()`` returns it.  Runs in ``O(E log E)``: one
+    pass with a binary search per cross-LP dependency.
+    """
+    commits = list(commits)
+    n = len(commits)
+    depths = [0] * n
+    parents = [-1] * n
+    # Per-LP histories in execution order (the key-sorted trace restricts
+    # to execution order at each destination LP, and per-LP depths are
+    # strictly increasing, so ``ts_hist`` stays sorted for bisect).
+    ts_hist: dict[int, list[float]] = {}
+    depth_hist: dict[int, list[int]] = {}
+    idx_hist: dict[int, list[int]] = {}
+    for i, (ts, origin, _seq, dst, _kind) in enumerate(commits):
+        best = 0
+        parent = -1
+        dh = depth_hist.get(dst)
+        if dh:
+            # State dependency: the previous committed event at dst.
+            best = dh[-1]
+            parent = idx_hist[dst][-1]
+        if origin != dst:
+            # Sender dependency (conservative; see module docstring).
+            oh = ts_hist.get(origin)
+            if oh:
+                j = bisect_left(oh, ts) - 1
+                if j >= 0 and depth_hist[origin][j] > best:
+                    best = depth_hist[origin][j]
+                    parent = idx_hist[origin][j]
+        depth = best + 1
+        depths[i] = depth
+        parents[i] = parent
+        if dh is None:
+            ts_hist[dst] = [ts]
+            depth_hist[dst] = [depth]
+            idx_hist[dst] = [i]
+        else:
+            ts_hist[dst].append(ts)
+            dh.append(depth)
+            idx_hist[dst].append(i)
+
+    if n == 0:
+        return CritPathReport(
+            events=0,
+            lps=0,
+            path_length=0,
+            speedup_bound=0.0,
+            lp_heights={},
+            lp_slack={},
+            path_lp_events={},
+            witness=(),
+        )
+
+    length = max(depths)
+    # First deepest event (ties broken by trace order → deterministic).
+    tip = depths.index(length)
+    witness = []
+    i = tip
+    while i != -1:
+        ts, _origin, _seq, dst, _kind = commits[i]
+        witness.append((depths[i], dst, ts))
+        i = parents[i]
+    witness.reverse()
+    path_lp_events: dict[int, int] = {}
+    for _d, lp, _ts in witness:
+        path_lp_events[lp] = path_lp_events.get(lp, 0) + 1
+    # Per-LP depths increase strictly, so each history's last entry is
+    # that LP's height.
+    lp_heights = {lp: dh[-1] for lp, dh in depth_hist.items()}
+    lp_slack = {lp: length - h for lp, h in lp_heights.items()}
+    return CritPathReport(
+        events=n,
+        lps=len(depth_hist),
+        path_length=length,
+        speedup_bound=n / length,
+        lp_heights=lp_heights,
+        lp_slack=lp_slack,
+        path_lp_events=path_lp_events,
+        witness=tuple(witness),
+    )

@@ -1,6 +1,6 @@
 """Run forensics: turn a recording into answers about *what went wrong*.
 
-Three analyses over a loaded :class:`~repro.obs.recorder.RunRecording`:
+Four analyses over a loaded :class:`~repro.obs.recorder.RunRecording`:
 
 * **Hot spots** — per-LP UNDO counts (from the trace) and per-KP
   events-rolled-back totals (from the metric samples): which parts of
@@ -12,6 +12,10 @@ Three analyses over a loaded :class:`~repro.obs.recorder.RunRecording`:
   (a straggler or anti-message cascade); the chain's length, LP spread
   and trigger (the next EXEC after the chain, i.e. the re-execution
   front) characterise storms far better than the aggregate count.
+* **Attribution** — the causal view of the same chains: which *source*
+  LPs (and which source→victim links) triggered them, how much executed
+  work each undid, and how often single events were undone repeatedly
+  (the anti-message-storm signature).
 * **Diff** — field-by-field comparison of two recordings' final stats
   plus the decisive check: committed-sequence equality, the
   cross-process form of the report's Attachment-3 determinism test.
@@ -24,7 +28,13 @@ from dataclasses import dataclass
 from repro.core.trace import EXEC, UNDO
 from repro.obs.recorder import RunRecording
 
-__all__ = ["RollbackChain", "rollback_chains", "chain_summary", "diff_recordings"]
+__all__ = [
+    "RollbackChain",
+    "rollback_chains",
+    "chain_summary",
+    "rollback_attribution",
+    "diff_recordings",
+]
 
 
 @dataclass(frozen=True)
@@ -45,6 +55,10 @@ class RollbackChain:
     #: LP that re-executed first after the chain (the straggler's
     #: target), or -1 when the trace ends inside the chain.
     resumed_lp: int
+    #: Origin LP of that first re-executed event — the sender whose
+    #: straggler/anti-message triggered the rollback, i.e. the chain's
+    #: causal *source* (-1 when the trace ends inside the chain).
+    trigger_lp: int = -1
 
 
 def rollback_chains(rec: RunRecording) -> list[RollbackChain]:
@@ -66,9 +80,11 @@ def rollback_chains(rec: RunRecording) -> list[RollbackChain]:
             hi = max(hi, r.ts)
             j += 1
         resumed = -1
+        trigger = -1
         for k in range(j, n):
             if records[k].action == EXEC:
                 resumed = records[k].dst
+                trigger = records[k].origin
                 break
         chains.append(
             RollbackChain(
@@ -78,6 +94,7 @@ def rollback_chains(rec: RunRecording) -> list[RollbackChain]:
                 min_ts=lo,
                 max_ts=hi,
                 resumed_lp=resumed,
+                trigger_lp=trigger,
             )
         )
         i = j
@@ -101,6 +118,76 @@ def chain_summary(chains: list[RollbackChain]) -> dict:
         "max_length": max(lengths),
         "mean_length": sum(lengths) / len(lengths),
         "multi_lp_chains": sum(1 for c in chains if c.lp_spread > 1),
+    }
+
+
+def rollback_attribution(rec: RunRecording) -> dict:
+    """Attribute rollback chains to the LPs and links that caused them.
+
+    Each chain's cause is the first event re-executed after it: its
+    origin LP sent the straggler (the *source*), its destination is the
+    LP that rolled back first (the *victim*), and ``source→victim`` is
+    the offending link.  Alongside the per-source/per-link tables this
+    reports wasted-work accounting (UNDO records per EXEC record) and
+    the undo-multiplicity histogram — events undone two or more times
+    are the signature of an anti-message storm (rollbacks re-triggering
+    rollbacks), which per-chain stats alone cannot distinguish from many
+    independent stragglers.
+
+    All counts cover the recording's trace window; with a bounded tracer
+    that window is the most recent ``limit`` records, not the whole run.
+    """
+    chains = rollback_chains(rec)
+    execs = undone_total = 0
+    multiplicity: dict[tuple, int] = {}
+    for r in rec.records:
+        if r.action == EXEC:
+            execs += 1
+        elif r.action == UNDO:
+            undone_total += 1
+            ident = (r.ts, r.origin, r.seq, r.dst)
+            multiplicity[ident] = multiplicity.get(ident, 0) + 1
+
+    by_source: dict[int, list[int]] = {}
+    by_link: dict[tuple[int, int], list[int]] = {}
+    unattributed = 0
+    for c in chains:
+        if c.trigger_lp < 0:
+            unattributed += 1
+            continue
+        src = by_source.setdefault(c.trigger_lp, [0, 0])
+        src[0] += 1
+        src[1] += c.length
+        link = by_link.setdefault((c.trigger_lp, c.resumed_lp), [0, 0])
+        link[0] += 1
+        link[1] += c.length
+
+    histogram: dict[int, int] = {}
+    for times in multiplicity.values():
+        histogram[times] = histogram.get(times, 0) + 1
+    storm_events = sum(n for times, n in histogram.items() if times > 1)
+    return {
+        "chains": len(chains),
+        "events_undone": undone_total,
+        "exec_records": execs,
+        "wasted_fraction": undone_total / execs if execs else 0.0,
+        "by_source": [
+            {"lp": lp, "chains": c, "events_undone": u}
+            for lp, (c, u) in sorted(
+                by_source.items(), key=lambda kv: (-kv[1][1], kv[0])
+            )
+        ],
+        "by_link": [
+            {"source": s, "victim": v, "chains": c, "events_undone": u}
+            for (s, v), (c, u) in sorted(
+                by_link.items(), key=lambda kv: (-kv[1][1], kv[0])
+            )
+        ],
+        "undo_multiplicity": {
+            times: histogram[times] for times in sorted(histogram)
+        },
+        "storm_events": storm_events,
+        "unattributed_chains": unattributed,
     }
 
 

@@ -13,6 +13,11 @@ One recording file is a sequence of JSON lines, each tagged with a type:
   ...}`` — one scheduled fault-plan event (schema 2; see
   :mod:`repro.faults`).  Written up front when a run carries a fault
   plan, so forensics can line fault times up against the trace.
+* ``{"t": "span", "ph": ..., "t0": ..., "dt": ..., "pe": ..., "kp":
+  ..., "lp": ..., "n": ...}`` — one timed engine-phase occurrence
+  (schema 3; see :mod:`repro.obs.spans`).  Span timings are wall-clock
+  and therefore the one *nondeterministic* line type: determinism
+  checks (``committed_sequence``, diff, critpath) never read them.
 * ``{"t": "stats", ...}`` — the final
   :class:`~repro.core.stats.RunStats`, written once at run end.
 
@@ -39,6 +44,7 @@ from typing import IO, Iterable, Mapping
 
 from repro.core.trace import COMMIT, EXEC, TRIMMED_COMMITS_MSG, UNDO, TraceRecord
 from repro.obs.metrics import MetricSample
+from repro.obs.spans import Span
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -51,10 +57,11 @@ __all__ = [
 
 #: Bump when a line type gains/loses/renames fields; the loader refuses
 #: files from a future schema rather than misreading them.  Version 2
-#: added the ``fault`` line type (purely additive — every schema-1 file
-#: is also a valid schema-2 file, so the loader accepts both).
-SCHEMA_VERSION = 2
-SUPPORTED_SCHEMAS = (1, 2)
+#: added the ``fault`` line type, version 3 the ``span`` line type (both
+#: purely additive — every schema-N file is also a valid schema-N+1
+#: file, so the loader accepts all three).
+SCHEMA_VERSION = 3
+SUPPORTED_SCHEMAS = (1, 2, 3)
 
 _COMPACT = {"separators": (",", ":"), "sort_keys": True}
 
@@ -161,6 +168,13 @@ class JsonlSink:
         doc.update(fault_dict)
         self._write(doc)
 
+    def write_span(self, span: Span) -> None:
+        """Write one engine-phase span (see repro.obs.spans)."""
+        self.write_header()
+        doc = {"t": "span"}
+        doc.update(span.as_dict())
+        self._write(doc)
+
     def write_stats(self, stats_dict: Mapping) -> None:
         """Write the final RunStats dict (call once, at run end)."""
         self.write_header()
@@ -237,6 +251,7 @@ class RunRecording:
         stats: dict | None,
         path: Path | None = None,
         faults: list[dict] | None = None,
+        spans: list[Span] | None = None,
     ) -> None:
         self.header = header
         self.records = records
@@ -246,6 +261,9 @@ class RunRecording:
         #: Scheduled fault events ({"step", "kind", "node", "direction"}),
         #: in plan order; empty for unfaulted runs and schema-1 files.
         self.faults = faults if faults is not None else []
+        #: Engine-phase spans (see repro.obs.spans), in recording order;
+        #: empty for runs without a SpanTracer and pre-schema-3 files.
+        self.spans = spans if spans is not None else []
         #: Count of unparseable trailing lines the loader tolerated (a
         #: crash can tear at most the final line; see JsonlSink).  0 for
         #: cleanly closed recordings.
@@ -296,6 +314,31 @@ class RunRecording:
                 out[kp_id] = out.get(kp_id, 0) + n
         return out
 
+    def span_breakdown(self) -> dict[str, tuple[int, float, float]]:
+        """``{phase: (count, seconds, share)}`` over the recorded spans.
+
+        ``share`` is the phase's fraction of summed span time (phases
+        nest, so they do not sum to wall time; see repro.obs.spans).
+        """
+        totals: dict[str, list] = {}
+        for span in self.spans:
+            tot = totals.setdefault(span.phase, [0, 0.0])
+            tot[0] += 1
+            tot[1] += span.dt
+        grand = sum(t for _, t in totals.values())
+        return {
+            ph: (count, total, total / grand if grand else 0.0)
+            for ph, (count, total) in sorted(totals.items())
+        }
+
+    def span_busy_by_pe(self) -> dict[int, float]:
+        """Recorded ``exec`` span seconds per PE."""
+        out: dict[int, float] = {}
+        for span in self.spans:
+            if span.phase == "exec" and span.pe >= 0:
+                out[span.pe] = out.get(span.pe, 0.0) + span.dt
+        return out
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -305,6 +348,7 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
     records: list[TraceRecord] = []
     metrics: list[MetricSample] = []
     faults: list[dict] = []
+    spans: list[Span] = []
     stats: dict | None = None
     truncated: tuple[int, ValueError] | None = None
     for lineno, raw in enumerate(lines, start=1):
@@ -357,6 +401,8 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             metrics.append(MetricSample.from_dict(doc))
         elif kind == "fault":
             faults.append({k: v for k, v in doc.items() if k != "t"})
+        elif kind == "span":
+            spans.append(Span.from_dict(doc))
         elif kind == "stats":
             stats = {k: v for k, v in doc.items() if k != "t"}
         else:
@@ -365,7 +411,7 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             )
     if not header:
         raise ValueError(f"{path or '<stream>'}: missing header line")
-    recording = RunRecording(header, records, metrics, stats, path, faults)
+    recording = RunRecording(header, records, metrics, stats, path, faults, spans)
     if truncated is not None:
         recording.truncated_lines = 1
     return recording

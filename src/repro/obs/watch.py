@@ -1,0 +1,252 @@
+"""Live terminal dashboard over a JSONL flight recording.
+
+``python -m repro.obs watch run.jsonl`` tails a recording *while the
+run writes it* (the :class:`~repro.obs.recorder.JsonlSink` is
+write-through, so the file is live) and redraws a frame every refresh
+interval: GVT progress, commit/rollback rates, per-PE busy time and the
+span phase breakdown.  The same code renders a finished recording — the
+tail just reaches the ``stats`` line immediately.
+
+Three design rules:
+
+* **The reader never disturbs the writer.**  Watching is a separate
+  process holding a read-only handle; it polls by byte offset and keeps
+  a partial-line buffer, so a torn tail (the writer mid-line at poll
+  time) is simply held until the next poll completes it.
+* **Bounded memory.**  The tail keeps per-series point lists capped at
+  a few thousand entries (uniformly thinned when they overflow), so
+  watching an arbitrarily long run is O(1).
+* **Headless-friendly.**  ``--once`` renders exactly one frame with no
+  ANSI control sequences and exits 0 — the CI smoke mode.  The live
+  loop clears the screen between frames and exits when the recording's
+  final ``stats`` line appears (or on Ctrl-C).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.asciichart import plot
+from repro.obs.spans import PHASES
+
+__all__ = ["WatchState", "render_frame", "watch"]
+
+#: Cap on stored points per series; overflow thins uniformly by 2.
+_MAX_POINTS = 4096
+
+
+class WatchState:
+    """Incremental aggregation of a recording, fed line by line.
+
+    Unlike :func:`~repro.obs.recorder.load_recording` this never holds
+    the trace — per-event records are folded into counters on arrival —
+    so it scales to recordings far larger than memory.
+    """
+
+    def __init__(self) -> None:
+        self.header: dict | None = None
+        self.stats: dict | None = None
+        self.n_samples = 0
+        self.trace_counts = {"EXEC": 0, "UNDO": 0, "COMMIT": 0}
+        self.faults = 0
+        self.bad_lines = 0
+        #: (round, value) point series for the charts.
+        self.gvt_points: list[tuple[float, float]] = []
+        self.commit_points: list[tuple[float, float]] = []
+        self.undo_points: list[tuple[float, float]] = []
+        self.pending_points: list[tuple[float, float]] = []
+        #: Span aggregation: {phase: [count, seconds]} and per-PE busy.
+        self.span_totals: dict[str, list] = {}
+        self.busy_by_pe: dict[int, float] = {}
+
+    def feed_line(self, line: str) -> None:
+        """Fold one complete JSONL line into the state."""
+        line = line.strip()
+        if not line:
+            return
+        try:
+            doc = json.loads(line)
+        except ValueError:
+            self.bad_lines += 1
+            return
+        kind = doc.get("t")
+        if kind == "header":
+            self.header = doc
+        elif kind == "metric":
+            rnd = float(doc.get("round", self.n_samples))
+            self.n_samples += 1
+            self._push(self.gvt_points, rnd, float(doc.get("gvt", 0.0)))
+            self._push(self.commit_points, rnd, float(doc.get("committed", 0)))
+            self._push(self.undo_points, rnd, float(doc.get("rolled_back", 0)))
+            self._push(self.pending_points, rnd, float(doc.get("pending", 0)))
+        elif kind == "trace":
+            action = doc.get("a")
+            if action in self.trace_counts:
+                self.trace_counts[action] += 1
+        elif kind == "span":
+            ph = doc.get("ph", "?")
+            dt = float(doc.get("dt", 0.0))
+            tot = self.span_totals.setdefault(ph, [0, 0.0])
+            tot[0] += 1
+            tot[1] += dt
+            if ph == "exec":
+                pe = int(doc.get("pe", -1))
+                self.busy_by_pe[pe] = self.busy_by_pe.get(pe, 0.0) + dt
+        elif kind == "fault":
+            self.faults += 1
+        elif kind == "stats":
+            self.stats = doc
+
+    @staticmethod
+    def _push(points: list, x: float, y: float) -> None:
+        points.append((x, y))
+        if len(points) > _MAX_POINTS:
+            del points[::2]
+
+    @property
+    def finished(self) -> bool:
+        """True once the recording's final ``stats`` line has arrived."""
+        return self.stats is not None
+
+
+class _Tail:
+    """Byte-offset tail of a growing file, tolerant of torn last lines."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._pos = 0
+        self._buf = ""
+
+    def poll(self, state: WatchState) -> int:
+        """Feed every newly completed line into ``state``; returns count."""
+        with open(self.path, "r", encoding="utf-8") as fh:
+            fh.seek(self._pos)
+            chunk = fh.read()
+            self._pos = fh.tell()
+        if not chunk:
+            return 0
+        self._buf += chunk
+        *complete, self._buf = self._buf.split("\n")
+        for line in complete:
+            state.feed_line(line)
+        return len(complete)
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s * 1e3:.1f}ms" if s < 1.0 else f"{s:.2f}s"
+
+
+def render_frame(
+    state: WatchState, *, height: int = 8, width: int = 60
+) -> str:
+    """Render one dashboard frame as plain text (no control sequences)."""
+    lines: list[str] = []
+    hdr = state.header or {}
+    desc = " ".join(
+        f"{k}={hdr[k]}"
+        for k in ("engine", "workload", "n", "duration", "seed", "schema")
+        if k in hdr
+    )
+    lines.append(f"repro.obs watch — {desc or 'waiting for header ...'}")
+    lines.append("")
+
+    if state.gvt_points:
+        lines.append(plot({"gvt": state.gvt_points},
+                          height=height, width=width, title="GVT progress"))
+        lines.append("")
+        rates = {"committed": state.commit_points}
+        if any(y for _x, y in state.undo_points):
+            rates["rolled_back"] = state.undo_points
+        lines.append(plot(rates, height=height, width=width,
+                          title="events per interval"))
+        lines.append("")
+    else:
+        lines.append("(no metric samples yet)")
+        lines.append("")
+
+    if state.busy_by_pe:
+        lines.append("busy by PE (exec spans)")
+        total = sum(state.busy_by_pe.values()) or 1.0
+        for pe in sorted(state.busy_by_pe):
+            busy = state.busy_by_pe[pe]
+            bar = "#" * max(1, round(busy / total * 40))
+            lines.append(f"  pe{pe:<3} {_fmt_seconds(busy):>8} {bar}")
+        lines.append("")
+    if state.span_totals:
+        lines.append("span phases")
+        grand = sum(t[1] for t in state.span_totals.values()) or 1.0
+        for ph in PHASES:
+            tot = state.span_totals.get(ph)
+            if tot is None:
+                continue
+            share = tot[1] / grand
+            lines.append(
+                f"  {ph:<10} {tot[0]:>7}x {_fmt_seconds(tot[1]):>9}"
+                f"  {share * 100:5.1f}%"
+            )
+        lines.append("")
+
+    tc = state.trace_counts
+    status = (
+        f"samples={state.n_samples}  commits={tc['COMMIT']}  "
+        f"undos={tc['UNDO']}  faults={state.faults}"
+    )
+    if state.bad_lines:
+        status += f"  bad_lines={state.bad_lines}"
+    lines.append(status)
+    if state.finished:
+        st = state.stats
+        lines.append(
+            "finished: committed={} event_rate={:.0f}/s makespan={}".format(
+                st.get("committed", "?"),
+                float(st.get("event_rate", 0.0)),
+                _fmt_seconds(float(st.get("makespan_seconds", 0.0))),
+            )
+        )
+    else:
+        lines.append("running ... (Ctrl-C to stop watching)")
+    return "\n".join(lines)
+
+
+def watch(
+    path: str | Path,
+    *,
+    once: bool = False,
+    interval: float = 0.5,
+    height: int = 8,
+    width: int = 60,
+    out=None,
+) -> int:
+    """Tail ``path`` and render dashboard frames; returns an exit code.
+
+    With ``once`` the current state of the file is rendered as a single
+    plain frame (works mid-run and on finished recordings alike).  The
+    live loop redraws every ``interval`` seconds and ends when the
+    recording finishes.
+    """
+    import sys
+
+    if out is None:
+        out = sys.stdout
+    state = WatchState()
+    tail = _Tail(path)
+    if once:
+        tail.poll(state)
+        print(render_frame(state, height=height, width=width), file=out)
+        return 0
+    try:
+        while True:
+            tail.poll(state)
+            # ANSI clear + home; live mode only, so piped/CI output of
+            # --once stays control-sequence-free.
+            out.write("\x1b[2J\x1b[H")
+            out.write(render_frame(state, height=height, width=width))
+            out.write("\n")
+            out.flush()
+            if state.finished:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 130

@@ -1,0 +1,117 @@
+"""Tests for critical-path analysis: structure, bounds and determinism."""
+
+import json
+
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.core.trace import Tracer
+from repro.models.phold import PholdConfig, PholdModel
+from repro.obs.critpath import critical_path
+
+END = 15.0
+PHOLD = PholdConfig(n_lps=16, jobs_per_lp=2, remote_fraction=0.7)
+
+
+def test_empty_trace():
+    report = critical_path([])
+    assert report.events == 0
+    assert report.path_length == 0
+    assert report.witness == ()
+
+
+def test_single_lp_chain_is_fully_sequential():
+    # Three events at one LP: pure state dependency, no parallelism.
+    commits = [(1.0, 0, i, 0, "m") for i in range(3)]
+    report = critical_path(commits)
+    assert report.path_length == 3
+    assert report.speedup_bound == 1.0
+    assert report.lp_slack == {0: 0}
+
+
+def test_independent_lps_are_parallel():
+    # Two LPs that never communicate: path length is one LP's chain.
+    commits = sorted(
+        [(float(i + 1), lp, i, lp, "m") for lp in (0, 1) for i in range(4)]
+    )
+    report = critical_path(commits)
+    assert report.events == 8
+    assert report.path_length == 4
+    assert report.speedup_bound == 2.0
+    assert report.lp_heights == {0: 4, 1: 4}
+
+
+def test_cross_lp_send_extends_the_path():
+    # lp0 executes at ts 1 and 2; its send lands on lp1 at ts 3.  The
+    # chain through the send is longer than lp1's own history.
+    commits = [
+        (1.0, 0, 0, 0, "m"),
+        (2.0, 0, 1, 0, "m"),
+        (3.0, 0, 2, 1, "m"),
+    ]
+    report = critical_path(commits)
+    assert report.path_length == 3
+    # Witness walks lp0, lp0, lp1.
+    assert [lp for _d, lp, _ts in report.witness] == [0, 0, 1]
+
+
+def test_structural_invariants_on_a_real_run():
+    tracer = Tracer()
+    result = run_optimistic(
+        PholdModel(PHOLD),
+        EngineConfig(end_time=END, n_pes=4, n_kps=8, batch_size=64,
+                     mapping="striped"),
+        tracer=tracer,
+    )
+    report = critical_path(tracer.committed_sequence())
+    assert report.events == result.run.committed
+    assert 1 <= report.path_length <= report.events
+    assert report.speedup_bound >= 1.0
+    assert len(report.witness) == report.path_length
+    # Witness depths are exactly 1..L and its timestamps never decrease.
+    assert [d for d, _lp, _ts in report.witness] == list(
+        range(1, report.path_length + 1)
+    )
+    ts = [t for _d, _lp, t in report.witness]
+    assert ts == sorted(ts)
+    assert all(slack >= 0 for slack in report.lp_slack.values())
+    assert max(report.lp_heights.values()) == report.path_length
+    assert sum(report.path_lp_events.values()) == report.path_length
+
+
+def test_engine_independence_and_byte_determinism():
+    """The report is a function of the trace: sequential and optimistic
+    runs of the same model yield byte-identical JSON."""
+    seq_tracer = Tracer()
+    run_sequential(PholdModel(PHOLD), END, tracer=seq_tracer)
+    opt_tracer = Tracer()
+    run_optimistic(
+        PholdModel(PHOLD),
+        EngineConfig(end_time=END, n_pes=4, n_kps=8, batch_size=64,
+                     mapping="striped"),
+        tracer=opt_tracer,
+    )
+    a = critical_path(seq_tracer.committed_sequence())
+    b = critical_path(opt_tracer.committed_sequence())
+    assert a == b
+    dumps = lambda r: json.dumps(  # noqa: E731
+        r.as_dict(), sort_keys=True, separators=(",", ":")
+    )
+    assert dumps(a) == dumps(b)
+    # And re-analysis of the same trace is self-identical (no hidden
+    # iteration-order dependence).
+    assert dumps(critical_path(seq_tracer.committed_sequence())) == dumps(a)
+
+
+def test_as_dict_witness_trimming():
+    commits = [(float(i + 1), 0, i, 0, "m") for i in range(40)]
+    report = critical_path(commits)
+    d = report.as_dict(max_witness=10)
+    assert len(d["witness"]) == 10
+    assert d["witness_trimmed"] == 30
+    # Both ends survive the trim.
+    assert d["witness"][0][0] == 1
+    assert d["witness"][-1][0] == 40
+    full = report.as_dict(max_witness=None)
+    assert len(full["witness"]) == 40
+    assert full["witness_trimmed"] == 0

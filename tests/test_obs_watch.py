@@ -1,0 +1,128 @@
+"""Tests for the watch dashboard: tailing, rendering, --once CLI mode."""
+
+import io
+import json
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.capture import RunCapture
+from repro.obs.watch import WatchState, _Tail, render_frame, watch
+from repro.core.engine import run_sequential
+from repro.models.phold import PholdConfig, PholdModel
+
+END = 15.0
+PHOLD = PholdConfig(n_lps=16, jobs_per_lp=2, remote_fraction=0.7)
+
+
+def _record(tmp_path, name="run.jsonl"):
+    out = tmp_path / name
+    capture = RunCapture(
+        metrics_out=out, trace_out=out, spans_out=out,
+        meta={"engine": "sequential", "workload": "phold"},
+    )
+    result = run_sequential(
+        PholdModel(PHOLD), END,
+        tracer=capture.tracer, metrics=capture.metrics, spans=capture.spans,
+    )
+    capture.finalize(result)
+    return out, result
+
+
+def test_state_folds_all_line_types():
+    state = WatchState()
+    state.feed_line(json.dumps({"t": "header", "schema": 3, "engine": "x"}))
+    state.feed_line(json.dumps(
+        {"t": "metric", "round": 0, "gvt": 1.0, "committed": 5,
+         "rolled_back": 1, "pending": 3}
+    ))
+    state.feed_line(json.dumps(
+        {"t": "span", "ph": "exec", "t0": 0.0, "dt": 0.25, "pe": 2, "n": 5}
+    ))
+    state.feed_line(json.dumps({"t": "trace", "a": "COMMIT"}))
+    state.feed_line("not json at all")
+    assert state.header["engine"] == "x"
+    assert state.n_samples == 1
+    assert state.gvt_points == [(0.0, 1.0)]
+    assert state.span_totals["exec"] == [1, 0.25]
+    assert state.busy_by_pe == {2: 0.25}
+    assert state.trace_counts["COMMIT"] == 1
+    assert state.bad_lines == 1
+    assert not state.finished
+    state.feed_line(json.dumps({"t": "stats", "committed": 5}))
+    assert state.finished
+
+
+def test_tail_tolerates_torn_lines(tmp_path):
+    path = tmp_path / "grow.jsonl"
+    state = WatchState()
+    tail = _Tail(path)
+    with open(path, "w") as fh:
+        fh.write('{"t": "header", "schema": 3}\n{"t": "trace", "a": "EX')
+        fh.flush()
+        assert tail.poll(state) == 1  # header complete, trace line torn
+        assert state.header is not None
+        assert state.trace_counts["EXEC"] == 0
+        fh.write('EC"}\n')
+        fh.flush()
+    assert tail.poll(state) == 1  # the torn line completed
+    assert state.trace_counts["EXEC"] == 1
+    assert state.bad_lines == 0
+
+
+def test_render_frame_before_any_data():
+    text = render_frame(WatchState())
+    assert "waiting for header" in text
+    assert "no metric samples" in text
+
+
+def test_watch_once_on_finished_recording(tmp_path):
+    out, result = _record(tmp_path)
+    buf = io.StringIO()
+    assert watch(out, once=True, out=buf) == 0
+    text = buf.getvalue()
+    assert "finished" in text
+    assert f"committed={result.run.committed}" in text
+    assert "GVT progress" in text
+    assert "span phases" in text
+    assert "\x1b" not in text, "--once output must be control-sequence-free"
+
+
+def test_watch_once_on_live_partial_recording(tmp_path):
+    out, _result = _record(tmp_path)
+    # Simulate a run still writing: cut the file mid-line before stats.
+    data = out.read_bytes()
+    partial = tmp_path / "partial.jsonl"
+    partial.write_bytes(data[: int(len(data) * 0.6)])
+    buf = io.StringIO()
+    assert watch(partial, once=True, out=buf) == 0
+    assert "running" in buf.getvalue()
+
+
+def test_watch_live_exits_when_recording_finishes(tmp_path):
+    out, _result = _record(tmp_path)
+    buf = io.StringIO()
+    # Live mode on an already-finished file: first frame sees the stats
+    # line and the loop ends immediately.
+    assert watch(out, once=False, interval=0.01, out=buf) == 0
+    assert "finished" in buf.getvalue()
+
+
+def test_cli_watch_once(tmp_path, capsys):
+    out, _result = _record(tmp_path)
+    assert obs_main(["watch", str(out), "--once"]) == 0
+    assert "finished" in capsys.readouterr().out
+
+
+def test_cli_watch_missing_file_is_an_error(tmp_path, capsys):
+    assert obs_main(["watch", str(tmp_path / "nope.jsonl"), "--once"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_critpath_json_deterministic(tmp_path, capsys):
+    out, _result = _record(tmp_path)
+    assert obs_main(["critpath", str(out), "--json"]) == 0
+    first = capsys.readouterr().out
+    assert obs_main(["critpath", str(out), "--json"]) == 0
+    assert capsys.readouterr().out == first
+    report = json.loads(first)
+    assert report["path_length"] >= 1
+    assert report["events"] == _result.run.committed
