@@ -9,9 +9,12 @@
 
 from repro.baselines.buffered import BufferedConfig, BufferedModel, BufferedRouterLP
 from repro.baselines.policies import (
+    POLICIES,
     DimensionOrderPolicy,
     GreedyPolicy,
     RandomDeflectionPolicy,
+    TwoChoicePolicy,
+    make_policy,
 )
 
 __all__ = [
@@ -20,5 +23,8 @@ __all__ = [
     "BufferedRouterLP",
     "DimensionOrderPolicy",
     "GreedyPolicy",
+    "POLICIES",
     "RandomDeflectionPolicy",
+    "TwoChoicePolicy",
+    "make_policy",
 ]

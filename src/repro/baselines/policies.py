@@ -14,10 +14,20 @@ run on the same :class:`~repro.hotpotato.router.RouterLP`:
 * :class:`RandomDeflectionPolicy` — uniformly random choice among free good
   links, uniformly random deflection otherwise; randomisation breaks the
   livelock patterns deterministic tie-breaking can sustain.
+* :class:`TwoChoicePolicy` — balanced-allocation ("power of two choices")
+  routing after Anagnostopoulos, Kontoyiannis & Upfal: sample two
+  candidate links among the directions that make progress, take the less
+  loaded of the two, deflect when both are taken.  In a bufferless router
+  a link's load within a step is binary — claimed or free — so "less
+  loaded" degenerates to "the free one", with the first sample winning
+  the tie when both are free.
 
 All of them keep packets in the ``ACTIVE`` state so the router's
 priority-staggered ROUTE scheduling degenerates to a single class, as in
-a plain hot-potato network.
+a plain hot-potato network.  Every random draw goes through the LP's
+:class:`~repro.rng.streams.ReversibleStream`, so all four run unmodified
+(and bit-identically) on the sequential, conservative and Time Warp
+engines.
 """
 
 from __future__ import annotations
@@ -33,7 +43,14 @@ from repro.hotpotato.policy import (
 from repro.net import DIRECTIONS, Direction, GridTopology
 from repro.rng.streams import ReversibleStream
 
-__all__ = ["GreedyPolicy", "DimensionOrderPolicy", "RandomDeflectionPolicy"]
+__all__ = [
+    "GreedyPolicy",
+    "DimensionOrderPolicy",
+    "RandomDeflectionPolicy",
+    "TwoChoicePolicy",
+    "POLICIES",
+    "make_policy",
+]
 
 
 class GreedyPolicy(RoutingPolicy):
@@ -118,3 +135,79 @@ class RandomDeflectionPolicy(RoutingPolicy):
         anyfree = tuple(d for d in DIRECTIONS if free[d])
         assert anyfree, "bufferless invariant violated"
         return RouteOutcome(self._pick(anyfree, rng), Priority.ACTIVE, True)
+
+
+class TwoChoicePolicy(RoutingPolicy):
+    """Balanced-allocation routing: two sampled candidates, less loaded wins.
+
+    The classic two-choice allocation samples two bins uniformly (with
+    replacement) and places the ball in the less loaded one.  Adapted to a
+    bufferless deflection router, the bins are the *progress* directions
+    toward the destination and a link's load within a step is its claimed
+    bit: sample two good directions, take a free one (the first sample
+    wins when both are free — the arbitrary tie-break of the allocation
+    literature), and deflect onto the first free link in compass order
+    when both candidates are already claimed.  Both draws come batched
+    from the reversible stream (one ``integer2`` call), so the policy is
+    rollback-exact and engine-independent like everything else here.
+    """
+
+    name = "two-choice"
+
+    def route(
+        self,
+        topo: GridTopology,
+        node: int,
+        dest: int,
+        priority: Priority,
+        free: tuple[bool, bool, bool, bool],
+        rng: ReversibleStream,
+        cfg: HotPotatoConfig,
+    ) -> RouteOutcome:
+        good = topo.route_info(node, dest)[0]
+        if len(good) > 1:
+            hi = len(good) - 1
+            i, j = rng.integer2(0, hi, 0, hi)
+            a, b = good[i], good[j]
+        else:
+            # One progress direction: a forced "choice" draws nothing,
+            # keeping the stream lean (cf. RandomDeflectionPolicy._pick).
+            a = b = good[0]
+        if free[a]:
+            return RouteOutcome(a, Priority.ACTIVE, False)
+        if free[b]:
+            return RouteOutcome(b, Priority.ACTIVE, False)
+        # Both candidates loaded: deflect.  first_free may still land on
+        # an unsampled good link; count it as progress, not a deflection.
+        d = first_free(free)
+        assert d is not None, "bufferless invariant violated"
+        return RouteOutcome(d, Priority.ACTIVE, d not in good)
+
+
+#: Routing-policy registry: the single place scenario files and CLIs
+#: resolve a policy name to its class ("busch" is the paper's four-state
+#: algorithm; the rest are the baselines above).
+def _policy_registry() -> dict:
+    from repro.hotpotato.policy import BuschHotPotatoPolicy
+
+    return {
+        "busch": BuschHotPotatoPolicy,
+        GreedyPolicy.name: GreedyPolicy,
+        DimensionOrderPolicy.name: DimensionOrderPolicy,
+        RandomDeflectionPolicy.name: RandomDeflectionPolicy,
+        TwoChoicePolicy.name: TwoChoicePolicy,
+    }
+
+
+POLICIES: dict = _policy_registry()
+
+
+def make_policy(name: str):
+    """Instantiate a registered routing policy by name."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None
+    return cls()

@@ -451,6 +451,7 @@ class ConservativeKernel(Executor):
     # ------------------------------------------------------------------
     def _build_result(self) -> RunResult:
         stats = RunStats(engine="conservative")
+        stats.soa_decline_reason = self.soa_decline
         stats.n_pes = self.cfg.n_pes
         stats.n_kps = self.cfg.n_pes
         stats.processed = sum(pe.processed for pe in self.pes)

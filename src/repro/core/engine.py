@@ -233,6 +233,7 @@ class SequentialEngine(Executor):
                 )
 
         stats = RunStats(engine="sequential", n_pes=1, n_kps=1)
+        stats.soa_decline_reason = self.soa_decline
         stats.processed = processed
         stats.committed = processed
         stats.local_sends = self.sends

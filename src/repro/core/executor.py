@@ -103,6 +103,19 @@ class Executor:
         #: the two populations' event payloads are not interchangeable,
         #: so a checkpoint can only be resumed under the same mode).
         self.executor = "vectorized" if plan is not None else "scalar"
+        #: Why a requested vectorized build fell back to scalar ("" when
+        #: it succeeded or was never requested).  Models set
+        #: ``soa_decline_reason`` as they refuse; engines copy this into
+        #: RunStats so ``repro.obs summary`` can explain a silent
+        #: fallback.  Engines with further preconditions (the Time Warp
+        #: fused fast paths) may append their own reason later.
+        if executor == "vectorized" and plan is None:
+            self.soa_decline = (
+                getattr(model, "soa_decline_reason", "")
+                or "model has no vectorized build"
+            )
+        else:
+            self.soa_decline = ""
         return lps
 
     def _init_pool(self, pool_on: bool):

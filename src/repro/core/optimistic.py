@@ -1070,10 +1070,21 @@ class TimeWarpKernel(Executor):
         specialisations — observable behaviour is identical either way.
         """
         if not self._direct:
+            if self.vec_plan is not None and not self.soa_decline:
+                self.soa_decline = (
+                    f"transport {self.cfg.transport!r} routes through "
+                    "_emit/_receive, which the fused band batch bypasses"
+                )
             return
         use_heap = self.cfg.queue == "heap"
         for lp in self.lps:
             lp.send = _compile_send(self, lp, use_heap)
+        if self.tracer is not None and self.vec_plan is not None:
+            if not self.soa_decline:
+                self.soa_decline = (
+                    "a Tracer is attached (fused execute skips the "
+                    "per-event trace hook)"
+                )
         if self.tracer is None:
             self.execute = _compile_execute(self)
             plan = self.vec_plan
@@ -1092,6 +1103,12 @@ class TimeWarpKernel(Executor):
                     plan.compile_batch(self, pe, use_heap) for pe in self.pes
                 ]
             else:
+                if plan is not None and not self.soa_decline:
+                    self.soa_decline = (
+                        "lazy cancellation or copy rollback configured "
+                        "(the fused band batch assumes reverse computation "
+                        "with aggressive cancellation)"
+                    )
                 self._batch_by_pe = [
                     _compile_batch(self, pe, use_heap) for pe in self.pes
                 ]
@@ -1266,6 +1283,7 @@ class TimeWarpKernel(Executor):
     # ------------------------------------------------------------------
     def _build_result(self, rounds: int) -> RunResult:
         stats = RunStats(engine="optimistic")
+        stats.soa_decline_reason = self.soa_decline
         cfg = self.cfg
         stats.n_pes = cfg.n_pes
         stats.n_kps = cfg.n_kps

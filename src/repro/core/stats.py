@@ -81,6 +81,9 @@ class RunStats:
     #: has no SoA build).
     soa_batches: int = 0
     soa_lps_stepped: int = 0
+    #: Why a requested vectorized executor fell back to scalar stepping
+    #: ("" when vectorization was not requested, or ran).
+    soa_decline_reason: str = ""
     #: Optimism-throttle activity (0 when the throttle is off or idle).
     throttle_adjustments: int = 0
     #: Final optimism factor (1.0 = full batch/window).
@@ -143,6 +146,7 @@ class RunStats:
             "gvt_incremental_rounds": self.gvt_incremental_rounds,
             "soa_batches": self.soa_batches,
             "soa_lps_stepped": self.soa_lps_stepped,
+            "soa_decline_reason": self.soa_decline_reason,
             "throttle_adjustments": self.throttle_adjustments,
             "throttle_final_factor": self.throttle_final_factor,
             "local_sends": self.local_sends,

@@ -16,6 +16,7 @@ __all__ = [
     "SweepParams",
     "run_hotpotato_sequential",
     "run_hotpotato_parallel",
+    "run_scenario_point",
     "kp_count_for",
     "set_telemetry_dir",
     "set_supervisor",
@@ -118,6 +119,10 @@ class SweepParams:
     fault_plan: str | None = None
     #: Seed for rate-generated fault plans (None = repro.faults default).
     fault_seed: int | None = None
+    #: Scenario JSON files (see docs/SCENARIOS.md) compared side by side
+    #: by the ``scenarios`` experiment; each file fully describes its own
+    #: topology, traffic, policy, engine defaults and faults.
+    scenarios: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.sizes:
@@ -251,6 +256,69 @@ def run_hotpotato_parallel(
         metrics=capture.metrics if capture is not None else None,
         faults=faults,
     )
+    if capture is not None:
+        capture.finalize(result)
+    return result
+
+
+def run_scenario_point(
+    path: str, *, kind: str = "seq", seed: int | None = None
+) -> RunResult:
+    """One declared-scenario run (the scenario-compare workhorse).
+
+    ``kind`` is a supervisor point kind (``seq`` / ``opt`` / ``cons``);
+    everything else — topology, traffic, policy, duration, faults and the
+    parallel-engine defaults — comes from the scenario file itself, so the
+    sweep point is fully described by ``(kind, scenario, seed)``.  Under a
+    supervisor the spec carries the scenario's name, path *and* content
+    hash; the pointworker re-hashes the file and refuses to run if it
+    changed since the sweep was launched, so ``--resume`` is exact.
+
+    Sequential runs keep a delivery log and add nearest-rank latency
+    percentiles (``latency_p50`` / ``latency_p95`` / ``latency_p99``) to
+    ``model_stats``.
+    """
+    from repro.scenarios import compile_scenario, load_scenario
+
+    compiled = compile_scenario(load_scenario(path))
+    if seed is None:
+        seed = compiled.seed
+    tag = f"scen_{compiled.name}_{kind}_s{seed}"
+    scen_key = {
+        "path": str(path),
+        "name": compiled.name,
+        "hash": compiled.scenario_hash(),
+    }
+    if _SUPERVISOR is not None:
+        spec = {
+            "kind": kind, "scenario": scen_key, "seed": seed,
+            "telemetry": _telemetry_path(tag),
+            "checkpoint_every": _SUPERVISOR.cfg.checkpoint_every,
+        }
+        if kind != "seq":
+            spec.update({
+                "n_pes": compiled.n_pes, "n_kps": compiled.n_kps,
+                "batch_size": compiled.batch_size, "window": compiled.window,
+            })
+        return _supervised(spec)
+    capture = _capture(
+        tag,
+        {"engine": kind, "scenario": compiled.name,
+         "scenario_hash": scen_key["hash"], "seed": seed},
+    )
+    engine = {"seq": "sequential", "cons": "conservative",
+              "opt": "optimistic"}[kind]
+    model = compiled.build_model(delivery_log=(kind == "seq"))
+    result = compiled.run(
+        engine,
+        seed=seed,
+        model=model,
+        metrics=capture.metrics if capture is not None else None,
+    )
+    if kind == "seq":
+        from repro.experiments.pointworker import _delivery_percentiles
+
+        result.model_stats.update(_delivery_percentiles(model.delivery_log))
     if capture is not None:
         capture.finalize(result)
     return result

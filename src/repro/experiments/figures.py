@@ -19,6 +19,7 @@ from repro.experiments import (
     fig7_kp_rollbacks,
     fig8_kp_eventrate,
     resilience,
+    scenario_compare,
     static_analysis,
     topology_compare,
     warmup,
@@ -85,6 +86,11 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[SweepParams], Table]]] = {
     "resilience": (
         "Resilience: delivery degradation under injected link/router faults",
         resilience.run,
+    ),
+    "scenarios": (
+        "Scenarios: delivery, latency percentiles and deflections per "
+        "--scenario file",
+        scenario_compare.run,
     ),
     "static": (
         "Static (one-shot) analysis: drain a full network, Das et al. [2]",

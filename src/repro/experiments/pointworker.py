@@ -24,11 +24,20 @@ Spec keys: ``kind`` (``seq`` / ``opt`` / ``cons``), ``n``, ``load``,
 (metrics JSONL path or ``None``); ``checkpoint_every``; ``sabotage``
 (test hook: ``"stall"`` hangs without heartbeats, ``{"flaky": k}``
 exits 1 on the first *k* attempts).
+
+A spec may instead carry ``scenario``
+(``{"path": ..., "name": ..., "hash": ...}``): the point then rebuilds
+its entire configuration from that scenario file (topology, traffic,
+policy, duration, faults — ``n`` / ``load`` / ``duration`` / ``fault``
+are absent from the spec) and the worker refuses to run if the file no
+longer hashes to the recorded value, so resuming a sweep can never
+silently compute a different experiment.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import pickle
 import sys
@@ -55,6 +64,38 @@ def _materialize_fault_plan(fault, n: int, duration: float):
         link_fail_rate=fault["link_rate"],
         seed=seed if seed is not None else DEFAULT_FAULT_SEED,
     )
+
+
+def _delivery_percentiles(log) -> dict:
+    """Nearest-rank latency percentiles of a ``(step, latency)`` log."""
+    if not log:
+        return {"latency_p50": 0.0, "latency_p95": 0.0, "latency_p99": 0.0}
+    latencies = sorted(latency for _, latency in log)
+
+    def rank(q: float) -> float:
+        return float(latencies[max(0, math.ceil(q * len(latencies)) - 1)])
+
+    return {
+        "latency_p50": rank(0.50),
+        "latency_p95": rank(0.95),
+        "latency_p99": rank(0.99),
+    }
+
+
+def _materialize_scenario(scen: dict, want_delivery_log: bool):
+    """Rebuild a scenario point's model parts, verifying the file hash."""
+    from repro.scenarios import compile_scenario, load_scenario
+
+    compiled = compile_scenario(load_scenario(scen["path"]))
+    digest = compiled.scenario_hash()
+    want = scen.get("hash")
+    if want and digest != want:
+        raise ValueError(
+            f"scenario {scen['path']!r} hashes to {digest}, but the sweep "
+            f"manifest recorded {want}; the file changed since the sweep "
+            "was launched — refusing to compute a different experiment"
+        )
+    return compiled, compiled.build_model(delivery_log=want_delivery_log)
 
 
 def _spec_marker(spec: dict) -> dict:
@@ -91,12 +132,26 @@ def run_spec(spec: dict, heartbeat: Path, ckpt_dir: Path):
     _sabotage(spec, ckpt_dir)
 
     kind = spec["kind"]
-    n = spec["n"]
-    duration = spec["duration"]
     seed = spec["seed"]
-    plan = _materialize_fault_plan(spec.get("fault"), n, duration)
-    cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=spec["load"])
-    model = HotPotatoModel(cfg, fault_plan=plan)
+    scen = spec.get("scenario")
+    if scen is not None:
+        compiled, model = _materialize_scenario(scen, kind == "seq")
+        duration = compiled.duration
+        plan = compiled.fault_plan
+        meta = {"engine": kind, "scenario": compiled.name,
+                "scenario_hash": compiled.scenario_hash(),
+                "duration": duration, "seed": seed}
+    else:
+        compiled = None
+        n = spec["n"]
+        duration = spec["duration"]
+        plan = _materialize_fault_plan(spec.get("fault"), n, duration)
+        cfg = HotPotatoConfig(
+            n=n, duration=duration, injector_fraction=spec["load"]
+        )
+        model = HotPotatoModel(cfg, fault_plan=plan)
+        meta = {"engine": kind, "n": n, "load": spec["load"],
+                "duration": duration, "seed": seed}
 
     ckpt = Checkpointer(
         ckpt_dir,
@@ -112,9 +167,11 @@ def run_spec(spec: dict, heartbeat: Path, ckpt_dir: Path):
     elif telemetry:
         capture = RunCapture(
             metrics_out=telemetry,
-            meta={"engine": kind, "n": n, "load": spec["load"],
-                  "duration": duration, "seed": seed},
+            meta=meta,
             fault_plan=plan,
+            injection_plan=(
+                compiled.injection_plan if compiled is not None else None
+            ),
         )
     else:
         capture = None
@@ -169,6 +226,8 @@ def run_spec(spec: dict, heartbeat: Path, ckpt_dir: Path):
         sys.exit(130)
     if capture is not None:
         capture.finalize(result)
+    if compiled is not None and kind == "seq":
+        result.model_stats.update(_delivery_percentiles(model.delivery_log))
     return result
 
 

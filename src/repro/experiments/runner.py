@@ -142,6 +142,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seed for rate-generated fault plans (default: repro.faults default)",
     )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="FILE",
+        help="scenario JSON for the 'scenarios' experiment (repeatable); "
+        "each file declares its own topology/traffic/policy/faults "
+        "(see docs/SCENARIOS.md)",
+    )
     sup = parser.add_argument_group(
         "supervised execution",
         "run every sweep point in a checkpointed child process with a "
@@ -218,6 +227,7 @@ def _params_from_args(args) -> SweepParams:
         fault_rates=args.fault_rates,
         fault_plan=args.fault_plan,
         fault_seed=args.fault_seed,
+        scenarios=tuple(args.scenario or ()),
     )
 
 

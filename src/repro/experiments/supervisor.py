@@ -191,7 +191,7 @@ class Supervisor:
     def _conservative_twin(spec: dict) -> dict:
         """The conservative-engine spec computing the same point."""
         keep = ("n", "load", "duration", "seed", "n_pes", "fault",
-                "telemetry", "checkpoint_every")
+                "scenario", "telemetry", "checkpoint_every")
         twin = {k: spec[k] for k in keep if k in spec}
         twin["kind"] = "cons"
         return twin

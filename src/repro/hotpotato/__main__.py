@@ -58,10 +58,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the proof-verification mode: routers do not absorb "
         "sleeping packets at their destination",
     )
-    parser.add_argument("--mesh", action="store_true", help="mesh instead of torus")
+    parser.add_argument(
+        "--topology",
+        choices=("torus", "mesh"),
+        default=None,
+        help="grid topology by name (default torus)",
+    )
+    parser.add_argument(
+        "--mesh",
+        action="store_true",
+        help="mesh instead of torus (legacy alias for --topology mesh)",
+    )
+    parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        help="load the whole workload — topology, traffic, routing policy, "
+        "faults, duration, seed — from a declarative scenario file "
+        "(see docs/SCENARIOS.md); workload flags above are then ignored, "
+        "engine flags still apply",
+    )
     parser.add_argument("--kps", type=int, default=16, help="kernel processes (default 16)")
     parser.add_argument("--batch", type=int, default=16, help="optimism batch size")
-    parser.add_argument("--seed", type=int, default=0x5EED, help="global seed")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="global seed (default 0x5EED, or the scenario's seed)",
+    )
     parser.add_argument(
         "--queue",
         choices=("heap", "ladder", "splay"),
@@ -178,23 +199,30 @@ def _resolve_fault_plan(args, cfg: HotPotatoConfig):
     return None
 
 
-def _config_marker(args) -> dict:
+def _config_marker(args, seed: int, scenario_meta: dict) -> dict:
     """The configuration fingerprint stored in (and checked against)
-    every snapshot — resuming under different flags is refused."""
+    every snapshot — resuming under different flags is refused.
+
+    For scenario runs the marker pins the scenario *content hash*, not
+    just the path: editing the file between interrupt and resume is a
+    different experiment and is refused like any other flag change.
+    """
     return {
         "workload": "hotpotato",
+        "scenario": args.scenario,
+        "scenario_hash": scenario_meta.get("scenario_hash"),
         "n": args.n,
         "duration": args.duration,
         "probability_i": args.probability_i,
         "absorb_sleeping": not args.no_absorb_sleeping,
-        "torus": not args.mesh,
+        "topology": args.topology or ("mesh" if args.mesh else "torus"),
         "processors": args.processors,
         "kps": args.kps,
         "batch": args.batch,
         "queue": args.queue,
         "cancellation": args.cancellation,
         "executor": args.executor,
-        "seed": args.seed,
+        "seed": seed,
         "paranoid": args.paranoid,
         "fault_plan": args.fault_plan,
         "fault_rate": args.fault_rate,
@@ -213,19 +241,44 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir")
         return 2
-    cfg = HotPotatoConfig(
-        n=args.n,
-        duration=args.duration,
-        injector_fraction=args.probability_i / 100.0,
-        absorb_sleeping=not args.no_absorb_sleeping,
-        torus=not args.mesh,
+    policy = None
+    injection_plan = None
+    scenario_meta: dict = {}
+    if args.scenario:
+        from repro.scenarios import ScenarioError, compile_scenario, load_scenario
+
+        try:
+            compiled = compile_scenario(load_scenario(args.scenario))
+        except (ScenarioError, OSError) as exc:
+            print(f"scenario error: {exc}", file=sys.stderr)
+            return 2
+        cfg = compiled.cfg
+        policy = compiled.policy
+        fault_plan = compiled.fault_plan
+        injection_plan = compiled.injection_plan
+        seed = args.seed if args.seed is not None else compiled.seed
+        scenario_meta = {
+            "scenario": compiled.name,
+            "scenario_hash": compiled.scenario_hash(),
+        }
+    else:
+        cfg = HotPotatoConfig(
+            n=args.n,
+            duration=args.duration,
+            injector_fraction=args.probability_i / 100.0,
+            absorb_sleeping=not args.no_absorb_sleeping,
+            topology=args.topology or ("mesh" if args.mesh else "torus"),
+        )
+        seed = args.seed if args.seed is not None else 0x5EED
+        try:
+            fault_plan = _resolve_fault_plan(args, cfg)
+        except Exception as exc:  # bad plan file / invalid plan
+            print(f"fault plan error: {exc}", file=sys.stderr)
+            return 2
+    sim = HotPotatoSimulation(
+        cfg, policy, seed=seed, fault_plan=fault_plan,
+        injection_plan=injection_plan,
     )
-    try:
-        fault_plan = _resolve_fault_plan(args, cfg)
-    except Exception as exc:  # bad plan file / invalid plan
-        print(f"fault plan error: {exc}", file=sys.stderr)
-        return 2
-    sim = HotPotatoSimulation(cfg, seed=args.seed, fault_plan=fault_plan)
     engine = "sequential" if args.processors <= 1 else "optimistic"
 
     ckpt = None
@@ -235,7 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         ckpt = Checkpointer(
             args.checkpoint_dir,
             every=args.checkpoint_every,
-            marker=_config_marker(args),
+            marker=_config_marker(args, seed, scenario_meta),
         )
     resumed_payload = None
     if args.resume:
@@ -256,13 +309,16 @@ def main(argv: list[str] | None = None) -> int:
             meta={
                 "engine": engine,
                 "workload": "hotpotato",
-                "n": args.n,
-                "duration": args.duration,
-                "probability_i": args.probability_i,
-                "seed": args.seed,
+                "n": cfg.n,
+                "topology": cfg.topology,
+                "duration": cfg.duration,
+                "probability_i": 100.0 * cfg.injector_fraction,
+                "seed": seed,
                 "processors": args.processors,
+                **scenario_meta,
             },
             fault_plan=fault_plan,
+            injection_plan=injection_plan,
         )
     if ckpt is not None:
         ckpt.capture = capture
@@ -310,10 +366,15 @@ def main(argv: list[str] | None = None) -> int:
 
     ms = result.model_stats
     run = result.run
-    topology = "mesh" if args.mesh else "torus"
-    print(f"{cfg.n}x{cfg.n} {topology}, {sum(sim._model().injectors)} injectors, "
-          f"{cfg.duration:.0f} steps, engine={run.engine} ({run.n_pes} PE)")
+    label = f", scenario={scenario_meta['scenario']}" if scenario_meta else ""
+    print(f"{cfg.n}x{cfg.n} {cfg.topology}, {sum(sim._model().injectors)} injectors, "
+          f"{cfg.duration:.0f} steps, engine={run.engine} ({run.n_pes} PE){label}")
     print(f"  events committed   : {run.committed:,}")
+    if run.soa_decline_reason:
+        print(f"  executor fallback  : {run.soa_decline_reason}")
+    if injection_plan is not None:
+        print(f"  adversary          : {injection_plan.strategy} "
+              f"({len(injection_plan.entries):,} scripted injections)")
     if run.engine == "optimistic":
         print(f"  events rolled back : {run.events_rolled_back:,}")
         print(f"  event rate (model) : {run.event_rate:,.0f} ev/s")

@@ -49,9 +49,16 @@ class HotPotatoConfig:
         the static (one-shot) analysis.
     absorb_sleeping:
         Parameter 5 of §3.3.1 (see module docstring).
+    topology:
+        Named topology: ``"torus"`` (the simulated configuration) or
+        ``"mesh"`` (the theoretical analysis configuration).  ``None``
+        (the default) derives the name from the legacy ``torus`` flag, so
+        existing call sites keep working unchanged; when both are given
+        they must agree.  Scenario files and CLIs use this name.
     torus:
-        Torus topology when True (the simulated configuration), mesh when
-        False (the theoretical analysis configuration).
+        Legacy boolean form of ``topology`` (True = torus, False = mesh).
+        Kept in sync with ``topology`` by ``__post_init__`` so old call
+        sites reading either field see a consistent configuration.
     arrival_jitter:
         Randomise packet arrival offsets within the step (§3.2.2).  Our
         engines are deterministic either way; the jitter changes *which*
@@ -78,6 +85,8 @@ class HotPotatoConfig:
     initial_fill: float = 1.0
     absorb_sleeping: bool = True
     torus: bool = True
+    #: Named topology ("torus"/"mesh"); None derives it from ``torus``.
+    topology: str | None = None
     arrival_jitter: bool = True
     jitter_slots: int = 500
     sleeping_upgrade_scale: float = 24.0
@@ -90,7 +99,28 @@ class HotPotatoConfig:
     delivery_log: bool = False
     layout_seed: int = 42
 
+    #: Names accepted by the ``topology`` field (future shapes slot in
+    #: here and in repro.net.TOPOLOGIES together).
+    TOPOLOGY_NAMES = ("torus", "mesh")
+
     def __post_init__(self) -> None:
+        # Reconcile the named topology with the legacy boolean flag.  The
+        # dataclass is frozen, so the shim writes through the descriptor.
+        if self.topology is None:
+            object.__setattr__(
+                self, "topology", "torus" if self.torus else "mesh"
+            )
+        else:
+            if self.topology not in self.TOPOLOGY_NAMES:
+                raise ConfigurationError(
+                    f"unknown topology {self.topology!r}; choose from "
+                    f"{list(self.TOPOLOGY_NAMES)}"
+                )
+            # The named field is authoritative; the legacy flag is synced
+            # (an explicit ``torus=`` passed alongside a disagreeing
+            # ``topology=`` is indistinguishable from the default, so
+            # callers migrating to the name should drop the flag).
+            object.__setattr__(self, "torus", self.topology == "torus")
         if self.n < 2:
             raise ConfigurationError(f"n must be >= 2, got {self.n}")
         if self.duration <= 0:

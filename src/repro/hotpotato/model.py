@@ -9,7 +9,7 @@ from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.policy import BuschHotPotatoPolicy, RoutingPolicy
 from repro.hotpotato.router import MODEL_LOOKAHEAD, RouterLP
 from repro.hotpotato.stats import aggregate_router_stats
-from repro.net import GridTopology, MeshTopology, TorusTopology
+from repro.net import TOPOLOGIES, GridTopology, TorusTopology
 from repro.rng.streams import ReversibleStream, derive_seed
 
 __all__ = ["HotPotatoModel", "choose_injectors"]
@@ -51,9 +51,13 @@ class HotPotatoModel(Model):
         cfg: HotPotatoConfig | None = None,
         policy: RoutingPolicy | None = None,
         fault_plan=None,
+        injection_plan=None,
     ) -> None:
         self.cfg = cfg if cfg is not None else HotPotatoConfig()
         self.policy = policy if policy is not None else BuschHotPotatoPolicy()
+        #: Why build_vectorized() declined, for RunStats.soa_decline_reason
+        #: ("" until a vectorized build is attempted and refused).
+        self.soa_decline_reason = ""
         #: Optional repro.faults.FaultPlan; its *model* faults (link and
         #: router schedules) are compiled here so every engine — including
         #: the sequential oracle — sees the identical fault timeline.
@@ -69,7 +73,7 @@ class HotPotatoModel(Model):
             # around them; everything time-varying stays in the per-node
             # views and is handled by local deflection.
             failed = static_failed_links(fault_plan)
-        topo_cls = TorusTopology if self.cfg.torus else MeshTopology
+        topo_cls = TOPOLOGIES[self.cfg.topology]
         self.topo: GridTopology = topo_cls(self.cfg.n, failed_links=failed)
         if fault_plan is not None and fault_plan.has_model_faults:
             self._fault_views = compile_node_views(fault_plan, self.topo)
@@ -77,7 +81,25 @@ class HotPotatoModel(Model):
         self.grid = (self.cfg.n, self.cfg.n)
         #: Declared lookahead for conservative execution (see router.py).
         self.lookahead = MODEL_LOOKAHEAD
-        self.injectors = choose_injectors(self.cfg)
+        #: Optional repro.scenarios.InjectionPlan: a precompiled adversary
+        #: script replacing the Bernoulli injection application.  Like the
+        #: fault plan, it is pure data — injections are a function of
+        #: (plan, node, step) — so every engine and every Time Warp
+        #: re-execution sees the identical workload.
+        self.injection_plan = injection_plan
+        if injection_plan is not None:
+            injection_plan.validate(num_nodes=self.cfg.num_routers)
+            self._adversary_scripts = injection_plan.compile(
+                self.cfg.num_routers
+            )
+            # The adversary decides who injects: exactly the routers its
+            # script names (cfg.injector_fraction is ignored).
+            self.injectors = tuple(
+                bool(s) for s in self._adversary_scripts
+            )
+        else:
+            self._adversary_scripts = None
+            self.injectors = choose_injectors(self.cfg)
         #: Commit-time (delivery_step, latency) log; populated during the
         #: run when cfg.delivery_log is set.  Entries commit in per-KP key
         #: order, so sort before time-series analysis.
@@ -93,6 +115,11 @@ class HotPotatoModel(Model):
         if views:
             for i, faults in views.items():
                 lps[i].faults = faults
+        scripts = self._adversary_scripts
+        if scripts is not None:
+            for i, script in enumerate(scripts):
+                if script:
+                    lps[i].adversary = script
         return lps
 
     def build_vectorized(self):
@@ -101,12 +128,29 @@ class HotPotatoModel(Model):
         Declines (returns None → engines fall back to :meth:`build`) when
         the routing policy is not exactly the Busch policy — the fused
         stepper inlines its ``route`` logic, so a subclass override would
-        silently be ignored — or when the topology is not the torus the
-        band-edge proof was written against.
+        silently be ignored — when the topology is not the torus the
+        band-edge proof was written against, or when an adversarial
+        injection plan is attached (the fused INJECT step inlines the
+        uniform destination draw).  Each refusal records its reason in
+        ``soa_decline_reason`` so RunStats can surface it.
         """
         if type(self.policy) is not BuschHotPotatoPolicy:
+            self.soa_decline_reason = (
+                f"policy {self.policy.name!r} is not the Busch policy the "
+                "fused stepper inlines"
+            )
             return None
         if not isinstance(self.topo, TorusTopology):
+            self.soa_decline_reason = (
+                f"topology {self.cfg.topology!r} is not the torus the "
+                "band-stepping plan was built for"
+            )
+            return None
+        if self.injection_plan is not None:
+            self.soa_decline_reason = (
+                "adversarial injection plan attached (the fused INJECT "
+                "step inlines the uniform destination draw)"
+            )
             return None
         from repro.hotpotato.soa import build_soa
 
@@ -155,7 +199,11 @@ class HotPotatoModel(Model):
         stats = aggregate_router_stats(lps)
         stats["policy"] = self.policy.name
         stats["n"] = self.cfg.n
+        stats["topology"] = self.cfg.topology
         stats["injectors"] = sum(self.injectors)
+        if self.injection_plan is not None:
+            stats["adversary"] = self.injection_plan.strategy
+            stats["adversary_generated"] = len(self.injection_plan.entries)
         if self.fault_plan is not None:
             # Physical links statically failed (each is masked at both
             # endpoints, hence the halving).

@@ -90,6 +90,7 @@ class RouterLP(LogicalProcess):
         "stats",
         "delivery_log",
         "faults",
+        "adversary",
     )
 
     def __init__(
@@ -128,6 +129,14 @@ class RouterLP(LogicalProcess):
         #: keeps them identical across engines and across Time Warp
         #: re-executions of the same event.
         self.faults = None
+        #: Compiled adversary script — a tuple of ``(gen_step, dest)``
+        #: pairs in increasing step order — or None for the stock
+        #: Bernoulli injection application.  Like ``faults``, the model
+        #: attaches one only to routers the plan names, so scripted
+        #: injection costs nothing when no adversary is configured, and
+        #: the decisions are pure data: identical on every engine and
+        #: across Time Warp re-executions.
+        self.adversary = None
 
     # ------------------------------------------------------------------
     # Startup.
@@ -470,6 +479,9 @@ class RouterLP(LogicalProcess):
     # INJECT: one injection attempt per step (§3.1.4).
     # ------------------------------------------------------------------
     def _inject(self, event: Event) -> None:
+        if self.adversary is not None:
+            self._inject_adversary(event)
+            return
         data = event.data
         step: int = data["step"]
         # The application generates one packet per step from step 0; the
@@ -510,6 +522,76 @@ class RouterLP(LogicalProcess):
             assert d is not None
         st = self.stats
         wait = step - self.head_gen_step
+        prev_max = st.max_inject_wait
+        event.saved["inject"] = (int(d), self.links[d], wait, prev_max)
+        self.links[d] = step
+        self.head_gen_step += 1
+        st.injected += 1
+        st.total_inject_wait += wait
+        if wait > prev_max:
+            st.max_inject_wait = wait
+        self._send_arrive(
+            d,
+            step,
+            {
+                "step": step + 1,
+                "dest": dest,
+                "priority": int(Priority.SLEEPING),
+                "inject_step": step,
+                "jitter": jitter,
+                "distance": self.topo.route_info(self.id, dest)[3],
+                "src": self.id,
+            },
+        )
+
+    def _inject_adversary(self, event: Event) -> None:
+        """Scripted injection: drain the adversary's ``(gen_step, dest)``
+        queue instead of generating Bernoulli traffic.
+
+        ``head_gen_step`` is repurposed as the script cursor (and still
+        equals the injected count); the saved tuple has exactly the
+        Bernoulli shape, so :meth:`_rc_inject` reverses both kinds
+        unchanged.  The only runtime draw is the arrival jitter — the
+        adversary's who/when/where decisions were fixed when the plan was
+        expanded, which is what keeps the workload identical across
+        engines and rollbacks.
+        """
+        step: int = event.data["step"]
+        self.send(step + 1 + INJECT_OFFSET, self.id, INJECT, {"step": step + 1})
+        flt = self.faults
+        if flt is not None and flt.crashed(step):
+            event.saved["inject"] = None
+            return
+        script = self.adversary
+        idx = self.head_gen_step
+        if idx >= len(script) or script[idx][0] > step:
+            # Script exhausted, or the next generation lies in the future.
+            event.saved["inject"] = None
+            return
+        links = self.links
+        ex = self.exists
+        free = (
+            ex[0] and links[0] != step,
+            ex[1] and links[1] != step,
+            ex[2] and links[2] != step,
+            ex[3] and links[3] != step,
+        )
+        if flt is not None:
+            free = flt.mask(free, step)
+        if not any(free):
+            # Same bufferless admission rule as Bernoulli injection: the
+            # adversary controls generation, not admission (§4.1).
+            self.stats.inject_blocked += 1
+            event.saved["inject"] = ()
+            return
+        gen_step, dest = script[idx]
+        jitter = self._draw_jitter()
+        d = first_free_good(self.topo, self.id, dest, free)
+        if d is None:
+            d = first_free(free)
+            assert d is not None
+        st = self.stats
+        wait = step - gen_step
         prev_max = st.max_inject_wait
         event.saved["inject"] = (int(d), self.links[d], wait, prev_max)
         self.links[d] = step

@@ -34,6 +34,7 @@ class HotPotatoSimulation:
         *,
         seed: int = 0x5EED,
         fault_plan=None,
+        injection_plan=None,
     ) -> None:
         self.cfg = cfg if cfg is not None else HotPotatoConfig()
         self.policy = policy
@@ -44,10 +45,18 @@ class HotPotatoSimulation:
         #: stalls additionally perturb the parallel engines' scheduling
         #: without changing committed results.
         self.fault_plan = fault_plan
+        #: Optional repro.scenarios.InjectionPlan: a scripted adversary
+        #: replacing the Bernoulli injection application on every run.
+        self.injection_plan = injection_plan
 
     def _model(self) -> HotPotatoModel:
         # A fresh model per run: LP state is single-use.
-        return HotPotatoModel(self.cfg, self.policy, fault_plan=self.fault_plan)
+        return HotPotatoModel(
+            self.cfg,
+            self.policy,
+            fault_plan=self.fault_plan,
+            injection_plan=self.injection_plan,
+        )
 
     def _engine_faults(self):
         plan = self.fault_plan

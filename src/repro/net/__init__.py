@@ -21,8 +21,17 @@ __all__ = [
     "GridTopology",
     "MeshTopology",
     "NO_DIRECTION",
+    "TOPOLOGIES",
     "TorusTopology",
 ]
+
+#: Named topology registry: the single place scenario files, CLIs and
+#: configs resolve a topology name to its class.  Future shapes register
+#: here (and in HotPotatoConfig.TOPOLOGY_NAMES).
+TOPOLOGIES: dict[str, type] = {
+    "torus": TorusTopology,
+    "mesh": MeshTopology,
+}
 
 
 @runtime_checkable

@@ -151,6 +151,10 @@ def cmd_summary(rec: RunRecording) -> int:
         f"(EXEC {rec.counts[EXEC]:,}, UNDO {rec.counts[UNDO]:,}, "
         f"COMMIT {rec.counts[COMMIT]:,}); metric samples: {len(rec.metrics):,}"
     )
+    if rec.faults:
+        print(f"  scheduled fault events: {len(rec.faults):,}")
+    if rec.adversary:
+        print(f"  adversary injections scripted: {len(rec.adversary):,}")
     if rec.truncated_lines:
         print(
             f"  WARNING: {rec.truncated_lines} torn trailing line tolerated "
@@ -182,6 +186,9 @@ def cmd_summary(rec: RunRecording) -> int:
     if rec.stats is None:
         print("  no stats line (run did not finalize)")
         return 0
+    reason = rec.stats.get("soa_decline_reason")
+    if reason:
+        print(f"  vectorized executor fell back to scalar: {reason}")
     print("run stats:")
     _print_kv_table(sorted(rec.stats.items()))
     return 0

@@ -51,6 +51,10 @@ class RunCapture:
         the header and every scheduled fault event is written as a
         ``fault`` line up front, so forensics can line fault times up
         against the committed trace without the plan file in hand.
+    injection_plan:
+        Optional :class:`repro.scenarios.InjectionPlan`.  Same treatment
+        as the fault plan: summary in the header, every adversary
+        decision written as an ``adversary`` line up front.
     """
 
     def __init__(
@@ -62,6 +66,7 @@ class RunCapture:
         meta: Mapping | None = None,
         interval: int = 1024,
         fault_plan=None,
+        injection_plan=None,
     ) -> None:
         self.meta = dict(meta) if meta else {}
         if fault_plan is not None:
@@ -71,6 +76,13 @@ class RunCapture:
                 self.meta.setdefault("fault_drop_rate", fault_plan.drop_rate)
                 self.meta.setdefault("fault_dup_rate", fault_plan.dup_rate)
                 self.meta.setdefault("fault_delay_rate", fault_plan.delay_rate)
+        if injection_plan is not None:
+            self.meta.setdefault("adversary", injection_plan.strategy)
+            self.meta.setdefault("adversary_rate", injection_plan.rate)
+            self.meta.setdefault("adversary_seed", injection_plan.seed)
+            self.meta.setdefault(
+                "adversary_generated", len(injection_plan.entries)
+            )
         self._sinks: list[JsonlSink] = []
         metrics_sink = trace_sink = spans_sink = None
         if metrics_out is not None:
@@ -95,6 +107,9 @@ class RunCapture:
             if fault_plan is not None:
                 for fev in fault_plan.events:
                     sink.write_fault(fev.to_dict())
+            if injection_plan is not None:
+                for iev in injection_plan.entries:
+                    sink.write_adversary(iev.to_dict())
         self.metrics = (
             MetricsRecorder(metrics_sink, keep=False, interval=interval)
             if metrics_sink is not None

@@ -18,6 +18,11 @@ One recording file is a sequence of JSON lines, each tagged with a type:
   (schema 3; see :mod:`repro.obs.spans`).  Span timings are wall-clock
   and therefore the one *nondeterministic* line type: determinism
   checks (``committed_sequence``, diff, critpath) never read them.
+* ``{"t": "adversary", "step": ..., "node": ..., "dest": ...}`` — one
+  scripted adversarial injection decision (schema 4; see
+  :mod:`repro.scenarios.adversary`).  Like faults, written up front when
+  a run carries an injection plan, so forensics can line the adversary's
+  workload up against the trace.
 * ``{"t": "stats", ...}`` — the final
   :class:`~repro.core.stats.RunStats`, written once at run end.
 
@@ -57,11 +62,12 @@ __all__ = [
 
 #: Bump when a line type gains/loses/renames fields; the loader refuses
 #: files from a future schema rather than misreading them.  Version 2
-#: added the ``fault`` line type, version 3 the ``span`` line type (both
-#: purely additive — every schema-N file is also a valid schema-N+1
-#: file, so the loader accepts all three).
-SCHEMA_VERSION = 3
-SUPPORTED_SCHEMAS = (1, 2, 3)
+#: added the ``fault`` line type, version 3 the ``span`` line type, and
+#: version 4 the ``adversary`` line type (all purely additive — every
+#: schema-N file is also a valid schema-N+1 file, so the loader accepts
+#: all four).
+SCHEMA_VERSION = 4
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)
 
 _COMPACT = {"separators": (",", ":"), "sort_keys": True}
 
@@ -168,6 +174,13 @@ class JsonlSink:
         doc.update(fault_dict)
         self._write(doc)
 
+    def write_adversary(self, event_dict: Mapping) -> None:
+        """Write one adversary injection decision (InjectionEvent.to_dict())."""
+        self.write_header()
+        doc = {"t": "adversary"}
+        doc.update(event_dict)
+        self._write(doc)
+
     def write_span(self, span: Span) -> None:
         """Write one engine-phase span (see repro.obs.spans)."""
         self.write_header()
@@ -252,6 +265,7 @@ class RunRecording:
         path: Path | None = None,
         faults: list[dict] | None = None,
         spans: list[Span] | None = None,
+        adversary: list[dict] | None = None,
     ) -> None:
         self.header = header
         self.records = records
@@ -261,6 +275,9 @@ class RunRecording:
         #: Scheduled fault events ({"step", "kind", "node", "direction"}),
         #: in plan order; empty for unfaulted runs and schema-1 files.
         self.faults = faults if faults is not None else []
+        #: Scripted adversary injections ({"step", "node", "dest"}), in
+        #: plan order; empty for Bernoulli runs and pre-schema-4 files.
+        self.adversary = adversary if adversary is not None else []
         #: Engine-phase spans (see repro.obs.spans), in recording order;
         #: empty for runs without a SpanTracer and pre-schema-3 files.
         self.spans = spans if spans is not None else []
@@ -349,6 +366,7 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
     metrics: list[MetricSample] = []
     faults: list[dict] = []
     spans: list[Span] = []
+    adversary: list[dict] = []
     stats: dict | None = None
     truncated: tuple[int, ValueError] | None = None
     for lineno, raw in enumerate(lines, start=1):
@@ -403,6 +421,8 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             faults.append({k: v for k, v in doc.items() if k != "t"})
         elif kind == "span":
             spans.append(Span.from_dict(doc))
+        elif kind == "adversary":
+            adversary.append({k: v for k, v in doc.items() if k != "t"})
         elif kind == "stats":
             stats = {k: v for k, v in doc.items() if k != "t"}
         else:
@@ -411,7 +431,9 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             )
     if not header:
         raise ValueError(f"{path or '<stream>'}: missing header line")
-    recording = RunRecording(header, records, metrics, stats, path, faults, spans)
+    recording = RunRecording(
+        header, records, metrics, stats, path, faults, spans, adversary
+    )
     if truncated is not None:
         recording.truncated_lines = 1
     return recording

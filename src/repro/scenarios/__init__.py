@@ -1,0 +1,41 @@
+"""Declarative scenarios: data-driven workloads for the three engines.
+
+A *scenario* is a schema-versioned JSON document (``RPSCEN01``, see
+:mod:`repro.scenarios.spec`) declaring everything a run needs — topology,
+traffic model (Bernoulli or a rate-bounded adversary from
+:mod:`repro.scenarios.adversary`), routing policy, engine parameters and
+an optional fault plan.  :func:`compile_scenario` turns one into a
+ready-to-run :class:`CompiledScenario`; ``python -m repro.scenarios``
+validates, inspects and runs scenario files; ``--scenario`` on
+``repro.hotpotato`` and ``repro.experiments`` consumes them in place of
+flag soup.  Bundled examples live in ``examples/scenarios/``; the format
+reference is ``docs/SCENARIOS.md``.
+"""
+
+from repro.scenarios.adversary import (
+    DEFAULT_ADVERSARY_SEED,
+    STRATEGIES,
+    InjectionEvent,
+    InjectionPlan,
+    InjectionPlanError,
+    generate_injection_plan,
+    load_injection_plan,
+)
+from repro.scenarios.compile import CompiledScenario, compile_scenario
+from repro.scenarios.spec import SCHEMA_ID, Scenario, ScenarioError, load_scenario
+
+__all__ = [
+    "CompiledScenario",
+    "DEFAULT_ADVERSARY_SEED",
+    "InjectionEvent",
+    "InjectionPlan",
+    "InjectionPlanError",
+    "SCHEMA_ID",
+    "STRATEGIES",
+    "Scenario",
+    "ScenarioError",
+    "compile_scenario",
+    "generate_injection_plan",
+    "load_injection_plan",
+    "load_scenario",
+]

@@ -3,11 +3,18 @@
 shape assertions the report's narrative makes.
 """
 
+import pathlib
+
 import pytest
 
 from repro.experiments.common import SweepParams, kp_count_for
 from repro.experiments.figures import EXPERIMENTS, experiment_ids, run_experiment
 from repro.experiments.runner import build_parser, main
+
+_SCENARIO = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "examples" / "scenarios" / "adversarial_faulted.json"
+)
 
 TINY = SweepParams(
     sizes=(4, 8),
@@ -16,6 +23,7 @@ TINY = SweepParams(
     pe_counts=(1, 2, 4),
     kp_counts=(4, 16),
     window=2.0,
+    scenarios=(str(_SCENARIO),),
 )
 
 

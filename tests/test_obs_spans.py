@@ -8,7 +8,7 @@ from repro.core.engine import SequentialEngine, run_sequential
 from repro.core.optimistic import TimeWarpKernel, run_optimistic
 from repro.models.phold import PholdConfig, PholdModel
 from repro.obs.capture import RunCapture
-from repro.obs.recorder import load_recording
+from repro.obs.recorder import SCHEMA_VERSION, load_recording
 from repro.obs.spans import PHASES, Span, SpanTracer
 
 END = 15.0
@@ -164,7 +164,7 @@ def test_spans_stream_through_capture_and_load(tmp_path):
     )
     capture.finalize(result)
     rec = load_recording(out)
-    assert rec.header["schema"] == 3
+    assert rec.header["schema"] == SCHEMA_VERSION
     assert len(rec.spans) == len(capture.spans)
     breakdown = rec.span_breakdown()
     assert breakdown["exec"][0] == capture.spans.totals["exec"][0]

@@ -1,0 +1,141 @@
+"""Adversarial injection plans: generation, validation, replay, reversal.
+
+The adversary contract mirrors the fault subsystem's: a plan is pure
+data, expanded once from its own seeded stream, validated before any
+router sees it, and serialisable so a recorded attack replays exactly.
+"""
+
+import pytest
+
+from repro.net import TorusTopology
+from repro.scenarios import (
+    InjectionEvent,
+    InjectionPlan,
+    InjectionPlanError,
+    generate_injection_plan,
+    load_injection_plan,
+)
+from repro.scenarios.adversary import STRATEGIES
+
+N = 4
+DURATION = 16.0
+
+
+def _topo():
+    return TorusTopology(N)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_generation_deterministic(strategy):
+    a = generate_injection_plan(
+        _topo(), strategy=strategy, duration=DURATION, rate=0.5, seed=11
+    )
+    b = generate_injection_plan(
+        _topo(), strategy=strategy, duration=DURATION, rate=0.5, seed=11
+    )
+    assert a.entries == b.entries
+    assert a.entries, strategy
+
+
+def test_generation_seed_sensitive():
+    a = generate_injection_plan(
+        _topo(), strategy="hotspot", duration=DURATION, rate=0.5, seed=11
+    )
+    b = generate_injection_plan(
+        _topo(), strategy="hotspot", duration=DURATION, rate=0.5, seed=12
+    )
+    assert a.entries != b.entries
+
+
+def test_rate_bounds_injections_per_node():
+    plan = generate_injection_plan(
+        _topo(), strategy="hotspot", duration=DURATION, rate=0.25, seed=3
+    )
+    per_node = {}
+    for ev in plan.entries:
+        per_node.setdefault(ev.node, []).append(ev.step)
+    steps = int(DURATION)
+    for node, node_steps in per_node.items():
+        assert len(node_steps) <= steps
+        assert node_steps == sorted(set(node_steps)), (
+            "a node may inject at most once per step"
+        )
+    total = len(plan.entries)
+    assert total <= 0.25 * steps * N * N + N * N  # rate bound (+rounding)
+
+
+def test_transpose_targets():
+    plan = generate_injection_plan(
+        _topo(), strategy="transpose", duration=4.0, rate=1.0, seed=5
+    )
+    topo = _topo()
+    for ev in plan.entries:
+        r, c = topo.coords(ev.node)
+        assert ev.dest == topo.node_id(c, r)
+
+
+def test_tornado_targets():
+    plan = generate_injection_plan(
+        _topo(), strategy="tornado", duration=4.0, rate=1.0, seed=5
+    )
+    topo = _topo()
+    for ev in plan.entries:
+        r, c = topo.coords(ev.node)
+        assert ev.dest == topo.node_id(r, (c + topo.cols // 2) % topo.cols)
+
+
+def test_burst_pattern_has_gaps():
+    plan = generate_injection_plan(
+        _topo(), strategy="burst", duration=32.0, rate=1.0, seed=5,
+        burst_len=4, burst_gap=4,
+    )
+    steps = {ev.step for ev in plan.entries}
+    assert steps  # bursts fired
+    assert all(s % 8 < 4 for s in steps)  # nothing inside the gaps
+
+
+def test_validate_rejects_self_addressed():
+    plan = InjectionPlan(entries=(InjectionEvent(step=0, node=3, dest=3),))
+    with pytest.raises(InjectionPlanError, match="itself"):
+        plan.validate(num_nodes=16)
+
+
+def test_validate_rejects_out_of_range():
+    plan = InjectionPlan(entries=(InjectionEvent(step=0, node=99, dest=1),))
+    with pytest.raises(InjectionPlanError):
+        plan.validate(num_nodes=16)
+
+
+def test_validate_rejects_double_injection_per_step():
+    plan = InjectionPlan(
+        entries=(
+            InjectionEvent(step=2, node=0, dest=1),
+            InjectionEvent(step=2, node=0, dest=2),
+        )
+    )
+    with pytest.raises(InjectionPlanError):
+        plan.validate(num_nodes=16)
+
+
+def test_json_roundtrip(tmp_path):
+    plan = generate_injection_plan(
+        _topo(), strategy="hotspot", duration=DURATION, rate=0.5, seed=11
+    )
+    path = tmp_path / "attack.json"
+    plan.dump(path)
+    loaded = load_injection_plan(path)
+    assert loaded.entries == plan.entries
+    assert loaded.strategy == plan.strategy
+    assert loaded.seed == plan.seed
+
+
+def test_compile_groups_per_node():
+    plan = generate_injection_plan(
+        _topo(), strategy="hotspot", duration=DURATION, rate=0.5, seed=11
+    )
+    scripts = plan.compile(num_nodes=16)
+    assert len(scripts) == 16
+    total = sum(len(s) for s in scripts)
+    assert total == len(plan.entries)
+    for script in scripts:
+        assert list(script) == sorted(script)  # per-node steps ascending
