@@ -49,6 +49,13 @@ CKPT_OVERHEAD_LIMIT = 1.6
 #: of 5 on both sides to keep sub-second timer noise out of the ratio.
 SPANS_OVERHEAD_LIMIT = 1.10
 
+#: Liveness-watchdog-attached gate (docs/HEALTH.md): the watchdog is
+#: consulted only at GVT boundaries, so attaching it may not slow the
+#: smoke workload by more than 10% — and a *healthy* run must produce
+#: zero health events at the default thresholds.  Detached it costs
+#: nothing (the golden committed counts above pin that path).
+HEALTH_OVERHEAD_LIMIT = 1.10
+
 #: Golden committed counts for the smoke workloads, pinned from the
 #: pre-checkpointing tree.  Checkpoint/paranoid/fault hooks live off the
 #: fused fast paths; if a detached-hook run commits anything else, event
@@ -284,6 +291,91 @@ def _spans_overhead_ok() -> bool:
     return True
 
 
+def _health_overhead_ok() -> bool:
+    """Assert an attached liveness watchdog stays within its 10% budget.
+
+    Same paired-ratio protocol as :func:`_spans_overhead_ok` (adjacent
+    plain/attached runs, median per-pair ratio, clean GC slate per run).
+    The attached run must commit identically — the watchdog only reads
+    at GVT boundaries, except for the throttle rung, which a healthy run
+    never reaches — must actually have been consulted (boundaries > 0),
+    must produce **zero** health events at the default thresholds on
+    this healthy workload, and may not exceed
+    ``HEALTH_OVERHEAD_LIMIT`` x the plain wall time.
+    """
+    import gc
+    import time
+
+    from repro.bench.suites import BENCH_SEED, _hotpotato_cfg, _opt_hotpotato
+    from repro.core.config import EngineConfig
+    from repro.core.optimistic import run_optimistic
+    from repro.health import Watchdog
+    from repro.hotpotato.model import HotPotatoModel
+
+    def watched():
+        cfg = _hotpotato_cfg(True)
+        ecfg = EngineConfig(
+            end_time=cfg.duration, n_pes=4, n_kps=16, batch_size=64,
+            seed=BENCH_SEED,
+        )
+        wd = Watchdog()
+        return run_optimistic(HotPotatoModel(cfg), ecfg, health=wd), wd
+
+    def timed(runner) -> tuple[float, int, object]:
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result, extra = runner()
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        return elapsed, result.run.committed, extra
+
+    pairs = 7
+    ratios: list[float] = []
+    plain_s = watched_s = float("inf")
+    plain_committed = watched_committed = -1
+    wd = None
+    for _ in range(pairs):
+        p, plain_committed, _unused = timed(lambda: (_opt_hotpotato(True), None))
+        w, watched_committed, wd = timed(watched)
+        ratios.append(w / p if p else 1.0)
+        plain_s = min(plain_s, p)
+        watched_s = min(watched_s, w)
+    ratio = sorted(ratios)[pairs // 2]
+    print(
+        f"watchdog overhead: plain {plain_s * 1e3:.1f}ms, "
+        f"attached {watched_s * 1e3:.1f}ms "
+        f"(median of {pairs} paired ratios {ratio:.2f}x); "
+        f"{wd.boundaries} boundary check(s), {len(wd.events)} event(s)"
+    )
+    if watched_committed != plain_committed:
+        print(
+            f"FAIL: watchdog changed committed count "
+            f"({watched_committed} != {plain_committed})"
+        )
+        return False
+    if not wd.boundaries:
+        print("FAIL: attached watchdog was never consulted — hooks are dead")
+        return False
+    if wd.events:
+        print(
+            f"FAIL: healthy smoke run tripped the watchdog "
+            f"{len(wd.events)} time(s) at default thresholds: "
+            + "; ".join(str(e) for e in wd.events)
+        )
+        return False
+    if ratio > HEALTH_OVERHEAD_LIMIT:
+        print(
+            f"FAIL: attached watchdog costs {ratio:.2f}x "
+            f"(limit {HEALTH_OVERHEAD_LIMIT}x) — a health check has "
+            "crept onto the per-event path"
+        )
+        return False
+    return True
+
+
 def _smoke_golden_ok(by_name: dict) -> bool:
     """Pin every smoke suite's committed count to the golden fixture."""
     ok = True
@@ -468,6 +560,8 @@ def _run(args) -> int:
         if not _ckpt_overhead_ok():
             return 1
         if not _spans_overhead_ok():
+            return 1
+        if not _health_overhead_ok():
             return 1
         if args.checkpoint_dir is not None:
             _checkpointed_run(args.checkpoint_dir, args.checkpoint_every, True)

@@ -1,0 +1,32 @@
+"""Chaos soak harness: randomized campaigns against standing invariants.
+
+``python -m repro.chaos`` runs seed-derived episodes — random workloads
+× fault plans × adversarial injection × kill/resume × forced watchdog
+recoveries — and asserts after every one that the simulator's standing
+contracts still hold (sequential == optimistic committed sequence,
+packet conservation, bit-identical resume, recovery convergence).  See
+:mod:`repro.chaos.campaign` for the episode anatomy and docs/HEALTH.md
+for how this fits the liveness watchdog and degradation ladder.
+"""
+
+from repro.chaos.campaign import (
+    DEFAULT_CAMPAIGN_SEED,
+    DISTURBANCES,
+    CampaignResult,
+    EpisodeRecipe,
+    EpisodeResult,
+    derive_recipe,
+    run_campaign,
+    run_episode,
+)
+
+__all__ = [
+    "DEFAULT_CAMPAIGN_SEED",
+    "DISTURBANCES",
+    "CampaignResult",
+    "EpisodeRecipe",
+    "EpisodeResult",
+    "derive_recipe",
+    "run_campaign",
+    "run_episode",
+]

@@ -1,0 +1,103 @@
+"""``python -m repro.chaos`` — run a seeded chaos soak campaign.
+
+Examples
+--------
+A quick 10-episode smoke (the CI configuration)::
+
+    python -m repro.chaos --episodes 10 --out-dir chaos_out
+
+A longer soak, resumable after Ctrl-C or a crash (already-journaled
+episodes are skipped; their verdicts still count)::
+
+    python -m repro.chaos --seed 7 --episodes 100 --out-dir soak/
+    python -m repro.chaos --seed 7 --episodes 100 --out-dir soak/
+
+Exit code 0 means every episode upheld every invariant; 1 means at
+least one violation (see the forensics bundles next to the journal).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chaos.campaign import DEFAULT_CAMPAIGN_SEED, run_campaign
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chaos",
+        description="Fuzz the engines with faults, adversaries, kills and "
+        "forced recoveries; assert the standing invariants every episode.",
+    )
+    parser.add_argument(
+        "--seed",
+        type=lambda s: int(s, 0),
+        default=DEFAULT_CAMPAIGN_SEED,
+        help="campaign seed; every episode derives from (seed, index) "
+        f"(default: {DEFAULT_CAMPAIGN_SEED:#x})",
+    )
+    parser.add_argument(
+        "--episodes",
+        type=int,
+        default=25,
+        metavar="N",
+        help="episodes to run (default: 25)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default="chaos_out",
+        metavar="DIR",
+        help="journal, per-episode work dirs and forensics bundles go "
+        "here (default: chaos_out)",
+    )
+    parser.add_argument(
+        "--fresh",
+        action="store_true",
+        help="discard an existing episode journal instead of resuming it",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only print the campaign summary",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    log = (lambda _msg: None) if args.quiet else print
+    try:
+        totals = run_campaign(
+            seed=args.seed,
+            episodes=args.episodes,
+            out_dir=args.out_dir,
+            fresh=args.fresh,
+            log=log,
+        )
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted; rerun with the same seed and --out-dir "
+            f"{args.out_dir} to resume the campaign",
+            file=sys.stderr,
+        )
+        return 130
+    ran = totals.episodes - totals.skipped
+    print(
+        f"campaign: {totals.episodes} episode(s) "
+        f"({ran} run, {totals.skipped} resumed from journal), "
+        f"{totals.violations} violation(s)"
+    )
+    if totals.by_disturbance:
+        mix = ", ".join(
+            f"{k} {v}x" for k, v in sorted(totals.by_disturbance.items())
+        )
+        print(f"disturbances this run: {mix}")
+    print(f"journal: {totals.journal}")
+    return 0 if totals.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

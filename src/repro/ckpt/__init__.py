@@ -7,7 +7,7 @@ repro.ckpt`` offers ``info`` (inspect snapshots) and ``smoke`` (the
 kill/resume determinism check used by CI).
 """
 
-from repro.ckpt.checkpoint import Checkpointer, deferred_interrupts
+from repro.ckpt.checkpoint import Checkpointer, deferred_interrupts, wall_deadline
 from repro.ckpt.snapshot import (
     SNAPSHOT_SUFFIX,
     latest_snapshot,
@@ -21,6 +21,7 @@ from repro.errors import SnapshotError
 __all__ = [
     "Checkpointer",
     "deferred_interrupts",
+    "wall_deadline",
     "SnapshotError",
     "SNAPSHOT_SUFFIX",
     "capture_state",

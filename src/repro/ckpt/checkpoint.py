@@ -44,7 +44,7 @@ from repro.ckpt.snapshot import (
 from repro.ckpt.state import capture_state, restore_state
 from repro.errors import SnapshotError
 
-__all__ = ["Checkpointer", "deferred_interrupts"]
+__all__ = ["Checkpointer", "deferred_interrupts", "wall_deadline"]
 
 
 class Checkpointer:
@@ -214,3 +214,48 @@ def deferred_interrupts(ckpt: Checkpointer | None):
         yield
     finally:
         signal.signal(signal.SIGINT, previous)
+
+
+@contextmanager
+def wall_deadline(seconds: float | None, ckpt: Checkpointer | None):
+    """Arm a SIGALRM wall-clock cutoff sharing Ctrl-C's snapshot path.
+
+    After ``seconds`` of wall time the run is interrupted exactly as a
+    deferred Ctrl-C would be: with a checkpointer the alarm only calls
+    :meth:`Checkpointer.request_interrupt`, so the next boundary writes
+    a final snapshot from consistent state and raises
+    :class:`KeyboardInterrupt`; without one the alarm raises
+    :class:`KeyboardInterrupt` directly.  Yields a zero-argument callable
+    that reports whether the deadline fired, so the CLI can distinguish
+    a timeout (exit 124, ``timeout(1)``'s convention) from a user
+    interrupt (exit 130).  ``seconds`` of ``None`` or ``<= 0`` disables
+    the cutoff (no-op context).
+    """
+    fired = False
+
+    def expired() -> bool:
+        return fired
+
+    if not seconds or seconds <= 0:
+        yield expired
+        return
+
+    def _handler(signum, frame):
+        nonlocal fired
+        fired = True
+        if ckpt is not None:
+            ckpt.request_interrupt()
+        else:
+            raise KeyboardInterrupt
+
+    try:
+        previous = signal.signal(signal.SIGALRM, _handler)
+    except ValueError:  # not the main thread: no deadline support
+        yield expired
+        return
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield expired
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

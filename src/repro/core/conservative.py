@@ -211,6 +211,9 @@ class ConservativeKernel(Executor):
         #: scheduler round (the conservative boundary: every executed
         #: event is already committed).
         self.ckpt = None
+        #: Optional liveness watchdog (see repro.health); consulted once
+        #: per scheduler round, like metrics and the checkpointer.
+        self.health = None
         #: Run-loop state grafted by a checkpoint restore; consumed (and
         #: cleared) at the top of :meth:`run`.
         self._resume = None
@@ -364,6 +367,8 @@ class ConservativeKernel(Executor):
                 self._sample_metrics(self.metrics)
             if paranoid:
                 check_conservative(self)
+            if self.health is not None:
+                self.health.boundary_conservative(self)
             if ckpt is not None:
                 self._ckpt_boundary(ckpt, spans)
 
@@ -432,6 +437,8 @@ class ConservativeKernel(Executor):
                 self._sample_metrics(self.metrics)
             if paranoid:
                 check_conservative(self)
+            if self.health is not None:
+                self.health.boundary_conservative(self)
             if ckpt is not None:
                 self._ckpt_boundary(ckpt, spans)
             if all(pe.next_ts() >= end for pe in pes):
@@ -501,6 +508,7 @@ def run_conservative(
     spans=None,
     faults=None,
     checkpointer=None,
+    health=None,
 ) -> RunResult:
     """Convenience wrapper: build a conservative kernel, attach telemetry, run."""
     kernel = ConservativeKernel(model, config)
@@ -512,6 +520,8 @@ def run_conservative(
         kernel.attach_spans(spans)
     if faults is not None:
         kernel.attach_faults(faults)
+    if health is not None:
+        kernel.attach_health(health)
     if checkpointer is not None:
         kernel.attach_checkpointer(checkpointer)
     return kernel.run()

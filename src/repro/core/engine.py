@@ -74,6 +74,9 @@ class SequentialEngine(Executor):
         #: Optional checkpointer (see repro.ckpt); consulted every
         #: ``ckpt.seq_events`` commits, never per event.
         self.ckpt = None
+        #: Optional liveness watchdog (see repro.health); consulted at
+        #: the same event-interval boundaries as the checkpointer.
+        self.health = None
         #: Run-loop state grafted by a checkpoint restore; consumed (and
         #: cleared) at the top of :meth:`run`.
         self._resume = None
@@ -117,11 +120,18 @@ class SequentialEngine(Executor):
         metrics = self.metrics
         spans = self.spans
         ckpt = self.ckpt
+        health = self.health
         processed = 0
         if resume is not None:
             processed = resume["processed"]
             self._resume = None
-        if metrics is None and spans is None and ckpt is None and not self.paranoid:
+        if (
+            metrics is None
+            and spans is None
+            and ckpt is None
+            and health is None
+            and not self.paranoid
+        ):
             while True:
                 ev = pop_below(end)
                 if ev is None:
@@ -136,7 +146,7 @@ class SequentialEngine(Executor):
                     tracer.on_commit(ev)
                 if release is not None:
                     release(ev)
-        elif spans is None and ckpt is None and not self.paranoid:
+        elif spans is None and ckpt is None and health is None and not self.paranoid:
             # Identical event-by-event behaviour, plus a metric sample
             # every ``metrics.interval`` events and one at the barrier.
             interval = metrics.interval
@@ -215,6 +225,8 @@ class SequentialEngine(Executor):
                     next_boundary += bstep
                     if paranoid:
                         check_sequential(self, now)
+                    if health is not None:
+                        health.boundary_sequential(self, now)
                     if ckpt is not None:
                         written_before = ckpt.written
                         t0 = spans.clock() if spans is not None else 0.0
@@ -267,6 +279,7 @@ def run_sequential(
     metrics=None,
     spans=None,
     checkpointer=None,
+    health=None,
 ) -> RunResult:
     """Convenience wrapper: build a sequential engine, attach telemetry, run."""
     engine = SequentialEngine(
@@ -284,6 +297,8 @@ def run_sequential(
         engine.attach_metrics(metrics)
     if spans is not None:
         engine.attach_spans(spans)
+    if health is not None:
+        engine.attach_health(health)
     if checkpointer is not None:
         engine.attach_checkpointer(checkpointer)
     return engine.run()

@@ -74,6 +74,9 @@ class Executor:
     #: Engine kind tag ("sequential" / "conservative" / "optimistic").
     kind = "abstract"
 
+    #: Liveness watchdog (:class:`repro.health.Watchdog`), or None.
+    health = None
+
     model: Model
     lps: list[LogicalProcess]
     pool: EventPool | None
@@ -186,6 +189,21 @@ class Executor:
         """
         self.ckpt = ckpt
         ckpt.bind(self)
+        return self
+
+    def attach_health(self, monitor):
+        """Attach a :class:`repro.health.Watchdog`; returns self.
+
+        Engines consult it at the same quiescent boundaries as the
+        checkpointer (GVT rounds / scheduler rounds / sequential event
+        intervals), never per event, so a detached watchdog costs
+        nothing and an attached one keeps the fused fast paths
+        installed.  Detectors that escalate past in-run remediation
+        raise :class:`~repro.errors.HealthIntervention` out of
+        :meth:`run` — see :func:`repro.health.run_with_recovery`.
+        """
+        self.health = monitor
+        monitor.bind(self)
         return self
 
     # ------------------------------------------------------------------

@@ -680,6 +680,9 @@ class TimeWarpKernel(Executor):
         #: boundaries, after fossil collection and the transport flush,
         #: when mailboxes are empty and below-GVT state is committed.
         self.ckpt = None
+        #: Optional liveness watchdog (see repro.health); consulted only
+        #: at GVT boundaries, like metrics — fast paths stay installed.
+        self.health = None
         #: Run-loop state grafted by a checkpoint restore; consumed (and
         #: cleared) at the top of :meth:`run`.
         self._resume = None
@@ -1141,6 +1144,7 @@ class TimeWarpKernel(Executor):
         spans = self.spans
         clock = spans.clock if spans is not None else None
         ckpt = self.ckpt
+        health = self.health
         paranoid = cfg.paranoid
         eff_batch = cfg.batch_size
         eff_window = cfg.window
@@ -1245,6 +1249,13 @@ class TimeWarpKernel(Executor):
                 if paranoid:
                     check_optimistic(self, prev_gvt)
                     prev_gvt = self.gvt
+                if health is not None:
+                    # The watchdog may tighten the throttle in place; the
+                    # next boundary's throttle.update() folds that into
+                    # eff_batch / eff_window.  Escalations raise out of
+                    # run() here — a quiescent point, right after fossil
+                    # collection, so recovery sees committed state only.
+                    health.boundary_optimistic(self)
                 if self.gvt >= end:
                     break
             if spans is None or self._direct:
@@ -1346,6 +1357,7 @@ def run_optimistic(
     spans=None,
     faults=None,
     checkpointer=None,
+    health=None,
 ) -> RunResult:
     """Convenience wrapper: build a kernel, attach telemetry, run it."""
     kernel = TimeWarpKernel(model, config)
@@ -1357,6 +1369,8 @@ def run_optimistic(
         kernel.attach_spans(spans)
     if faults is not None:
         kernel.attach_faults(faults)
+    if health is not None:
+        kernel.attach_health(health)
     if checkpointer is not None:
         kernel.attach_checkpointer(checkpointer)
     return kernel.run()

@@ -60,3 +60,38 @@ class InvariantViolation(ReproError):
     state is internally inconsistent and results can no longer be
     trusted.
     """
+
+
+class HealthIntervention(ReproError):
+    """The liveness watchdog escalated past in-run remediation.
+
+    Raised out of ``engine.run()`` at a quiescent boundary when the
+    degradation ladder reaches an action the engine cannot apply to
+    itself — restore from the last good snapshot, fall back to a more
+    conservative engine, or abort.  Carries the requested ``action``
+    and the triggering :class:`repro.health.HealthEvent`; the recovery
+    runner (:func:`repro.health.run_with_recovery`) catches it and acts.
+    """
+
+    def __init__(self, action: str, event) -> None:
+        super().__init__(f"watchdog requested {action!r}: {event}")
+        self.action = action
+        self.event = event
+
+
+class HealthAbort(ReproError):
+    """The degradation ladder is exhausted: the run was aborted.
+
+    The message names the forensics bundle written for post-mortem
+    analysis (see :mod:`repro.health.forensics`).
+    """
+
+
+class ResumeIntegrityError(ReproError):
+    """A resumed sweep's input files no longer match the journaled hashes.
+
+    Raised before any point runs when a scenario or fault-plan file
+    referenced by the manifest hashes differently from (or has vanished
+    since) the original launch.  The message names the offending file;
+    resuming would silently compute a different experiment.
+    """

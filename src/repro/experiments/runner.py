@@ -143,6 +143,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for rate-generated fault plans (default: repro.faults default)",
     )
     parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="wall-clock budget for the whole invocation; on expiry the "
+        "sweep is interrupted exactly like Ctrl-C (supervised children "
+        "get SIGINT and write a final snapshot) and the exit code is "
+        "124 instead of 130",
+    )
+    parser.add_argument(
         "--scenario",
         action="append",
         default=None,
@@ -264,6 +274,24 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
 
+    if resuming:
+        # Before serving *anything* from disk, re-verify that every
+        # scenario / fault-plan file journaled in the manifest still
+        # hashes to what the sweep was launched against.
+        from repro.errors import ResumeIntegrityError
+
+        try:
+            n_verified = supervisor.verify_resume_integrity()
+        except ResumeIntegrityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            supervisor.close()
+            return 2
+        if n_verified:
+            print(
+                f"resume integrity: re-verified {n_verified} input "
+                f"file(s) against {supervisor.manifest_path}"
+            )
+
     if resuming and not args.experiments:
         # Bare `--resume DIR`: replay the sweep exactly as first launched.
         meta = supervisor.read_meta()
@@ -294,31 +322,38 @@ def main(argv: list[str] | None = None) -> int:
             experiments=list(ids), params=dataclasses.asdict(params)
         )
     set_supervisor(supervisor)
+    from repro.ckpt import wall_deadline
+
     try:
-        for exp_id in ids:
-            start = time.perf_counter()
-            table = run_experiment(exp_id, params)
-            elapsed = time.perf_counter() - start
-            print(table.to_text())
-            if args.plot:
-                chart = chart_from_table(table)
-                if chart:
-                    print()
-                    print(chart)
-            print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
-            if args.csv_dir is not None:
-                out = args.csv_dir / f"{exp_id}.csv"
-                out.write_text(table.to_csv())
-                print(f"wrote {out}")
+        with wall_deadline(args.deadline_seconds, None) as deadline_expired:
+            for exp_id in ids:
+                start = time.perf_counter()
+                table = run_experiment(exp_id, params)
+                elapsed = time.perf_counter() - start
+                print(table.to_text())
+                if args.plot:
+                    chart = chart_from_table(table)
+                    if chart:
+                        print()
+                        print(chart)
+                print(f"[{exp_id} regenerated in {elapsed:.1f}s]\n")
+                if args.csv_dir is not None:
+                    out = args.csv_dir / f"{exp_id}.csv"
+                    out.write_text(table.to_csv())
+                    print(f"wrote {out}")
     except KeyboardInterrupt:
-        if supervisor is not None:
+        hint = (
+            f"; pick the sweep back up with --resume {out_dir}"
+            if supervisor is not None
+            else ""
+        )
+        if deadline_expired():
             print(
-                f"\ninterrupted; pick the sweep back up with "
-                f"--resume {out_dir}",
+                f"\ndeadline of {args.deadline_seconds:g}s reached{hint}",
                 file=sys.stderr,
             )
-        else:
-            print("\ninterrupted", file=sys.stderr)
+            return 124
+        print(f"\ninterrupted{hint}", file=sys.stderr)
         return 130
     except PointFailure as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -24,6 +24,18 @@ process and journaling its lifecycle:
   ``python -m repro.experiments ... --resume DIR`` replays it: points
   journaled ``done`` are served from their pickled results without
   re-running; in-flight points restore from their latest checkpoint.
+* **Resume integrity** — ``started`` records journal the content hash
+  of any fault-plan file the spec references (scenario specs carry
+  their own hash).  :meth:`Supervisor.verify_resume_integrity` re-hashes
+  every such file for *every* journaled point — including points whose
+  results would be served from disk — and refuses the resume, naming
+  the changed file, rather than silently mixing two experiments.
+
+Retry/backoff/fallback decisions are delegated to
+:class:`repro.health.RecoveryPolicy`, the same policy object the
+liveness watchdog's degradation ladder uses, so "how patient are we
+with a sick run" is configured once and means the same thing in-process
+and across child processes.
 
 Points are identified by the SHA-256 of their canonical spec JSON, so
 the same (experiment, parameters) pair maps to the same on-disk state
@@ -36,6 +48,7 @@ import hashlib
 import json
 import os
 import pickle
+import signal
 import subprocess
 import sys
 import time
@@ -43,7 +56,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.errors import ResumeIntegrityError
+from repro.health import RecoveryPolicy
+
 __all__ = ["Supervisor", "SupervisorConfig", "PointFailure", "point_id"]
+
+#: Spec ``kind`` values <-> the engine names RecoveryPolicy's chain uses.
+_CHAIN_KIND = {"seq": "sequential", "opt": "optimistic", "cons": "conservative"}
+_SPEC_KIND = {v: k for k, v in _CHAIN_KIND.items()}
 
 
 class PointFailure(RuntimeError):
@@ -88,6 +108,12 @@ class Supervisor:
         self.points_dir = self.out_dir / "points"
         self.points_dir.mkdir(parents=True, exist_ok=True)
         self.manifest_path = self.out_dir / "manifest.jsonl"
+        #: Shared retry/backoff/fallback policy (see repro.health).
+        self.policy = RecoveryPolicy(
+            max_restores=cfg.max_retries,
+            backoff_base=cfg.backoff_base,
+            fallback=cfg.fallback,
+        )
         #: point id -> final status, replayed from the manifest.
         self._status: dict[str, str] = {}
         if cfg.resume and self.manifest_path.exists():
@@ -145,6 +171,87 @@ class Supervisor:
         self._manifest.close()
 
     # ------------------------------------------------------------------
+    # resume integrity
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _spec_plan_hash(spec: dict) -> str | None:
+        """SHA-256 of the fault-plan file a spec references, if any."""
+        fault = spec.get("fault")
+        if not isinstance(fault, dict) or "plan" not in fault:
+            return None
+        try:
+            return hashlib.sha256(Path(fault["plan"]).read_bytes()).hexdigest()
+        except OSError:
+            return None  # the child will fail loudly when it loads the plan
+
+    def verify_resume_integrity(self) -> int:
+        """Re-hash every input file the manifest references; refuse drift.
+
+        Walks *every* journaled record carrying a spec — including
+        points already ``done``, whose results would otherwise be served
+        from disk without ever touching their inputs again — and
+        recomputes each referenced scenario's content hash and each
+        fault-plan file's SHA-256 against the values journaled at launch
+        time.  Raises :class:`~repro.errors.ResumeIntegrityError` naming
+        the first file that changed (or vanished); returns the number of
+        distinct files verified.
+        """
+        if not self.manifest_path.exists():
+            return 0
+        #: (label, path) -> hash journaled at launch; latest record wins.
+        expected: dict[tuple[str, str], str] = {}
+        with self.manifest_path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue  # torn tail from a crash mid-append
+                spec = doc.get("spec")
+                if not isinstance(spec, dict):
+                    continue
+                scen = spec.get("scenario")
+                if isinstance(scen, dict) and scen.get("path") and scen.get("hash"):
+                    expected[("scenario", scen["path"])] = scen["hash"]
+                fault = spec.get("fault")
+                want = doc.get("plan_hash")
+                if isinstance(fault, dict) and fault.get("plan") and want:
+                    expected[("fault plan", fault["plan"])] = want
+        for (label, path), want in sorted(expected.items()):
+            if label == "scenario":
+                from repro.scenarios import compile_scenario, load_scenario
+
+                try:
+                    got = compile_scenario(load_scenario(path)).scenario_hash()
+                except ResumeIntegrityError:
+                    raise
+                except Exception as exc:
+                    raise ResumeIntegrityError(
+                        f"scenario {path!r} is journaled in the sweep "
+                        f"manifest but can no longer be loaded ({exc}); "
+                        "refusing to resume"
+                    ) from exc
+            else:
+                try:
+                    got = hashlib.sha256(Path(path).read_bytes()).hexdigest()
+                except OSError as exc:
+                    raise ResumeIntegrityError(
+                        f"fault plan {path!r} is journaled in the sweep "
+                        f"manifest but can no longer be read ({exc}); "
+                        "refusing to resume"
+                    ) from exc
+            if got != want:
+                raise ResumeIntegrityError(
+                    f"{label} {path!r} hashes to {got}, but the sweep "
+                    f"manifest recorded {want}; the file changed since the "
+                    "sweep was launched — refusing to resume a different "
+                    "experiment"
+                )
+        return len(expected)
+
+    # ------------------------------------------------------------------
     # point execution
     # ------------------------------------------------------------------
     def run_point(self, spec: dict) -> dict:
@@ -167,24 +274,33 @@ class Supervisor:
         if result is not None:
             return result
 
-        if self.cfg.fallback and spec["kind"] == "opt":
+        # The fallback target comes from the shared degradation chain
+        # (optimistic -> conservative); sweeps stop there rather than
+        # degrading all the way to sequential, because a conservative
+        # run that *also* wedges points at the workload, not the engine.
+        fb_kind = (
+            self.policy.next_kind(_CHAIN_KIND.get(spec["kind"], ""))
+            if spec["kind"] == "opt"
+            else None
+        )
+        if fb_kind is not None:
+            fb_engine = _SPEC_KIND[fb_kind]
             fb_spec = self._conservative_twin(spec)
             self._journal(
                 point=pid,
                 status="fallback",
-                engine="cons",
+                engine=fb_engine,
                 spec=fb_spec,
                 reason=f"optimistic attempts exhausted ({self.cfg.max_retries})",
             )
-            result = self._attempts(fb_spec, pid, pdir, engine="cons")
+            result = self._attempts(fb_spec, pid, pdir, engine=fb_engine)
             if result is not None:
                 return result
 
         self._journal(point=pid, status="failed", spec=spec)
         raise PointFailure(
             f"point {pid} failed after {self.cfg.max_retries} attempt(s)"
-            + (" plus conservative fallback" if self.cfg.fallback
-               and spec["kind"] == "opt" else "")
+            + (" plus conservative fallback" if fb_kind is not None else "")
         )
 
     @staticmethod
@@ -209,7 +325,12 @@ class Supervisor:
         spec_path.write_text(json.dumps(spec, sort_keys=True, indent=2) + "\n")
         heartbeat = pdir / "heartbeat"
 
-        self._journal(point=pid, status="started", engine=engine, spec=spec)
+        extras = {}
+        plan_hash = self._spec_plan_hash(spec)
+        if plan_hash is not None:
+            extras["plan_hash"] = plan_hash
+        self._journal(point=pid, status="started", engine=engine, spec=spec,
+                      **extras)
         for attempt in range(1, cfg.max_retries + 1):
             outcome = self._run_child(spec_path, result_path, heartbeat, ckpt_dir)
             if outcome == "ok" and result_path.exists():
@@ -218,7 +339,7 @@ class Supervisor:
                 with result_path.open("rb") as fh:
                     return pickle.load(fh)
             if attempt < cfg.max_retries:
-                delay = cfg.backoff_base * 2 ** (attempt - 1)
+                delay = self.policy.backoff(attempt)
                 self._journal(point=pid, status="retry", engine=engine,
                               attempt=attempt, outcome=outcome, backoff=delay)
                 time.sleep(delay)
@@ -267,9 +388,15 @@ class Supervisor:
                     proc.wait()
                     return "stall"
         except BaseException:
-            # The sweep itself is being torn down (KeyboardInterrupt,
-            # SystemExit): don't leave an orphan simulating forever.
-            proc.kill()
-            proc.wait()
+            # The sweep itself is being torn down (Ctrl-C, --deadline-
+            # seconds, SystemExit).  Give the child the same deferred-
+            # SIGINT chance to write its final snapshot that an
+            # interactive Ctrl-C would, then make sure it is gone.
+            try:
+                proc.send_signal(signal.SIGINT)
+                proc.wait(timeout=5.0)
+            except (OSError, subprocess.TimeoutExpired):
+                proc.kill()
+                proc.wait()
             raise
         return "ok" if proc.returncode == 0 else f"exit:{proc.returncode}"

@@ -1,0 +1,113 @@
+"""Forensics bundle: everything a post-mortem needs, in one directory.
+
+When the degradation ladder reaches ``abort`` the run is dead, but the
+evidence is not: the telemetry recording, the span stream, the last good
+snapshot, and the watchdog's own event log together tell the story of
+how the run got sick.  :func:`write_forensics_bundle` gathers those
+pointers (and a critical-path report, when a committed trace is on disk)
+into ``<dir>/forensics.json`` + ``critpath.json`` so ``repro.obs`` can
+pick the investigation up offline::
+
+    python -m repro.obs summary <recording>     # from the manifest
+    python -m repro.obs critpath <recording>    # matches critpath.json
+    python -m repro.ckpt info <snapshot dir>    # last good snapshot
+
+This module is deliberately append-only and exception-tolerant: a
+forensics write must never mask the failure it is documenting.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["write_forensics_bundle"]
+
+#: Manifest format version (bump on incompatible changes).
+BUNDLE_VERSION = 1
+
+
+def write_forensics_bundle(
+    directory: str | Path,
+    *,
+    event=None,
+    watchdog=None,
+    ckpt=None,
+    recordings=(),
+    actions=(),
+    extra=None,
+) -> Path:
+    """Write a forensics bundle and return the manifest path.
+
+    Parameters
+    ----------
+    directory:
+        Bundle directory (created if missing).
+    event:
+        The :class:`~repro.health.HealthEvent` that triggered the abort.
+    watchdog:
+        The :class:`~repro.health.Watchdog`; its full event log goes in
+        the manifest.
+    ckpt:
+        The run's :class:`~repro.ckpt.Checkpointer`; contributes the
+        snapshot directory and last snapshot path.
+    recordings:
+        Telemetry file paths (recording / spans JSONL) to reference.  A
+        readable recording with committed trace lines also yields a
+        ``critpath.json`` next to the manifest.
+    actions:
+        The recovery runner's action journal.
+    extra:
+        Free-form dict merged into the manifest (campaign seed,
+        episode id ...).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "version": BUNDLE_VERSION,
+        "trigger": event.to_dict() if event is not None else None,
+        "health_events": (
+            [e.to_dict() for e in watchdog.events] if watchdog is not None else []
+        ),
+        "actions": list(actions),
+        "recordings": [str(p) for p in recordings],
+        "snapshot_dir": str(ckpt.dir) if ckpt is not None else None,
+        "last_snapshot": (
+            str(ckpt.last_path)
+            if ckpt is not None and ckpt.last_path is not None
+            else None
+        ),
+        "critpath": None,
+    }
+    if extra:
+        manifest.update(extra)
+    report = _try_critpath(recordings)
+    if report is not None:
+        critpath_path = directory / "critpath.json"
+        critpath_path.write_text(
+            json.dumps(report, sort_keys=True, indent=2) + "\n"
+        )
+        manifest["critpath"] = str(critpath_path)
+    path = directory / "forensics.json"
+    path.write_text(json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def _try_critpath(recordings) -> dict | None:
+    """Critical-path report from the first recording with commits, if any.
+
+    Forensics runs while everything is on fire; a torn or trace-less
+    file yields ``None`` rather than a second failure.
+    """
+    from repro.obs.critpath import critical_path
+    from repro.obs.recorder import load_recording
+
+    for path in recordings:
+        try:
+            rec = load_recording(path)
+            commits = rec.committed_sequence()
+        except Exception:
+            continue
+        if commits:
+            return critical_path(commits).as_dict()
+    return None

@@ -176,6 +176,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore the latest snapshot in --checkpoint-dir and continue; "
         "all other flags must match the interrupted run",
     )
+    parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=None,
+        metavar="SEC",
+        help="wall-clock cutoff: after SEC seconds the run is interrupted "
+        "through the same deferred path as Ctrl-C (final snapshot with "
+        "--checkpoint-dir, sinks finalized) and exits 124",
+    )
+    parser.add_argument(
+        "--watchdog",
+        action="store_true",
+        help="attach the liveness watchdog (GVT stall / livelock / rollback "
+        "thrash / memory growth detectors at default thresholds; see "
+        "docs/HEALTH.md); trips tighten the optimistic throttle, then abort",
+    )
+    parser.add_argument(
+        "--health-out",
+        metavar="FILE",
+        help="record watchdog health events to this JSONL file (implies "
+        "--watchdog); may equal the other --*-out paths to combine streams",
+    )
     return parser
 
 
@@ -306,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
             spans_out=args.spans_out,
+            health_out=args.health_out,
             meta={
                 "engine": engine,
                 "workload": "hotpotato",
@@ -323,16 +346,32 @@ def main(argv: list[str] | None = None) -> int:
     if ckpt is not None:
         ckpt.capture = capture
 
-    from repro.ckpt import deferred_interrupts
+    watchdog = None
+    if args.watchdog or args.health_out:
+        from repro.health import HealthConfig, Watchdog
+
+        # A bare CLI run has no recovery loop to restore or fall back
+        # for it, so the ladder is throttle-then-abort; use
+        # repro.health.run_with_recovery (or the supervisor / chaos
+        # harness) for the full ladder.
+        watchdog = Watchdog(
+            HealthConfig(ladder=("throttle", "abort")),
+            sink=capture.health_sink,
+        )
+
+    from repro.ckpt import deferred_interrupts, wall_deadline
+    from repro.errors import HealthIntervention
 
     try:
-        with deferred_interrupts(ckpt):
+        with wall_deadline(args.deadline_seconds, ckpt) as deadline_expired, \
+                deferred_interrupts(ckpt):
             if args.processors <= 1:
                 result = sim.run(
                     tracer=capture.tracer,
                     metrics=capture.metrics,
                     spans=capture.spans,
                     checkpointer=ckpt,
+                    health=watchdog,
                     paranoid=args.paranoid,
                     executor=args.executor,
                 )
@@ -345,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
                     metrics=capture.metrics,
                     spans=capture.spans,
                     checkpointer=ckpt,
+                    health=watchdog,
                     paranoid=args.paranoid,
                     queue=args.queue,
                     cancellation=args.cancellation,
@@ -352,15 +392,35 @@ def main(argv: list[str] | None = None) -> int:
                 )
     except KeyboardInterrupt:
         capture.finalize(None)
+        if deadline_expired():
+            where = (
+                f"; resume from {ckpt.last_path} with --resume"
+                if ckpt is not None and ckpt.last_path is not None
+                else ""
+            )
+            print(f"\ndeadline of {args.deadline_seconds:g}s reached{where}",
+                  file=sys.stderr)
+            return 124
         if ckpt is not None and ckpt.last_path is not None:
             print(f"\ninterrupted; resume from {ckpt.last_path} with --resume",
                   file=sys.stderr)
         else:
             print("\ninterrupted", file=sys.stderr)
         return 130
+    except HealthIntervention as exc:
+        capture.finalize(None)
+        print(f"\nwatchdog abort: {exc}", file=sys.stderr)
+        if watchdog is not None and watchdog.events:
+            for ev in watchdog.events:
+                print(f"  {ev}", file=sys.stderr)
+        return 1
     capture.finalize(result)
     if ckpt is not None and ckpt.written:
         print(f"{ckpt.written} snapshot(s) in {ckpt.dir}")
+    if watchdog is not None and watchdog.events:
+        print(f"{len(watchdog.events)} watchdog trip(s):")
+        for ev in watchdog.events:
+            print(f"  {ev}")
     for out in sorted({str(s.path) for s in capture._sinks if s.path is not None}):
         print(f"telemetry written to {out}")
 

@@ -73,6 +73,7 @@ class HotPotatoSimulation:
         metrics=None,
         spans=None,
         checkpointer=None,
+        health=None,
         paranoid=False,
         executor: str = "scalar",
     ) -> RunResult:
@@ -87,6 +88,7 @@ class HotPotatoSimulation:
             metrics=metrics,
             spans=spans,
             checkpointer=checkpointer,
+            health=health,
         )
 
     def run_parallel(
@@ -100,6 +102,7 @@ class HotPotatoSimulation:
         metrics=None,
         spans=None,
         checkpointer=None,
+        health=None,
         **overrides: Any,
     ) -> RunResult:
         """Run on the Time Warp engine.
@@ -128,6 +131,7 @@ class HotPotatoSimulation:
             spans=spans,
             faults=self._engine_faults(),
             checkpointer=checkpointer,
+            health=health,
         )
 
     def validate_determinism(self, n_pes: int = 4, n_kps: int = 16) -> bool:

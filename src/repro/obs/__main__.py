@@ -155,6 +155,13 @@ def cmd_summary(rec: RunRecording) -> int:
         print(f"  scheduled fault events: {len(rec.faults):,}")
     if rec.adversary:
         print(f"  adversary injections scripted: {len(rec.adversary):,}")
+    if rec.health:
+        by_det: dict[str, int] = {}
+        for h in rec.health:
+            det = h.get("detector", "?")
+            by_det[det] = by_det.get(det, 0) + 1
+        breakdown = ", ".join(f"{d} {n}x" for d, n in sorted(by_det.items()))
+        print(f"  watchdog trips: {len(rec.health):,} ({breakdown})")
     if rec.truncated_lines:
         print(
             f"  WARNING: {rec.truncated_lines} torn trailing line tolerated "

@@ -40,6 +40,12 @@ class RunCapture:
         Path for wall-clock phase spans, or ``None`` to skip span
         tracing (spans record at phase boundaries only, so — unlike a
         trace — they keep the fused fast paths installed).
+    health_out:
+        Path for liveness-watchdog ``health`` lines, or ``None``.  The
+        capture only owns the sink (exposed as :attr:`health_sink` and
+        shared with the other streams when the paths match); the CLI
+        passes it to :class:`repro.health.Watchdog` and attaches the
+        watchdog itself.
     meta:
         Free-form run metadata for the header line (engine, workload,
         seed, CLI arguments ...).
@@ -63,6 +69,7 @@ class RunCapture:
         trace_out: str | Path | None = None,
         spans_out: str | Path | None = None,
         *,
+        health_out: str | Path | None = None,
         meta: Mapping | None = None,
         interval: int = 1024,
         fault_plan=None,
@@ -102,6 +109,15 @@ class RunCapture:
             else:
                 spans_sink = JsonlSink(spans_out)
                 self._sinks.append(spans_sink)
+        health_sink = None
+        if health_out is not None:
+            for existing in self._sinks:
+                if Path(health_out) == existing.path:
+                    health_sink = existing
+                    break
+            else:
+                health_sink = JsonlSink(health_out)
+                self._sinks.append(health_sink)
         for sink in self._sinks:
             sink.write_header(self.meta)
             if fault_plan is not None:
@@ -120,6 +136,9 @@ class RunCapture:
         self._metrics_sink = metrics_sink
         self._trace_sink = trace_sink
         self._spans_sink = spans_sink
+        #: Sink for watchdog ``health`` lines (None unless requested);
+        #: pass to ``Watchdog(cfg, sink=capture.health_sink)``.
+        self.health_sink = health_sink
 
     @property
     def active(self) -> bool:
@@ -162,6 +181,11 @@ class RunCapture:
                 if self._spans_sink is not None
                 else None
             ),
+            "health_sink": (
+                self._sinks.index(self.health_sink)
+                if self.health_sink is not None
+                else None
+            ),
             "metrics": None,
             "tracer": None,
         }
@@ -198,9 +222,11 @@ class RunCapture:
         ]
         mi, ti = state["metrics_sink"], state["trace_sink"]
         si = state.get("spans_sink")  # absent in pre-span snapshots
+        hi = state.get("health_sink")  # absent in pre-health snapshots
         cap._metrics_sink = cap._sinks[mi] if mi is not None else None
         cap._trace_sink = cap._sinks[ti] if ti is not None else None
         cap._spans_sink = cap._sinks[si] if si is not None else None
+        cap.health_sink = cap._sinks[hi] if hi is not None else None
         # Spans are wall-clock measurements, the one non-deterministic
         # stream — a resumed run starts a fresh tracer rather than
         # pretending to continue timings from a dead process.

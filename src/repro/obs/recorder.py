@@ -23,6 +23,11 @@ One recording file is a sequence of JSON lines, each tagged with a type:
   :mod:`repro.scenarios.adversary`).  Like faults, written up front when
   a run carries an injection plan, so forensics can line the adversary's
   workload up against the trace.
+* ``{"t": "health", "detector": ..., "action": ..., "engine": ...,
+  "boundary": ..., "position": ..., "wall": ...}`` — one liveness
+  watchdog trip and the degradation-ladder action taken for it
+  (schema 5; see :mod:`repro.health`).  Like spans, health lines carry
+  wall-clock fields and are never read by determinism checks.
 * ``{"t": "stats", ...}`` — the final
   :class:`~repro.core.stats.RunStats`, written once at run end.
 
@@ -62,12 +67,12 @@ __all__ = [
 
 #: Bump when a line type gains/loses/renames fields; the loader refuses
 #: files from a future schema rather than misreading them.  Version 2
-#: added the ``fault`` line type, version 3 the ``span`` line type, and
-#: version 4 the ``adversary`` line type (all purely additive — every
-#: schema-N file is also a valid schema-N+1 file, so the loader accepts
-#: all four).
-SCHEMA_VERSION = 4
-SUPPORTED_SCHEMAS = (1, 2, 3, 4)
+#: added the ``fault`` line type, version 3 the ``span`` line type,
+#: version 4 the ``adversary`` line type, and version 5 the ``health``
+#: line type (all purely additive — every schema-N file is also a valid
+#: schema-N+1 file, so the loader accepts all five).
+SCHEMA_VERSION = 5
+SUPPORTED_SCHEMAS = (1, 2, 3, 4, 5)
 
 _COMPACT = {"separators": (",", ":"), "sort_keys": True}
 
@@ -181,6 +186,13 @@ class JsonlSink:
         doc.update(event_dict)
         self._write(doc)
 
+    def write_health(self, event_dict: Mapping) -> None:
+        """Write one watchdog trip (a HealthEvent.to_dict())."""
+        self.write_header()
+        doc = {"t": "health"}
+        doc.update(event_dict)
+        self._write(doc)
+
     def write_span(self, span: Span) -> None:
         """Write one engine-phase span (see repro.obs.spans)."""
         self.write_header()
@@ -266,6 +278,7 @@ class RunRecording:
         faults: list[dict] | None = None,
         spans: list[Span] | None = None,
         adversary: list[dict] | None = None,
+        health: list[dict] | None = None,
     ) -> None:
         self.header = header
         self.records = records
@@ -281,6 +294,10 @@ class RunRecording:
         #: Engine-phase spans (see repro.obs.spans), in recording order;
         #: empty for runs without a SpanTracer and pre-schema-3 files.
         self.spans = spans if spans is not None else []
+        #: Watchdog trips ({"detector", "action", "engine", "boundary",
+        #: "position", "wall", ...}), in trip order; empty for healthy
+        #: runs, unwatched runs and pre-schema-5 files.
+        self.health = health if health is not None else []
         #: Count of unparseable trailing lines the loader tolerated (a
         #: crash can tear at most the final line; see JsonlSink).  0 for
         #: cleanly closed recordings.
@@ -367,6 +384,7 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
     faults: list[dict] = []
     spans: list[Span] = []
     adversary: list[dict] = []
+    health: list[dict] = []
     stats: dict | None = None
     truncated: tuple[int, ValueError] | None = None
     for lineno, raw in enumerate(lines, start=1):
@@ -423,6 +441,8 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
             spans.append(Span.from_dict(doc))
         elif kind == "adversary":
             adversary.append({k: v for k, v in doc.items() if k != "t"})
+        elif kind == "health":
+            health.append({k: v for k, v in doc.items() if k != "t"})
         elif kind == "stats":
             stats = {k: v for k, v in doc.items() if k != "t"}
         else:
@@ -432,7 +452,7 @@ def _parse_lines(lines: Iterable[str], path: Path | None) -> RunRecording:
     if not header:
         raise ValueError(f"{path or '<stream>'}: missing header line")
     recording = RunRecording(
-        header, records, metrics, stats, path, faults, spans, adversary
+        header, records, metrics, stats, path, faults, spans, adversary, health
     )
     if truncated is not None:
         recording.truncated_lines = 1

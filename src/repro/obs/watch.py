@@ -52,6 +52,10 @@ class WatchState:
         self.trace_counts = {"EXEC": 0, "UNDO": 0, "COMMIT": 0}
         self.faults = 0
         self.bad_lines = 0
+        #: Watchdog trips, per detector, plus the last few raw events
+        #: (bounded) for the health panel.
+        self.health_counts: dict[str, int] = {}
+        self.health_last: list[dict] = []
         #: (round, value) point series for the charts.
         self.gvt_points: list[tuple[float, float]] = []
         self.commit_points: list[tuple[float, float]] = []
@@ -96,6 +100,12 @@ class WatchState:
                 self.busy_by_pe[pe] = self.busy_by_pe.get(pe, 0.0) + dt
         elif kind == "fault":
             self.faults += 1
+        elif kind == "health":
+            det = doc.get("detector", "?")
+            self.health_counts[det] = self.health_counts.get(det, 0) + 1
+            self.health_last.append(doc)
+            if len(self.health_last) > 8:
+                del self.health_last[0]
         elif kind == "stats":
             self.stats = doc
 
@@ -188,11 +198,26 @@ def render_frame(
             )
         lines.append("")
 
+    if state.health_counts:
+        lines.append("watchdog")
+        for det in sorted(state.health_counts):
+            lines.append(f"  {det:<16} {state.health_counts[det]:>4}x")
+        for ev in state.health_last[-3:]:
+            lines.append(
+                "  last: [{}] -> {} @ boundary {} pos {}".format(
+                    ev.get("detector", "?"), ev.get("action", "?"),
+                    ev.get("boundary", "?"), ev.get("position", "?"),
+                )
+            )
+        lines.append("")
+
     tc = state.trace_counts
     status = (
         f"samples={state.n_samples}  commits={tc['COMMIT']}  "
         f"undos={tc['UNDO']}  faults={state.faults}"
     )
+    if state.health_counts:
+        status += f"  health={sum(state.health_counts.values())}"
     if state.bad_lines:
         status += f"  bad_lines={state.bad_lines}"
     lines.append(status)

@@ -1,0 +1,86 @@
+"""``wall_deadline``: the wall-clock cutoff shares Ctrl-C's snapshot path.
+
+With a checkpointer the alarm only requests a deferred interrupt (final
+snapshot at the next boundary, then KeyboardInterrupt); without one it
+raises immediately.  The yielded callable distinguishes a deadline
+(CLI exit 124) from a user interrupt (130).
+"""
+
+import time
+
+import pytest
+
+from repro.ckpt import Checkpointer, wall_deadline
+
+
+def test_disabled_deadline_is_a_noop():
+    for seconds in (None, 0, -1.0):
+        with wall_deadline(seconds, None) as expired:
+            assert not expired()
+        assert not expired()
+
+
+def test_deadline_without_checkpointer_raises_keyboard_interrupt():
+    with pytest.raises(KeyboardInterrupt):
+        with wall_deadline(0.05, None) as expired:
+            time.sleep(5.0)
+    assert expired()
+
+
+def test_deadline_with_checkpointer_defers_to_the_boundary(tmp_path):
+    """The alarm only flags the checkpointer; no exception mid-flight."""
+    ckpt = Checkpointer(tmp_path / "ckpt", every=1)
+    with wall_deadline(0.05, ckpt) as expired:
+        deadline = time.monotonic() + 5.0
+        while not ckpt.interrupted:
+            assert time.monotonic() < deadline, "alarm never fired"
+            time.sleep(0.01)
+        # Mid-run state is untouched until the next boundary consumes
+        # the flag (writes the final snapshot, raises KeyboardInterrupt).
+        assert expired()
+
+
+def test_deadline_disarms_on_exit():
+    with wall_deadline(30.0, None) as expired:
+        pass
+    time.sleep(0.05)  # a leaked itimer would fire here
+    assert not expired()
+
+
+def test_hotpotato_cli_deadline_exits_124(tmp_path, capsys):
+    from repro.hotpotato.__main__ import main
+
+    code = main(
+        ["--n", "8", "--duration", "1000000", "--deadline-seconds", "0.5"]
+    )
+    assert code == 124
+    assert "deadline" in capsys.readouterr().err
+
+
+def test_hotpotato_cli_deadline_writes_final_snapshot(tmp_path, capsys):
+    from repro.ckpt import list_snapshots
+    from repro.hotpotato.__main__ import main
+
+    ckpt_dir = tmp_path / "ckpt"
+    code = main(
+        ["--n", "8", "--duration", "1000000",
+         "--deadline-seconds", "0.5",
+         "--checkpoint-dir", str(ckpt_dir),
+         "--checkpoint-every", "1000000"]
+    )
+    assert code == 124
+    # Snapshot cadence was effectively off, so the snapshot on disk is
+    # the deadline's deferred final one.
+    assert list_snapshots(ckpt_dir)
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_experiments_cli_deadline_exits_124(capsys):
+    from repro.experiments.runner import main
+
+    code = main(
+        ["fig3", "--sizes", "16", "--duration", "2000",
+         "--deadline-seconds", "0.5"]
+    )
+    assert code == 124
+    assert "deadline" in capsys.readouterr().err

@@ -1,0 +1,169 @@
+"""Resume integrity: a bare ``--resume`` re-hashes every journaled input.
+
+The manifest records each scenario's content hash and each fault-plan
+file's SHA-256 at launch time.  Before a resumed sweep serves *any*
+point — including ``done`` points whose results would otherwise come
+straight off disk — the supervisor re-verifies those hashes and refuses
+with an error naming the offending file if anything drifted.
+"""
+
+import hashlib
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ResumeIntegrityError
+from repro.experiments.supervisor import Supervisor, SupervisorConfig
+from repro.faults import generate_plan
+from repro.scenarios import compile_scenario, load_scenario
+from repro.net import TorusTopology
+
+SCENARIO_SRC = Path(__file__).resolve().parent.parent / (
+    "examples/scenarios/baseline_uniform.json"
+)
+
+
+def _supervisor(out_dir, *, resume=False) -> Supervisor:
+    return Supervisor(SupervisorConfig(out_dir=out_dir, resume=resume))
+
+
+def _plan_file(tmp_path) -> Path:
+    plan = generate_plan(
+        TorusTopology(4), duration=8.0, link_fail_rate=0.05, seed=3
+    )
+    path = tmp_path / "plan.json"
+    plan.dump(path)
+    return path
+
+
+def _scenario_file(tmp_path) -> tuple[Path, str]:
+    path = tmp_path / "scenario.json"
+    shutil.copy(SCENARIO_SRC, path)
+    digest = compile_scenario(load_scenario(path)).scenario_hash()
+    return path, digest
+
+
+def test_empty_manifest_verifies_nothing(tmp_path):
+    sup = _supervisor(tmp_path / "sweep")
+    try:
+        assert sup.verify_resume_integrity() == 0
+    finally:
+        sup.close()
+
+
+def test_fault_plan_round_trip_and_tamper(tmp_path):
+    plan_path = _plan_file(tmp_path)
+    spec = {"kind": "opt", "fault": {"plan": str(plan_path)}}
+
+    sup = _supervisor(tmp_path / "sweep")
+    try:
+        # The hash the supervisor journals alongside `started` records.
+        want = Supervisor._spec_plan_hash(spec)
+        assert want == hashlib.sha256(plan_path.read_bytes()).hexdigest()
+        sup._journal(point="p1", status="started", spec=spec, plan_hash=want)
+        assert sup.verify_resume_integrity() == 1
+
+        # Append one byte: the resume must refuse and name the file.
+        plan_path.write_text(plan_path.read_text() + "\n")
+        with pytest.raises(ResumeIntegrityError) as exc_info:
+            sup.verify_resume_integrity()
+        msg = str(exc_info.value)
+        assert str(plan_path) in msg
+        assert want in msg  # says what the manifest recorded
+
+        # A vanished file is refused too, with a distinct explanation.
+        plan_path.unlink()
+        with pytest.raises(ResumeIntegrityError, match="no longer be read"):
+            sup.verify_resume_integrity()
+    finally:
+        sup.close()
+
+
+def test_scenario_round_trip_and_tamper(tmp_path):
+    scen_path, digest = _scenario_file(tmp_path)
+    spec = {
+        "kind": "opt",
+        "scenario": {
+            "path": str(scen_path), "name": "baseline-uniform",
+            "hash": digest,
+        },
+    }
+
+    sup = _supervisor(tmp_path / "sweep")
+    try:
+        sup._journal(point="p1", status="done", spec=spec)
+        assert sup.verify_resume_integrity() == 1
+
+        # Change a semantically meaningful field: content hash drifts.
+        doc = json.loads(scen_path.read_text())
+        doc["traffic"]["injector_fraction"] = 0.5
+        scen_path.write_text(json.dumps(doc))
+        with pytest.raises(ResumeIntegrityError) as exc_info:
+            sup.verify_resume_integrity()
+        msg = str(exc_info.value)
+        assert str(scen_path) in msg
+        assert digest in msg
+
+        # A scenario that no longer even loads is refused as well.
+        scen_path.write_text("{not json")
+        with pytest.raises(ResumeIntegrityError, match="no longer be loaded"):
+            sup.verify_resume_integrity()
+    finally:
+        sup.close()
+
+
+def test_latest_journal_record_wins(tmp_path):
+    """Re-journaling a point (retry, fallback) updates the expected hash."""
+    plan_path = _plan_file(tmp_path)
+    spec = {"kind": "opt", "fault": {"plan": str(plan_path)}}
+    sup = _supervisor(tmp_path / "sweep")
+    try:
+        sup._journal(point="p1", status="started", spec=spec,
+                     plan_hash="0" * 64)  # stale hash from a dead attempt
+        want = Supervisor._spec_plan_hash(spec)
+        sup._journal(point="p1", status="started", spec=spec, plan_hash=want)
+        assert sup.verify_resume_integrity() == 1
+    finally:
+        sup.close()
+
+
+def test_supervisor_policy_is_a_recovery_policy(tmp_path):
+    """Retry/backoff/fallback ride the shared RecoveryPolicy."""
+    sup = Supervisor(SupervisorConfig(
+        out_dir=tmp_path / "sweep", max_retries=5, backoff_base=0.25,
+    ))
+    try:
+        assert sup.policy.max_restores == 5
+        assert sup.policy.backoff(1) == 0.25
+        assert sup.policy.backoff(3) == 1.0
+        assert sup.policy.next_kind("optimistic") == "conservative"
+    finally:
+        sup.close()
+    no_fb = Supervisor(SupervisorConfig(
+        out_dir=tmp_path / "sweep2", fallback=False,
+    ))
+    try:
+        assert no_fb.policy.next_kind("optimistic") is None
+    finally:
+        no_fb.close()
+
+
+def test_cli_bare_resume_refuses_tampered_input(tmp_path, capsys):
+    """`--resume DIR` exits 2 with the refusal before running anything."""
+    from repro.experiments.runner import main
+
+    plan_path = _plan_file(tmp_path)
+    spec = {"kind": "opt", "fault": {"plan": str(plan_path)}}
+    out = tmp_path / "sweep"
+    sup = _supervisor(out)
+    want = Supervisor._spec_plan_hash(spec)
+    sup._journal(point="p1", status="started", spec=spec, plan_hash=want)
+    sup.close()
+
+    plan_path.write_text(plan_path.read_text() + "\n")
+    assert main(["--resume", str(out)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert str(plan_path) in err
