@@ -23,6 +23,7 @@ from repro.bench.harness import (
     compare,
     compare_files,
     load_previous,
+    mp_block,
     next_path,
     run_suites,
     write_trajectory,
@@ -72,6 +73,13 @@ SMOKE_GOLDEN = {
     # these pins double as the cross-mode determinism gate.
     "opt-phold-stress": 657,
     "opt-hotpotato-stress": 1055,
+    # The multicore suites run the same smoke network as the in-process
+    # hot-potato suites, so matching the 1055 golden at every process
+    # count IS the cross-process determinism smoke gate.
+    "opt-hotpotato-n128": 1055,
+    "mp-hotpotato-p1": 1055,
+    "mp-hotpotato-p2": 1055,
+    "mp-hotpotato-p4": 1055,
 }
 
 
@@ -589,6 +597,14 @@ def _run(args) -> int:
         for name, row in comparison.items():
             print(f"  {name:<16} {row['speedup']:>6.2f}x vs {prev_path.name}")
 
+    mp = mp_block(results)
+    if mp is not None:
+        print(
+            f"mp scaling: {mp['host_cores']} host core(s), "
+            f"p4 speedup {mp.get('speedup_4', '—')}x, "
+            f"p1 overhead {mp.get('overhead_p1', '—')}x [{mp['gate']}]"
+        )
+
     if not args.no_write:
         out = next_path(directory)
         write_trajectory(
@@ -597,6 +613,7 @@ def _run(args) -> int:
             comparison,
             prev_path.name if prev_path is not None else None,
             args.threshold,
+            mp=mp,
         )
         print(f"wrote {out}")
 

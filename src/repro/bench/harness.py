@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import gc
 import json
+import os
 import platform
 import re
 import time
@@ -32,6 +33,7 @@ __all__ = [
     "compare",
     "compare_files",
     "write_trajectory",
+    "mp_block",
 ]
 
 #: Trajectory file pattern: BENCH_0.json, BENCH_1.json, ...
@@ -75,6 +77,13 @@ class BenchResult:
     p50_seconds: float = 0.0
     p95_seconds: float = 0.0
     wall_seconds: list[float] = field(default_factory=list)
+    #: Worker-process count and cross-process transport counters (1/0/0/0
+    #: for in-process suites; see repro.mp).  Schema 3.
+    procs: int = 1
+    ring_messages: int = 0
+    ring_bytes: int = 0
+    ring_full_stalls: int = 0
+    gvt_token_rounds: int = 0
 
     def as_dict(self) -> dict:
         """Flat JSON-ready dict (wall-clock samples rounded to microseconds)."""
@@ -191,6 +200,11 @@ def run_suite(
         p50_seconds=_quantile(ordered, 0.50),
         p95_seconds=_quantile(ordered, 0.95),
         wall_seconds=walls,
+        procs=getattr(run, "procs", 1),
+        ring_messages=getattr(run, "ring_messages", 0),
+        ring_bytes=getattr(run, "ring_bytes", 0),
+        ring_full_stalls=getattr(run, "ring_full_stalls", 0),
+        gvt_token_rounds=getattr(run, "gvt_token_rounds", 0),
     )
 
 
@@ -241,7 +255,7 @@ def _indexed(directory: Path) -> list[tuple[int, Path]]:
 
 
 #: Highest trajectory-file schema this loader understands.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def _upgrade(doc: dict) -> dict:
@@ -250,7 +264,10 @@ def _upgrade(doc: dict) -> dict:
     Schema 1 files predate the ``queue_impl`` / ``cancellation`` fields
     and the wall-clock percentiles; fill the values those runs actually
     used (the schema-1 harness always ran the heap queue with aggressive
-    cancellation) so schema-2 consumers can read any file on disk.
+    cancellation) so newer consumers can read any file on disk.  Schema 3
+    adds the per-suite ``procs`` + ring counters and the top-level ``mp``
+    scaling block; older files were all in-process (procs=1, no rings)
+    and simply have no ``mp`` block to gate on.
     """
     schema = doc.get("schema", 1)
     if schema > SCHEMA_VERSION:
@@ -258,19 +275,73 @@ def _upgrade(doc: dict) -> dict:
             f"trajectory file schema {schema} is newer than this loader "
             f"(max {SCHEMA_VERSION})"
         )
-    if schema >= 2:
-        for suite in doc.get("suites", {}).values():
-            suite.setdefault("executor", "scalar")
-        return doc
     for suite in doc.get("suites", {}).values():
-        optimistic = suite.get("engine") == "optimistic"
-        suite.setdefault("queue_impl", "heap" if optimistic else "n/a")
-        suite.setdefault("cancellation", "aggressive" if optimistic else "n/a")
+        if schema < 2:
+            optimistic = suite.get("engine") == "optimistic"
+            suite.setdefault("queue_impl", "heap" if optimistic else "n/a")
+            suite.setdefault(
+                "cancellation", "aggressive" if optimistic else "n/a"
+            )
+            walls = sorted(suite.get("wall_seconds", []))
+            suite.setdefault("p50_seconds", _quantile(walls, 0.50))
+            suite.setdefault("p95_seconds", _quantile(walls, 0.95))
+        if schema < 3:
+            suite.setdefault("procs", 1)
+            suite.setdefault("ring_messages", 0)
+            suite.setdefault("ring_bytes", 0)
+            suite.setdefault("ring_full_stalls", 0)
+            suite.setdefault("gvt_token_rounds", 0)
         suite.setdefault("executor", "scalar")
-        walls = sorted(suite.get("wall_seconds", []))
-        suite.setdefault("p50_seconds", _quantile(walls, 0.50))
-        suite.setdefault("p95_seconds", _quantile(walls, 0.95))
     return doc
+
+
+#: Multicore acceptance gates, recorded in (and enforced from) the
+#: trajectory file's ``mp`` block: at 4 worker processes the scale
+#: workload must run at least this much faster than the same workload on
+#: 1 worker process, and the 1-worker configuration may cost at most
+#: this multiple of the plain in-process run (fork + rings + wave
+#: overhead).  The speedup gate is physically meaningless on a host with
+#: fewer cores than workers, so ``mp_block`` records it as waived there
+#: (with the core count, so the waiver is auditable) and ``compare_files``
+#: only enforces what the measuring host could actually show.
+MP_SPEEDUP_MIN = 1.5
+MP_OVERHEAD_MAX = 1.15
+
+
+def mp_block(results: list[BenchResult]) -> dict | None:
+    """Build the trajectory file's ``mp`` multicore-scaling block.
+
+    ``None`` when no mp-hotpotato suite was run (e.g. ``--suite`` filters
+    them out), so older-shaped files keep being written for in-process
+    measurement sessions.
+    """
+    walls = {
+        str(r.procs): r.best_seconds
+        for r in results
+        if r.name.startswith("mp-hotpotato-p")
+    }
+    if not walls:
+        return None
+    host_cores = os.cpu_count() or 1
+    block: dict = {
+        "host_cores": host_cores,
+        "wall_seconds": {k: round(v, 6) for k, v in sorted(walls.items())},
+        "speedup_min": MP_SPEEDUP_MIN,
+        "overhead_max": MP_OVERHEAD_MAX,
+    }
+    w1, w4 = walls.get("1"), walls.get("4")
+    if w1 and w4:
+        block["speedup_4"] = round(w1 / w4, 4)
+    base = next(
+        (r for r in results if r.name == "opt-hotpotato-n128"), None
+    )
+    if w1 and base is not None and base.best_seconds:
+        block["overhead_p1"] = round(w1 / base.best_seconds, 4)
+    block["gate"] = (
+        "enforced" if host_cores >= 4
+        else f"waived: host has {host_cores} core(s), speedup needs >= 4"
+    )
+    return block
 
 
 def load_trajectory(path: Path) -> dict:
@@ -373,7 +444,45 @@ def compare_files(
             f"{name:<22} {rate_a:>12,.0f}/s {rate_b:>12,.0f}/s "
             f"{ratio:>7.2f}x  {config}{flag}"
         )
+    regressions += _check_mp_block(doc_b, report)
     return regressions
+
+
+def _check_mp_block(doc: dict, report=print) -> int:
+    """Gate a trajectory file's ``mp`` multicore-scaling block.
+
+    Returns the number of failed gates (0 when the block is absent, or
+    when it was recorded as waived because the measuring host had fewer
+    cores than workers — the waiver and core count are printed so a
+    single-core CI runner can't silently masquerade as a scaling result).
+    """
+    mp = doc.get("mp")
+    if not mp:
+        return 0
+    speedup = mp.get("speedup_4")
+    overhead = mp.get("overhead_p1")
+    report(
+        f"mp scaling: {mp.get('host_cores', '?')} host core(s), "
+        f"p4 speedup {speedup if speedup is not None else '—'}x, "
+        f"p1 overhead {overhead if overhead is not None else '—'}x "
+        f"[{mp.get('gate', '?')}]"
+    )
+    if not str(mp.get("gate", "")).startswith("enforced"):
+        return 0
+    failures = 0
+    speedup_min = mp.get("speedup_min", MP_SPEEDUP_MIN)
+    overhead_max = mp.get("overhead_max", MP_OVERHEAD_MAX)
+    if speedup is not None and speedup < speedup_min:
+        report(
+            f"  MP GATE FAIL: p4 speedup {speedup:.2f}x < {speedup_min}x"
+        )
+        failures += 1
+    if overhead is not None and overhead > overhead_max:
+        report(
+            f"  MP GATE FAIL: p1 overhead {overhead:.2f}x > {overhead_max}x"
+        )
+        failures += 1
+    return failures
 
 
 def write_trajectory(
@@ -382,6 +491,7 @@ def write_trajectory(
     comparison: dict,
     baseline_name: str | None,
     threshold: float,
+    mp: dict | None = None,
 ) -> None:
     """Write one BENCH_<n>.json trajectory file."""
     doc = {
@@ -390,11 +500,14 @@ def write_trajectory(
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "host_cores": os.cpu_count() or 1,
         "threshold": threshold,
         "baseline": baseline_name,
         "suites": {r.name: r.as_dict() for r in results},
         "comparison": comparison,
     }
+    if mp is not None:
+        doc["mp"] = mp
     with path.open("w") as f:
         json.dump(doc, f, indent=2, sort_keys=False)
         f.write("\n")

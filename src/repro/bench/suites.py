@@ -94,6 +94,23 @@ def _hotpotato_cfg(smoke: bool) -> HotPotatoConfig:
     return HotPotatoConfig(n=8, duration=60.0, injector_fraction=1.0)
 
 
+def _hotpotato_n128_cfg(smoke: bool) -> HotPotatoConfig:
+    """The multicore scale workload: >= 128 LPs.
+
+    The grid is square, so 128 LPs rounds up to the next square number:
+    n=12 gives 144 routers.  The duration is the longest in the matrix
+    because the mp suites pay fixed per-run costs (fork, ring setup,
+    shard merge) that must amortize for the p1-overhead number to
+    measure the *transport*, not process startup.  Smoke scale reuses
+    the 4x4 smoke network so the mp suites' committed counts pin to the
+    same golden as the in-process hot-potato suites — the identity IS
+    the check.
+    """
+    if smoke:
+        return HotPotatoConfig(n=4, duration=10.0, injector_fraction=1.0)
+    return HotPotatoConfig(n=12, duration=240.0, injector_fraction=1.0)
+
+
 def _engine_overrides(queue, cancellation, executor=None) -> dict:
     overrides = {}
     if queue is not None:
@@ -186,9 +203,59 @@ def _opt_hotpotato_stress(smoke: bool, metrics=None, spans=None, queue=None, can
     return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics, spans=spans)
 
 
+def _opt_hotpotato_n128(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
+    cfg = _hotpotato_n128_cfg(smoke)
+    ecfg = EngineConfig(
+        end_time=cfg.duration,
+        n_pes=4,
+        n_kps=16,
+        batch_size=64,
+        seed=BENCH_SEED,
+        **_engine_overrides(queue, cancellation, executor),
+    )
+    return run_optimistic(HotPotatoModel(cfg), ecfg, metrics=metrics, spans=spans)
+
+
+def _mp_hotpotato(procs: int):
+    """Build the mp-hotpotato suite body for one process count.
+
+    Identical workload and engine geometry to ``opt-hotpotato-n128``
+    (4 PEs over the 144-LP network), differing only in how the PEs are
+    scheduled: ``procs`` forked OS processes over shared-memory rings.
+    ``procs=1`` is the honest single-worker configuration — same fork,
+    rings and GVT waves with nobody to talk to — whose distance from
+    ``opt-hotpotato-n128`` *is* the process-mode overhead.  GVT runs
+    every 16 rounds because in process mode each GVT is a cross-process
+    stop-and-drain wave (the in-process default of 1 would serialize on
+    wave latency, not event processing).
+    """
+
+    def run(smoke: bool, metrics=None, spans=None, queue=None, cancellation=None, executor=None) -> RunResult:
+        cfg = _hotpotato_n128_cfg(smoke)
+        ecfg = EngineConfig(
+            end_time=cfg.duration,
+            n_pes=4,
+            n_kps=16,
+            batch_size=64,
+            seed=BENCH_SEED,
+            parallelism="process",
+            procs=procs,
+            gvt_interval=16,
+            **_engine_overrides(queue, cancellation, executor),
+        )
+        return run_optimistic(
+            HotPotatoModel(cfg), ecfg, metrics=metrics, spans=spans
+        )
+
+    return run
+
+
 #: The fixed matrix, in reporting order.  ``opt-hotpotato`` is the
 #: headline suite tracked by the PR acceptance criteria; the ``*-stress``
-#: suites characterise the rollback-dominated regime.
+#: suites characterise the rollback-dominated regime; the
+#: ``mp-hotpotato-p*`` family measures true-multicore scaling against
+#: ``opt-hotpotato-n128`` on the same 144-LP workload (the trajectory
+#: file's ``mp`` block and ``--compare`` gate read these).
 SUITES: tuple[Suite, ...] = (
     Suite("seq-phold", "sequential", "phold", BENCH_SEED, _seq_phold),
     Suite("seq-hotpotato", "sequential", "hotpotato", BENCH_SEED, _seq_hotpotato),
@@ -204,4 +271,14 @@ SUITES: tuple[Suite, ...] = (
         BENCH_SEED,
         _opt_hotpotato_stress,
     ),
+    Suite(
+        "opt-hotpotato-n128",
+        "optimistic",
+        "hotpotato-n128",
+        BENCH_SEED,
+        _opt_hotpotato_n128,
+    ),
+    Suite("mp-hotpotato-p1", "multiprocess", "hotpotato-n128", BENCH_SEED, _mp_hotpotato(1)),
+    Suite("mp-hotpotato-p2", "multiprocess", "hotpotato-n128", BENCH_SEED, _mp_hotpotato(2)),
+    Suite("mp-hotpotato-p4", "multiprocess", "hotpotato-n128", BENCH_SEED, _mp_hotpotato(4)),
 )

@@ -81,6 +81,16 @@ class EngineConfig:
         Observationally invisible — results are bit-identical with it on
         or off (the determinism suite asserts this); a pure performance
         choice, on by default.
+    parallelism:
+        ``"inline"`` — the whole kernel runs in this process (PEs are
+        simulated concurrency, the default).  ``"process"`` — the run is
+        split across ``procs`` OS processes, each owning an equal slice
+        of the PEs and exchanging events over pickle-free shared-memory
+        rings (see :mod:`repro.mp` and docs/KERNEL.md "Multicore
+        execution").  Committed results are bit-identical either way.
+    procs:
+        Worker process count for ``parallelism="process"``.  Must divide
+        ``n_pes``; ignored (and forced to 1) in inline mode.
     seed:
         Global seed from which every LP RNG stream is derived.
     paranoid:
@@ -107,6 +117,8 @@ class EngineConfig:
     queue: str = "heap"
     executor: str = "scalar"
     pool: bool = True
+    parallelism: str = "inline"
+    procs: int = 1
     seed: int = 0x5EED
     paranoid: bool = False
     cost: CostModel = field(default_factory=CostModel)
@@ -142,3 +154,33 @@ class EngineConfig:
                 f"executor must be 'scalar' or 'vectorized', "
                 f"got {self.executor!r}"
             )
+        if self.parallelism not in ("inline", "process"):
+            raise ConfigurationError(
+                f"parallelism must be 'inline' or 'process', "
+                f"got {self.parallelism!r}"
+            )
+        if self.procs < 1:
+            raise ConfigurationError(f"procs must be >= 1, got {self.procs}")
+        if self.parallelism == "process":
+            if self.n_pes % self.procs:
+                raise ConfigurationError(
+                    f"procs must divide n_pes in process mode "
+                    f"(n_pes={self.n_pes}, procs={self.procs})"
+                )
+            if self.transport != "immediate":
+                raise ConfigurationError(
+                    "process mode owns cross-worker delivery; the in-worker "
+                    f"transport must be 'immediate', got {self.transport!r}"
+                )
+            if self.gvt != "synchronous":
+                raise ConfigurationError(
+                    "process mode computes GVT with its own cross-process "
+                    "token waves; the in-worker gvt manager must be "
+                    f"'synchronous', got {self.gvt!r}"
+                )
+            if self.paranoid and self.procs > 1:
+                raise ConfigurationError(
+                    "paranoid invariant checks are per-worker and would "
+                    "false-alarm on cross-worker packet conservation; run "
+                    "paranoid inline (or with procs=1) instead"
+                )

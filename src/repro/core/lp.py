@@ -262,3 +262,51 @@ class Model:
                 f"{type(self).__name__} captured model state but does not "
                 "implement restore_checkpoint"
             )
+
+    # ------------------------------------------------------------------
+    # Multiprocess hooks (see repro.mp).  Process-mode execution forks
+    # one worker per PE group; events that cross workers travel
+    # pickle-free over shared-memory rings, and final results come back
+    # through these hooks.
+    # ------------------------------------------------------------------
+    def mp_event_schema(self) -> dict | None:
+        """Declare the wire layout of every event kind, or ``None``.
+
+        A mapping ``{kind: ((field, struct_char), ...)}`` over the
+        event's ``data`` dict, used by :class:`repro.mp.codec.EventCodec`
+        to struct-encode events crossing a process boundary.  ``None``
+        (the default) means the model cannot run in process mode — the
+        runtime refuses up front rather than silently pickling.
+        """
+        return None
+
+    def mp_export_lp(self, lp: LogicalProcess) -> Any:
+        """Picklable end-of-run state of one *owned* LP (worker side)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares an mp event schema but no "
+            "mp_export_lp"
+        )
+
+    def mp_import_lp(self, lp: LogicalProcess, blob: Any) -> None:
+        """Install a worker's exported LP state into the parent's LP."""
+        raise NotImplementedError(
+            f"{type(self).__name__} declares an mp event schema but no "
+            "mp_import_lp"
+        )
+
+    def mp_export_shard(self) -> Any:
+        """Picklable model-level state of one worker, or ``None``.
+
+        The per-worker analogue of :meth:`checkpoint_state` (e.g. the
+        hot-potato delivery-log slice this worker committed).
+        """
+        return None
+
+    def mp_merge_shards(self, shards: list) -> None:
+        """Fold every worker's :meth:`mp_export_shard` into the parent."""
+        for shard in shards:
+            if shard is not None:
+                raise NotImplementedError(
+                    f"{type(self).__name__} exported a model shard but "
+                    "does not implement mp_merge_shards"
+                )

@@ -1360,6 +1360,22 @@ def run_optimistic(
     health=None,
 ) -> RunResult:
     """Convenience wrapper: build a kernel, attach telemetry, run it."""
+    if config.parallelism == "process":
+        # True multicore: every caller of the optimistic engine — the CLI,
+        # experiments, the bench harness, scenarios — reaches process mode
+        # through this one chokepoint.
+        from repro.mp.runtime import run_multiprocess
+
+        return run_multiprocess(
+            model,
+            config,
+            tracer=tracer,
+            metrics=metrics,
+            spans=spans,
+            faults=faults,
+            checkpointer=checkpointer,
+            health=health,
+        )
     kernel = TimeWarpKernel(model, config)
     if tracer is not None:
         kernel.attach_tracer(tracer)

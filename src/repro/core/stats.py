@@ -114,6 +114,16 @@ class RunStats:
     transport_duplicated: int = 0
     transport_delayed: int = 0
     pe_stall_rounds: int = 0
+    #: Multiprocess-mode activity (all zero under inline parallelism; see
+    #: repro.mp).  ``procs`` is the worker-process count, the ring
+    #: counters aggregate the shared-memory data rings across workers,
+    #: and ``gvt_token_rounds`` counts token passes of the cross-process
+    #: GVT waves.
+    procs: int = 1
+    ring_messages: int = 0
+    ring_bytes: int = 0
+    ring_full_stalls: int = 0
+    gvt_token_rounds: int = 0
     per_pe_busy_seconds: list[float] = field(default_factory=list)
 
     @property
@@ -165,5 +175,10 @@ class RunStats:
             "transport_duplicated": self.transport_duplicated,
             "transport_delayed": self.transport_delayed,
             "pe_stall_rounds": self.pe_stall_rounds,
+            "procs": self.procs,
+            "ring_messages": self.ring_messages,
+            "ring_bytes": self.ring_bytes,
+            "ring_full_stalls": self.ring_full_stalls,
+            "gvt_token_rounds": self.gvt_token_rounds,
         }
         return d

@@ -53,7 +53,20 @@ class ImmediateTransport:
 
 
 class MailboxTransport:
-    """Buffer cross-PE messages until the next round-boundary flush."""
+    """Buffer cross-PE messages until the next round-boundary flush.
+
+    Ordering contract (multi-producer): each destination PE has one
+    mailbox that every source PE appends to, so a flush delivers a
+    destination's messages in global *arrival* order — the order the
+    ``deliver`` calls interleaved, which in particular preserves each
+    (source, destination) pair's FIFO order.  No order is promised
+    *across* destinations (flush walks the boxes in PE order, not in
+    arrival order), and none is needed: Time Warp's correctness comes
+    from timestamp order enforced downstream by the PEs' pending queues,
+    while the per-pair FIFO is what the cancellation path leans on (an
+    anti-message enqueued after its positive can never be flushed ahead
+    of it).  ``tests/test_property_transport.py`` pins both properties.
+    """
 
     name = "mailbox"
 
@@ -80,9 +93,11 @@ class MailboxTransport:
     def flush(self) -> int:
         """Deliver all buffered messages (called at round boundaries).
 
-        Messages cancelled while in the mailbox (direct cancellation caught
-        the event before it was ever seen) are silently dropped — the
-        cheapest possible annihilation.
+        Per destination, delivery follows arrival order (see the class
+        docstring's ordering contract); destinations are visited in PE
+        order.  Messages cancelled while in the mailbox (direct
+        cancellation caught the event before it was ever seen) are
+        silently dropped — the cheapest possible annihilation.
         """
         delivered = 0
         for box in self._boxes:

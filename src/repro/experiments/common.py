@@ -20,6 +20,7 @@ __all__ = [
     "kp_count_for",
     "set_telemetry_dir",
     "set_supervisor",
+    "set_parallelism",
 ]
 
 #: When set (see :func:`set_telemetry_dir`), every hot-potato run the
@@ -63,6 +64,28 @@ def set_supervisor(supervisor) -> None:
     (``None`` restores in-process execution)."""
     global _SUPERVISOR
     _SUPERVISOR = supervisor
+
+
+#: When set (see :func:`set_parallelism`), every Time Warp run the
+#: workhorses execute goes through process mode: ``(procs, gvt_interval)``.
+_PARALLELISM: tuple[int, int] | None = None
+
+
+def set_parallelism(procs: int | None, gvt_interval: int = 8) -> None:
+    """Route subsequent :func:`run_hotpotato_parallel` calls through
+    ``procs`` OS worker processes (``None`` restores in-process runs).
+
+    Committed results are bit-identical either way, so every figure's
+    numbers are unchanged — only the wall-clock profile moves.  Points
+    whose PE count is not a multiple of ``procs`` fall back to the
+    in-process engine (a PE cannot be split across workers), as do
+    supervised (``--out-dir``) sweeps, whose points already run in their
+    own checkpointed child processes.  ``gvt_interval`` replaces the
+    engine default of 1 because in process mode every GVT is a
+    cross-process stop-and-drain wave worth amortising.
+    """
+    global _PARALLELISM
+    _PARALLELISM = None if procs is None else (procs, gvt_interval)
 
 
 def _telemetry_path(tag: str) -> str | None:
@@ -230,6 +253,15 @@ def run_hotpotato_parallel(
             "checkpoint_every": _SUPERVISOR.cfg.checkpoint_every,
         })
     cfg = HotPotatoConfig(n=n, duration=duration, injector_fraction=load)
+    if _PARALLELISM is not None and "parallelism" not in overrides:
+        procs, gvt_interval = _PARALLELISM
+        # A PE cannot be split across workers, so points whose PE count
+        # doesn't tile over the processes stay in-process (results are
+        # bit-identical either way).
+        if n_pes % procs == 0:
+            overrides["parallelism"] = "process"
+            overrides["procs"] = procs
+            overrides.setdefault("gvt_interval", gvt_interval)
     ecfg = EngineConfig(
         end_time=duration,
         n_pes=n_pes,

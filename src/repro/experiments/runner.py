@@ -28,6 +28,7 @@ import time
 
 from repro.experiments.common import (
     SweepParams,
+    set_parallelism,
     set_supervisor,
     set_telemetry_dir,
 )
@@ -96,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="KP counts for figs 7/8 (default: 4,8,16,32,64)",
     )
     parser.add_argument("--batch", type=int, default=16, help="optimism batch size")
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="P",
+        help="run each Time Warp point over P OS processes (committed "
+        "results are bit-identical to in-process runs; points whose PE "
+        "count P doesn't divide, and supervised --out-dir sweeps, stay "
+        "in-process)",
+    )
+    parser.add_argument(
+        "--gvt-interval",
+        type=int,
+        default=8,
+        metavar="N",
+        help="GVT cadence in rounds for --procs points (default: 8; each "
+        "GVT is a cross-process stop-and-drain wave)",
+    )
     parser.add_argument("--seed", type=int, default=0x5EED, help="global seed")
     parser.add_argument(
         "--replications",
@@ -317,6 +336,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.csv_dir is not None:
         args.csv_dir.mkdir(parents=True, exist_ok=True)
     set_telemetry_dir(args.telemetry_dir)
+    if args.procs is not None and args.procs < 1:
+        print("error: --procs must be >= 1", file=sys.stderr)
+        return 2
+    set_parallelism(args.procs, args.gvt_interval)
     if supervisor is not None:
         supervisor.journal_meta(
             experiments=list(ids), params=dataclasses.asdict(params)
@@ -360,6 +383,7 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     finally:
         set_supervisor(None)
+        set_parallelism(None)
         if supervisor is not None:
             supervisor.close()
     return 0

@@ -77,8 +77,28 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/SCENARIOS.md); workload flags above are then ignored, "
         "engine flags still apply",
     )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=None,
+        metavar="P",
+        help="run the optimistic engine across P OS processes (true "
+        "multicore Time Warp over shared-memory rings; committed results "
+        "are bit-identical to any other engine).  P must divide "
+        "--processors.  --procs 1 forks a single worker — useful only "
+        "for measuring process-mode overhead.  Default: in-process.",
+    )
     parser.add_argument("--kps", type=int, default=16, help="kernel processes (default 16)")
     parser.add_argument("--batch", type=int, default=16, help="optimism batch size")
+    parser.add_argument(
+        "--gvt-interval",
+        type=int,
+        default=1,
+        metavar="R",
+        help="scheduling rounds between GVT computations (default 1).  "
+        "With --procs every GVT is a cross-process stop-and-drain wave, "
+        "so raise this (8-32) to amortise the barrier",
+    )
     parser.add_argument(
         "--seed", type=int, default=None,
         help="global seed (default 0x5EED, or the scenario's seed)",
@@ -241,6 +261,8 @@ def _config_marker(args, seed: int, scenario_meta: dict) -> dict:
         "processors": args.processors,
         "kps": args.kps,
         "batch": args.batch,
+        "gvt_interval": args.gvt_interval,
+        "procs": args.procs,
         "queue": args.queue,
         "cancellation": args.cancellation,
         "executor": args.executor,
@@ -263,6 +285,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and not args.checkpoint_dir:
         print("--resume requires --checkpoint-dir")
         return 2
+    if args.procs is not None:
+        if args.procs < 1:
+            print("--procs must be >= 1")
+            return 2
+        if args.processors < args.procs or args.processors % args.procs:
+            print(f"--procs must divide --processors "
+                  f"(processors={args.processors}, procs={args.procs})")
+            return 2
+        if args.paranoid and args.procs > 1:
+            print("--paranoid checks are per-worker and cannot see "
+                  "cross-worker packet conservation; drop one of the flags")
+            return 2
     policy = None
     injection_plan = None
     scenario_meta: dict = {}
@@ -301,7 +335,8 @@ def main(argv: list[str] | None = None) -> int:
         cfg, policy, seed=seed, fault_plan=fault_plan,
         injection_plan=injection_plan,
     )
-    engine = "sequential" if args.processors <= 1 else "optimistic"
+    use_parallel = args.processors > 1 or args.procs is not None
+    engine = "optimistic" if use_parallel else "sequential"
 
     ckpt = None
     if args.checkpoint_dir:
@@ -316,11 +351,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume:
         from repro.errors import SnapshotError
 
-        try:
-            resumed_payload = ckpt.load_latest()
-        except SnapshotError as exc:
-            print(f"resume failed: {exc}", file=sys.stderr)
-            return 2
+        if args.procs is not None:
+            # Process-mode snapshots are per-worker shards under
+            # <dir>/shard_<i>; the workers locate and load the newest
+            # consistent shard set themselves (docs/CHECKPOINT.md).
+            ckpt.mp_resume = True
+        else:
+            try:
+                resumed_payload = ckpt.load_latest()
+            except SnapshotError as exc:
+                print(f"resume failed: {exc}", file=sys.stderr)
+                return 2
     if resumed_payload is not None and resumed_payload.get("obs") is not None:
         capture = RunCapture.resume(resumed_payload["obs"])
     else:
@@ -365,7 +406,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with wall_deadline(args.deadline_seconds, ckpt) as deadline_expired, \
                 deferred_interrupts(ckpt):
-            if args.processors <= 1:
+            if not use_parallel:
                 result = sim.run(
                     tracer=capture.tracer,
                     metrics=capture.metrics,
@@ -376,10 +417,17 @@ def main(argv: list[str] | None = None) -> int:
                     executor=args.executor,
                 )
             else:
+                mp_overrides = {}
+                if args.procs is not None:
+                    mp_overrides = {
+                        "parallelism": "process",
+                        "procs": args.procs,
+                    }
                 result = sim.run_parallel(
                     n_pes=args.processors,
                     n_kps=args.kps,
                     batch_size=args.batch,
+                    gvt_interval=args.gvt_interval,
                     tracer=capture.tracer,
                     metrics=capture.metrics,
                     spans=capture.spans,
@@ -389,6 +437,7 @@ def main(argv: list[str] | None = None) -> int:
                     queue=args.queue,
                     cancellation=args.cancellation,
                     executor=args.executor,
+                    **mp_overrides,
                 )
     except KeyboardInterrupt:
         capture.finalize(None)
@@ -427,8 +476,10 @@ def main(argv: list[str] | None = None) -> int:
     ms = result.model_stats
     run = result.run
     label = f", scenario={scenario_meta['scenario']}" if scenario_meta else ""
+    procs_label = f" x {run.procs} procs" if run.procs > 1 else ""
     print(f"{cfg.n}x{cfg.n} {cfg.topology}, {sum(sim._model().injectors)} injectors, "
-          f"{cfg.duration:.0f} steps, engine={run.engine} ({run.n_pes} PE){label}")
+          f"{cfg.duration:.0f} steps, engine={run.engine} "
+          f"({run.n_pes} PE{procs_label}){label}")
     print(f"  events committed   : {run.committed:,}")
     if run.soa_decline_reason:
         print(f"  executor fallback  : {run.soa_decline_reason}")

@@ -8,7 +8,7 @@ from repro.core.lp import LogicalProcess, Model
 from repro.hotpotato.config import HotPotatoConfig
 from repro.hotpotato.policy import BuschHotPotatoPolicy, RoutingPolicy
 from repro.hotpotato.router import MODEL_LOOKAHEAD, RouterLP
-from repro.hotpotato.stats import aggregate_router_stats
+from repro.hotpotato.stats import aggregate_router_stats, stats_from_signature
 from repro.net import TOPOLOGIES, GridTopology, TorusTopology
 from repro.rng.streams import ReversibleStream, derive_seed
 
@@ -168,6 +168,59 @@ class HotPotatoModel(Model):
         # In place: the RouterLPs built from this model hold a reference
         # to this exact list.
         self.delivery_log[:] = state
+
+    # ------------------------------------------------------------------
+    # Multiprocess hooks (see repro.mp).
+    # ------------------------------------------------------------------
+    def mp_event_schema(self) -> dict:
+        """Wire layout per event kind for the shared-memory rings.
+
+        Only ARRIVE ever actually crosses a worker boundary (every other
+        kind is a self-send), but declaring all five keeps the codec
+        total over the model's kinds, so a future mapping change cannot
+        silently hit the "kind not in schema" refusal mid-run.
+        """
+        from repro.hotpotato.router import ARRIVE, HEARTBEAT, INIT, INJECT, ROUTE
+
+        packet = (
+            ("step", "i"),
+            ("dest", "i"),
+            ("priority", "B"),
+            ("inject_step", "i"),
+            ("jitter", "d"),
+            ("distance", "i"),
+            ("src", "i"),
+        )
+        tick = (("step", "i"),)
+        return {
+            INIT: (),
+            ARRIVE: packet,
+            ROUTE: packet,
+            INJECT: tick,
+            HEARTBEAT: tick,
+        }
+
+    def mp_export_lp(self, lp: LogicalProcess) -> tuple:
+        return lp.stats.signature()
+
+    def mp_import_lp(self, lp: LogicalProcess, blob: tuple) -> None:
+        lp.stats = stats_from_signature(blob)
+
+    def mp_export_shard(self) -> list | None:
+        if not self.cfg.delivery_log:
+            return None
+        return list(self.delivery_log)
+
+    def mp_merge_shards(self, shards: list) -> None:
+        merged: list[tuple[int, int]] = []
+        for shard in shards:
+            if shard:
+                merged.extend(shard)
+        # Workers commit in local key order; the documented contract of
+        # delivery_log is "sort before time-series analysis", so the
+        # merged log is handed over globally sorted.
+        merged.sort()
+        self.delivery_log[:] = merged
 
     def check_conservation(self, lps: list[LogicalProcess]) -> str | None:
         """Packet-conservation invariant (see repro.core.invariants).

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["RouterStats", "aggregate_router_stats"]
+__all__ = ["RouterStats", "aggregate_router_stats", "stats_from_signature"]
 
 
 class RouterStats:
@@ -109,6 +109,18 @@ class RouterStats:
             tuple(v) if isinstance(v, list) else v
             for v in (getattr(self, name) for name in RouterStats.__slots__)
         )
+
+
+def stats_from_signature(sig: tuple) -> RouterStats:
+    """Rebuild a :class:`RouterStats` from :meth:`RouterStats.signature`.
+
+    The multiprocess runtime ships per-router counters back from worker
+    processes as signatures; this is the receiving end.
+    """
+    s = RouterStats.__new__(RouterStats)
+    for name, v in zip(RouterStats.__slots__, sig):
+        setattr(s, name, list(v) if isinstance(v, tuple) else v)
+    return s
 
 
 def aggregate_router_stats(routers: list) -> dict[str, Any]:

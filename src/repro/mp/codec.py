@@ -1,0 +1,119 @@
+"""Pickle-free event encoding for the shared-memory rings.
+
+Every frame that crosses a data ring is fixed-width ``struct`` packing —
+no pickle on the hot path, ever.  Two frame types:
+
+* **positive** (``P``): a real event in flight to a remote worker's LP.
+  Header ``<B Q d I I I B`` = (type, uid, ts, origin, seq, dst, kind_id)
+  followed by the kind's payload struct.
+* **anti** (``A``): a Time Warp anti-message for a previously sent
+  positive, identified by the sender-assigned ``uid`` (the full event
+  key rides along for error reporting only).
+
+The payload layout is declared by the *model* through
+``Model.mp_event_schema()``: a mapping of event kind to an ordered
+``((field, struct_char), ...)`` tuple over the event's ``data`` dict.
+Workers on both sides build identical codecs from the same model, so a
+kind id is just the kind's index in sorted order.  A model without a
+schema (or an event whose kind is missing from it) cannot cross a
+process boundary, and the runtime refuses the run up front rather than
+silently pickling.
+
+The ``uid`` exists because lazy cancellation can put a *new, different*
+positive for the same event key on the wire before the anti-message for
+the old one (the divergent-resend window): keying the receiver's
+live-remote table by event key would let the late anti kill the wrong
+message.  Sender-unique uids (``worker_index + procs * counter``) make
+every positive individually addressable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EventCodec", "POSITIVE", "ANTI"]
+
+POSITIVE = 0x50  # "P"
+ANTI = 0x41      # "A"
+
+_POS_HEAD = struct.Struct("<BQdIIIB")
+_ANTI = struct.Struct("<BQdIII")
+
+
+class EventCodec:
+    """Encode/decode events against one model's declared schema."""
+
+    __slots__ = ("kinds", "_kind_id", "_fields", "_structs")
+
+    def __init__(self, schema) -> None:
+        if not schema:
+            raise ConfigurationError(
+                "model declares no mp event schema; process-mode runs need "
+                "Model.mp_event_schema() (see docs/KERNEL.md)"
+            )
+        self.kinds = tuple(sorted(schema))
+        if len(self.kinds) > 0xFF:
+            raise ConfigurationError("more than 255 event kinds")
+        self._kind_id = {kind: i for i, kind in enumerate(self.kinds)}
+        self._fields = []
+        self._structs = []
+        for kind in self.kinds:
+            spec = tuple(schema[kind])
+            self._fields.append(tuple(name for name, _ in spec))
+            self._structs.append(
+                struct.Struct("<" + "".join(ch for _, ch in spec))
+            )
+
+    # -- positives -----------------------------------------------------
+    def encode_event(self, ev, uid: int) -> bytes:
+        """Pack one positive event into a frame addressed by ``uid``."""
+        kind_id = self._kind_id.get(ev.kind)
+        if kind_id is None:
+            raise ConfigurationError(
+                f"event kind {ev.kind!r} is not in the model's mp event "
+                "schema; it cannot cross a process boundary"
+            )
+        key = ev.key
+        head = _POS_HEAD.pack(
+            POSITIVE, uid, key.ts, key.origin, key.seq, ev.dst, kind_id
+        )
+        fields = self._fields[kind_id]
+        if not fields:
+            return head
+        data = ev.data
+        return head + self._structs[kind_id].pack(
+            *(data[name] for name in fields)
+        )
+
+    def decode(self, frame: bytes):
+        """Decode one frame.
+
+        Returns ``("pos", uid, ts, origin, seq, dst, kind, data)`` for a
+        positive or ``("anti", uid, ts, origin, seq, dst)`` for an
+        anti-message.
+        """
+        ftype = frame[0]
+        if ftype == POSITIVE:
+            _, uid, ts, origin, seq, dst, kind_id = _POS_HEAD.unpack_from(frame)
+            fields = self._fields[kind_id]
+            if fields:
+                values = self._structs[kind_id].unpack_from(
+                    frame, _POS_HEAD.size
+                )
+                data = dict(zip(fields, values))
+            else:
+                data = {}
+            return ("pos", uid, ts, origin, seq, dst, self.kinds[kind_id], data)
+        if ftype == ANTI:
+            _, uid, ts, origin, seq, dst = _ANTI.unpack(frame)
+            return ("anti", uid, ts, origin, seq, dst)
+        raise ConfigurationError(f"corrupt ring frame (type byte {ftype:#x})")
+
+    # -- antis ---------------------------------------------------------
+    @staticmethod
+    def encode_anti(ev, uid: int) -> bytes:
+        """Pack the anti-message frame for the positive sent as ``uid``."""
+        key = ev.key
+        return _ANTI.pack(ANTI, uid, key.ts, key.origin, key.seq, ev.dst)

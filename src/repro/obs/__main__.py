@@ -196,6 +196,30 @@ def cmd_summary(rec: RunRecording) -> int:
     reason = rec.stats.get("soa_decline_reason")
     if reason:
         print(f"  vectorized executor fell back to scalar: {reason}")
+    procs = rec.stats.get("procs", 1)
+    if procs and procs > 1:
+        # Process-mode run: attribute the cross-process overhead.  These
+        # counters live in RunStats too, but scattered among forty other
+        # keys; the ratios (bytes/frame, stall rate, frames/wave) are
+        # what make "the transport is/isn't the bottleneck" readable.
+        msgs = rec.stats.get("ring_messages", 0)
+        ring_bytes = rec.stats.get("ring_bytes", 0)
+        stalls = rec.stats.get("ring_full_stalls", 0)
+        token_rounds = rec.stats.get("gvt_token_rounds", 0)
+        rows = [
+            ("worker processes", procs),
+            ("ring frames crossed", msgs),
+            ("ring bytes crossed", ring_bytes),
+            ("ring full-stalls", stalls),
+            ("gvt token rounds", token_rounds),
+        ]
+        if msgs:
+            rows.append(("bytes / frame", f"{ring_bytes / msgs:.1f}"))
+            rows.append(("full-stall rate", f"{stalls / msgs:.2%}"))
+        if token_rounds:
+            rows.append(("frames / token round", f"{msgs / token_rounds:.1f}"))
+        print("multicore transport:")
+        _print_kv_table(rows)
     print("run stats:")
     _print_kv_table(sorted(rec.stats.items()))
     return 0

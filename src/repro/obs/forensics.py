@@ -230,6 +230,15 @@ ENGINE_DEPENDENT_FIELDS = frozenset(
         "transport_duplicated",
         "transport_delayed",
         "pe_stall_rounds",
+        # Process-mode plumbing: how many OS workers ran and what crossed
+        # the shared-memory rings is an execution-mode property, never a
+        # result (sequential == process-mode committed sequences is the
+        # invariant tests/test_mp_determinism.py pins).
+        "procs",
+        "ring_messages",
+        "ring_bytes",
+        "ring_full_stalls",
+        "gvt_token_rounds",
     }
 )
 

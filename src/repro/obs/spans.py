@@ -189,6 +189,31 @@ class SpanTracer:
         if self.sink is not None:
             self.sink.write_span(span)
 
+    def ingest(self, span: Span) -> None:
+        """Adopt a span recorded by *another* tracer, as-is.
+
+        The multiprocess runtime ships worker spans to the parent through
+        this: ``span.t0`` stays relative to the worker's own epoch (each
+        process clock starts at its own construction), so cross-process
+        ``t0`` values are comparable only per process — phase totals and
+        breakdowns remain exact.
+        """
+        tot = self.totals[span.phase]
+        tot[0] += 1
+        tot[1] += span.dt
+        self.n_spans += 1
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(span)
+        else:
+            head = self._head
+            ring[head] = span
+            head += 1
+            self._head = 0 if head == self.capacity else head
+            self.dropped += 1
+        if self.sink is not None:
+            self.sink.write_span(span)
+
     # ------------------------------------------------------------------
     # Queries.
     # ------------------------------------------------------------------

@@ -1,0 +1,174 @@
+"""Cross-process determinism: the multicore acceptance invariant.
+
+The committed sequence of a ``parallelism="process"`` run must be
+byte-identical to the sequential oracle's on golden seeds — at every
+process count, under a model fault plan, and across a kill-at-checkpoint
+resume from per-worker shards.  These are the tests CI's multicore smoke
+step leans on (``.github/workflows``): if they pass, every event that
+crossed a shared-memory ring was delivered, rolled back and committed
+exactly as the one-process engine would have.
+
+Runs are deliberately small (the test host may be single-core, so each
+mp run time-slices ``procs`` workers over one CPU) but every one crosses
+real process boundaries with real ring traffic.
+"""
+
+import shutil
+
+import pytest
+
+from repro.ckpt import Checkpointer, list_snapshots
+from repro.core.config import EngineConfig
+from repro.core.engine import run_sequential
+from repro.core.optimistic import run_optimistic
+from repro.core.trace import Tracer
+from repro.faults import generate_plan
+from repro.hotpotato.config import HotPotatoConfig
+from repro.hotpotato.model import HotPotatoModel
+from repro.net.torus import TorusTopology
+
+N = 4
+DURATION = 12.0
+GOLDEN_SEEDS = (7, 0xB5EED)
+
+
+def _cfg() -> HotPotatoConfig:
+    return HotPotatoConfig(n=N, duration=DURATION, injector_fraction=1.0)
+
+
+def _ecfg(procs: int, seed: int, **overrides) -> EngineConfig:
+    kwargs = dict(
+        end_time=DURATION,
+        n_pes=4,
+        n_kps=16,
+        batch_size=16,
+        seed=seed,
+        parallelism="process",
+        procs=procs,
+        gvt_interval=8,
+    )
+    kwargs.update(overrides)
+    return EngineConfig(**kwargs)
+
+
+@pytest.mark.parametrize("procs", [2, 4])
+@pytest.mark.parametrize("seed", GOLDEN_SEEDS)
+def test_procs_committed_sequence_identical_to_sequential(procs, seed):
+    seq_tr = Tracer()
+    oracle = run_sequential(
+        HotPotatoModel(_cfg()), DURATION, seed=seed, tracer=seq_tr
+    )
+    mp_tr = Tracer()
+    mp = run_optimistic(
+        HotPotatoModel(_cfg()), _ecfg(procs, seed), tracer=mp_tr
+    )
+    assert mp_tr.committed_sequence() == seq_tr.committed_sequence()
+    assert mp.model_stats == oracle.model_stats
+    assert mp.run.committed == oracle.run.committed
+    assert mp.run.procs == procs
+    # The run really crossed process boundaries: ring traffic happened.
+    assert mp.run.ring_messages > 0
+    assert mp.run.gvt_token_rounds > 0
+
+
+def test_procs_identical_under_model_fault_plan():
+    """Link failures and router crashes from a FaultPlan replay
+    identically across the process boundary (fault schedules are pure
+    functions of the step, and steps commit in the same order)."""
+    plan = generate_plan(
+        TorusTopology(N),
+        duration=DURATION,
+        link_fail_rate=0.1,
+        heal_after=8,
+        router_crash_rate=0.08,
+        recover_after=6,
+        seed=0xD00D,
+    )
+    assert plan.events, "plan unexpectedly empty — rates/seed drifted"
+    seed = GOLDEN_SEEDS[0]
+
+    seq_tr = Tracer()
+    oracle = run_sequential(
+        HotPotatoModel(_cfg(), fault_plan=plan), DURATION, seed=seed,
+        tracer=seq_tr,
+    )
+    mp_tr = Tracer()
+    mp = run_optimistic(
+        HotPotatoModel(_cfg(), fault_plan=plan), _ecfg(4, seed),
+        tracer=mp_tr,
+    )
+    assert mp_tr.committed_sequence() == seq_tr.committed_sequence()
+    assert mp.model_stats == oracle.model_stats
+    # The plan actually bit (otherwise this test proves nothing).
+    ms = oracle.model_stats
+    assert ms["fault_dropped"] > 0 or ms["fault_deflections"] > 0
+
+
+def test_kill_at_checkpoint_resume_identical(tmp_path):
+    """Shard-set resume: truncate the per-worker shard directories to a
+    mid-run snapshot (what an uncoordinated kill leaves behind — one
+    shard may even be a sequence ahead of another) and resume.  The
+    completed resumed run must reproduce the oracle bit-for-bit.
+    """
+    procs = 2
+    seed = GOLDEN_SEEDS[0]
+    oracle = run_sequential(HotPotatoModel(_cfg()), DURATION, seed=seed)
+
+    snap_dir = tmp_path / "snaps"
+    marker = {"case": "mp-resume", "seed": seed}
+    ckpt = Checkpointer(snap_dir, every=1, marker=marker)
+    recorded = run_optimistic(
+        HotPotatoModel(_cfg()), _ecfg(procs, seed, gvt_interval=4),
+        checkpointer=ckpt,
+    )
+    assert recorded.model_stats == oracle.model_stats, (
+        "attaching a checkpointer changed the committed run"
+    )
+    assert (snap_dir / "manifest.json").exists()
+    shard_dirs = [snap_dir / f"shard_{i}" for i in range(procs)]
+    snaps = [sorted(list_snapshots(d)) for d in shard_dirs]
+    assert all(len(s) >= 3 for s in snaps), (
+        "need mid-run snapshots to make truncation meaningful"
+    )
+
+    # Kill-at-checkpoint: keep an early prefix, and leave shard 0 one
+    # sequence ahead of shard 1 — the workers must resume from the
+    # newest *common* sequence, not the newest file.
+    keep = 2
+    for i, d in enumerate(shard_dirs):
+        for snap in snaps[i][keep + (1 if i == 0 else 0):]:
+            snap.unlink()
+
+    resume_ckpt = Checkpointer(snap_dir, every=1 << 30, marker=marker)
+    resume_ckpt.mp_resume = True
+    resumed = run_optimistic(
+        HotPotatoModel(_cfg()), _ecfg(procs, seed, gvt_interval=4),
+        checkpointer=resume_ckpt,
+    )
+    assert resumed.model_stats == oracle.model_stats
+    assert resumed.run.committed == oracle.run.committed
+
+
+def test_resume_refuses_marker_mismatch(tmp_path):
+    """A shard written by a differently-configured run must not resume
+    silently into this one.  The worker's SnapshotError surfaces through
+    the parent as its worker-failure report."""
+    from repro.errors import ConfigurationError
+
+    procs = 2
+    seed = GOLDEN_SEEDS[0]
+    snap_dir = tmp_path / "snaps"
+    ckpt = Checkpointer(snap_dir, every=1, marker={"case": "original"})
+    run_optimistic(
+        HotPotatoModel(_cfg()), _ecfg(procs, seed, gvt_interval=4),
+        checkpointer=ckpt,
+    )
+    resume_ckpt = Checkpointer(
+        snap_dir, every=1 << 30, marker={"case": "different"}
+    )
+    resume_ckpt.mp_resume = True
+    with pytest.raises(ConfigurationError, match="marker mismatch"):
+        run_optimistic(
+            HotPotatoModel(_cfg()), _ecfg(procs, seed, gvt_interval=4),
+            checkpointer=resume_ckpt,
+        )
